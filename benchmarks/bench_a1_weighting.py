@@ -1,0 +1,18 @@
+"""A1 — ablation: trust-weighted aggregation vs a plain mean.
+
+The design choice behind Sec. 3.2's "users' trust factors are taken into
+consideration": with a noisy novice majority, the weighted score tracks
+the experts, the plain mean follows the crowd.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.ablations import run_a1_weighting
+
+
+def test_a1_weighting(benchmark):
+    result = run_once(
+        benchmark, run_a1_weighting, experts=8, novices=40, expert_trust=20.0
+    )
+    record_exhibit("A1: aggregation weighting ablation", result["rendered"])
+    assert result["weighted_error"] < 1.0
+    assert result["plain_error"] > result["weighted_error"] * 2

@@ -1,0 +1,16 @@
+"""A3 — ablation: the anonymity circuit's latency cost (Sec. 2.2).
+
+Each relay hop pays full network latency: a 3-hop circuit costs ~4x a
+direct query — the measured price of hiding the client address.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.ablations import run_a3_anonymity_overhead
+
+
+def test_a3_anonymity_overhead(benchmark):
+    result = run_once(
+        benchmark, run_a3_anonymity_overhead, requests=500, circuit_length=3
+    )
+    record_exhibit("A3: anonymity overhead", result["rendered"])
+    assert 3.5 < result["overhead_factor"] < 4.5

@@ -1,0 +1,21 @@
+"""A4 — ablation: runtime-analysis hard evidence feeding the policy.
+
+The Sec. 5 future-work loop, closed: the lab's behaviour evidence lets
+the no-ads/no-tracking policy fire before a single vote exists.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.ablations import run_a4_runtime_analysis
+
+
+def test_a4_runtime_analysis(benchmark):
+    result = run_once(
+        benchmark, run_a4_runtime_analysis, users=18, simulated_days=30
+    )
+    record_exhibit("A4: runtime analysis ablation", result["rendered"])
+    crowd = result["outcomes"]["crowd only"]
+    analyzed = result["outcomes"]["with runtime analysis"]
+    assert crowd["policy_denies"] == 0
+    assert analyzed["policy_denies"] > 100
+    assert analyzed["grey_blocked"] > crowd["grey_blocked"]
+    assert analyzed["active_infection"] <= crowd["active_infection"]

@@ -1,0 +1,29 @@
+"""A5 — ablation: version churn vs vendor-level reputation (Sec. 3.3).
+
+Every release resets per-file ratings ("two different versions of the
+same program will end up having different fingerprints").  The bench
+shows the coverage collapse under churn and the vendor-rating rule
+winning it back without per-file history.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.ablations import run_a5_version_churn
+
+
+def test_a5_version_churn(benchmark):
+    result = run_once(
+        benchmark,
+        run_a5_version_churn,
+        users=18,
+        simulated_days=35,
+        churn_per_day=0.06,
+    )
+    record_exhibit("A5: version churn vs vendor ratings", result["rendered"])
+    baseline = result["outcomes"]["no churn (baseline)"]
+    churned = result["outcomes"]["churn, per-file ratings only"]
+    vendor = result["outcomes"]["churn + vendor-rating rule"]
+    # churn erodes both coverage and blocking...
+    assert churned["current_version_coverage"] < baseline["current_version_coverage"]
+    assert churned["grey_blocked"] < baseline["grey_blocked"]
+    # ...and the vendor rule restores blocking without per-file history
+    assert vendor["grey_blocked"] > churned["grey_blocked"]

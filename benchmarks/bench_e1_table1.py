@@ -1,0 +1,18 @@
+"""E1 — Table 1: the PIS classification matrix.
+
+Regenerates the 3×3 consent × consequence grid of Table 1 (p. 144) over a
+generated software population, with per-cell counts.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e1_table1
+
+
+def test_e1_table1(benchmark):
+    result = run_once(benchmark, run_e1_table1, population_size=2000, seed=7)
+    record_exhibit("E1 (Table 1): PIS classification", result["rendered"])
+    assert sum(result["counts"].values()) == 2000
+    # every one of the paper's nine species is populated
+    assert all(result["counts"][number] > 0 for number in range(1, 10))
+    # the grey zone is thick (the paper's motivating premise)
+    assert result["spyware"] > 0.15 * 2000

@@ -1,0 +1,31 @@
+"""E3 — infection rates (Sec. 1: >80 % home PCs, >30 % corporate PCs).
+
+Four fleets: home/corporate × unprotected/reputation-protected.  The
+baseline shape (home ≫ corporate) should reproduce, and the reputation
+system should cut *active* infection in both.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e3_infection
+
+
+def test_e3_infection(benchmark):
+    result = run_once(
+        benchmark, run_e3_infection, users=25, simulated_days=45, seed=13
+    )
+    record_exhibit("E3: infection rates", result["rendered"])
+    outcomes = result["outcomes"]
+    home = outcomes["home unprotected"]
+    corporate = outcomes["corporate (antivirus)"]
+    # the paper's survey shape: home way above corporate
+    assert home["ever_infected"] > 0.8
+    assert corporate["actively_infected"] < home["actively_infected"]
+    # reputation reduces active infection for both fleets
+    assert (
+        outcomes["home + reputation"]["actively_infected"]
+        < home["actively_infected"]
+    )
+    assert (
+        outcomes["corporate + reputation"]["actively_infected"]
+        <= corporate["actively_infected"]
+    )

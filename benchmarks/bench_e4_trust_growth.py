@@ -1,0 +1,21 @@
+"""E4 — trust-factor growth cap (Sec. 3.2).
+
+Max trust is 5 in week one, 10 in week two, ... 100 at week twenty; the
+uncapped ablation shows why the cap exists (instant full influence).
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e4_trust_growth
+
+
+def test_e4_trust_growth(benchmark):
+    result = run_once(benchmark, run_e4_trust_growth, max_weeks=30)
+    record_exhibit("E4: trust-factor growth limitation", result["rendered"])
+    capped = result["capped"]
+    # the paper's exact schedule
+    assert capped[0] == 5.0
+    assert capped[1] == 10.0
+    assert result["weeks_to_maximum_capped"] == 20
+    assert max(capped) == 100.0
+    # the ablation: without the cap, week-one users reach max influence
+    assert result["uncapped"][0] == 100.0

@@ -1,0 +1,25 @@
+"""E5 — the attack/mitigation matrix (Sec. 2.1).
+
+Defamation and self-promotion Sybil campaigns plus a vote flood, against
+four defence configurations.  Shape: the undefended system is captured;
+trust weighting absorbs most displacement; puzzles + origin limits shrink
+the Sybil head-count; the one-vote rule kills flooding outright.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e5_attacks
+
+
+def test_e5_attacks(benchmark):
+    result = run_once(benchmark, run_e5_attacks, seed=23)
+    record_exhibit("E5: attacks vs mitigations", result["rendered"])
+    outcomes = result["outcomes"]
+    undefended = outcomes["undefended (flat trust, no puzzle)"]
+    weighted = outcomes["trust weighting"]
+    full = outcomes["all defences"]
+    assert abs(undefended["defamation_displacement"]) > 3.0
+    assert abs(weighted["defamation_displacement"]) < abs(
+        undefended["defamation_displacement"]
+    )
+    assert abs(full["defamation_displacement"]) < 0.5
+    assert outcomes["vote_flood"]["votes_accepted"] == 1

@@ -1,0 +1,24 @@
+"""E6 — comparison with conventional countermeasures (Sec. 4.3).
+
+Blocking coverage by software class for no-protection, AV, anti-spyware
+(with the legal constraint), and the reputation system.  Shape: signature
+tools catch malware but leave the grey zone untouched; only the
+reputation system penetrates it, while sparing legitimate software.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e6_countermeasures
+
+
+def test_e6_countermeasures(benchmark):
+    result = run_once(
+        benchmark, run_e6_countermeasures, users=20, simulated_days=40, seed=31
+    )
+    record_exhibit("E6: countermeasure comparison", result["rendered"])
+    outcomes = result["outcomes"]
+    grey = "grey zone (spyware)"
+    assert outcomes["antivirus"].get(grey, 0.0) == 0.0
+    assert outcomes["antispyware (legal constraint)"].get(grey, 0.0) == 0.0
+    assert outcomes["reputation system"].get(grey, 0.0) > 0.25
+    assert outcomes["antivirus"].get("malware", 0.0) > 0.5
+    assert outcomes["reputation system"].get("legitimate", 1.0) < 0.15

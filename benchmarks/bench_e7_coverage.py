@@ -1,0 +1,21 @@
+"""E7 — rating coverage growth and bootstrapping (Sec. 2.1 / deployment).
+
+The paper's deployment accumulated "well over 2000 rated software
+programs".  This bench measures how coverage grows in a cold community vs
+one bootstrapped from a prior corpus — the cold-start gap bootstrapping
+exists to close.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e7_coverage
+
+
+def test_e7_coverage(benchmark):
+    result = run_once(
+        benchmark, run_e7_coverage, users=30, simulated_days=45, seed=37
+    )
+    record_exhibit("E7: coverage growth / bootstrapping", result["rendered"])
+    cold = result["results"]["cold start"]
+    warm = result["results"]["bootstrapped"]
+    assert warm["final_coverage"] > cold["final_coverage"] + 0.2
+    assert warm["final_rated"] > cold["final_rated"]

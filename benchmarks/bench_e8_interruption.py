@@ -1,0 +1,25 @@
+"""E8 — the interruption budget (Sec. 3.1).
+
+The paper's thresholds — prompt only after 50 executions, at most two
+prompts a week — bound user interruption.  The bench verifies the bound
+and sweeps the two parameters.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e8_interruption
+
+
+def test_e8_interruption(benchmark):
+    result = run_once(
+        benchmark,
+        run_e8_interruption,
+        simulated_weeks=16,
+        programs=15,
+        runs_per_program_per_day=1.5,
+        seed=41,
+    )
+    record_exhibit("E8: user interruption budget", result["rendered"])
+    paper = result["outcomes"]["threshold=50, cap=2/wk"]
+    assert paper["max_in_week"] <= 2
+    nag = result["outcomes"]["threshold=1, cap=1000/wk"]
+    assert nag["max_in_week"] >= paper["max_in_week"]

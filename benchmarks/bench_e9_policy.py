@@ -1,0 +1,23 @@
+"""E9 — the policy module (Sec. 4.2).
+
+The paper's example policy ("allow trusted-vendor signatures; otherwise
+require rating > 7.5 and no ads") against a rated population: how much
+interaction disappears, and at what mistake rate.
+"""
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis.experiments import run_e9_policy
+
+
+def test_e9_policy(benchmark):
+    result = run_once(benchmark, run_e9_policy, population_size=600, seed=43)
+    record_exhibit("E9: policy module outcomes", result["rendered"])
+    outcomes = result["outcomes"]
+    paper = outcomes["paper example (signed OR >7.5 and no ads)"]
+    strict = outcomes["strict corporate"]
+    none = outcomes["prompt only (no policy)"]
+    assert paper["auto_decided"] > none["auto_decided"]
+    assert strict["asked"] == 0
+    for label, outcome in outcomes.items():
+        assert outcome["pis_allowed"] / 600 < 0.10, label
+        assert outcome["legit_denied"] / 600 < 0.10, label

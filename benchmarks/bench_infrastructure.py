@@ -1,0 +1,116 @@
+"""Infrastructure micro-benchmarks (not paper exhibits).
+
+Wall-clock costs of the substrates every experiment stands on: storage
+inserts and indexed lookups, WAL replay, and the XML codec round trip.
+Useful for spotting performance regressions when the engine changes.
+"""
+
+import random
+
+from repro.protocol import (
+    CommentInfo,
+    SoftwareInfoResponse,
+    decode,
+    encode,
+)
+from repro.storage import Column, ColumnType, Database, Schema
+
+
+def _schema():
+    return Schema(
+        name="bench",
+        columns=[
+            Column("k", ColumnType.INT),
+            Column("group_id", ColumnType.INT),
+            Column("value", ColumnType.FLOAT),
+        ],
+        primary_key="k",
+    )
+
+
+def test_storage_insert_throughput(benchmark):
+    """Rows inserted per second into an indexed table."""
+    counter = [0]
+
+    def setup():
+        db = Database()
+        table = db.create_table(_schema())
+        table.create_index("group_id", kind="hash")
+        return (table,), {}
+
+    def insert_block(table):
+        base = counter[0]
+        counter[0] += 1000
+        for i in range(base, base + 1000):
+            table.insert({"k": i, "group_id": i % 50, "value": float(i)})
+
+    benchmark.pedantic(insert_block, setup=setup, rounds=20)
+
+
+def test_storage_indexed_lookup(benchmark):
+    """Equality select through a hash index on a 20k-row table."""
+    db = Database()
+    table = db.create_table(_schema())
+    table.create_index("group_id", kind="hash")
+    for i in range(20_000):
+        table.insert({"k": i, "group_id": i % 200, "value": float(i)})
+
+    result = benchmark(lambda: table.select(group_id=77))
+    assert len(result) == 100
+
+
+def test_storage_full_scan(benchmark):
+    """The same filter without an index (the cost an index avoids)."""
+    db = Database()
+    table = db.create_table(_schema())
+    for i in range(20_000):
+        table.insert({"k": i, "group_id": i % 200, "value": float(i)})
+
+    result = benchmark(
+        lambda: table.select(predicate=lambda row: row["group_id"] == 77)
+    )
+    assert len(result) == 100
+
+
+def test_wal_replay_speed(benchmark, tmp_path):
+    """Recovery time for a 5k-mutation log."""
+    directory = str(tmp_path / "db")
+    db = Database(directory=directory)
+    table = db.create_table(_schema())
+    for i in range(5000):
+        table.insert({"k": i, "group_id": i % 50, "value": float(i)})
+
+    def recover():
+        fresh = Database(directory=directory)
+        fresh.create_table(_schema())
+        return fresh.recover()
+
+    replayed = benchmark(recover)
+    assert replayed == 5000
+
+
+def test_codec_round_trip(benchmark):
+    """Encode+decode of a realistic software-info response."""
+    message = SoftwareInfoResponse(
+        software_id="ab" * 20,
+        known=True,
+        score=7.25,
+        vote_count=321,
+        vendor="Sharman Networks",
+        vendor_score=4.5,
+        comments=tuple(
+            CommentInfo(
+                comment_id=i,
+                username=f"user_{i}",
+                text="observed: displays-ads, tracks-browsing (3/10)",
+                positive_remarks=i,
+                negative_remarks=1,
+            )
+            for i in range(10)
+        ),
+        reported_behaviors=("displays-ads", "tracks-browsing"),
+        analyzed=True,
+    )
+
+    result = benchmark(lambda: decode(encode(message)))
+    assert result == message

@@ -1,0 +1,27 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one paper exhibit (see DESIGN.md §4) and
+prints it, so ``pytest benchmarks/ --benchmark-only -s`` reads like the
+paper's evaluation section.  Exhibits are also archived under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_exhibit(experiment_id: str, rendered: str) -> None:
+    """Print the exhibit and archive it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}\n{rendered}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    stem = experiment_id.split(" ")[0].rstrip(":").strip("()")
+    path = os.path.join(RESULTS_DIR, f"{stem}.txt")
+    with open(path, "w", encoding="utf-8") as output:
+        output.write(rendered + "\n")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time *func* exactly once (community sims are seconds-long)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

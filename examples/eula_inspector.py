@@ -1,0 +1,95 @@
+"""Reading the licences nobody reads.
+
+The grey zone exists because disclosures hide in "a legal format,
+sometimes spanning well over 5000 words".  This example generates the
+licences a software population would ship and runs the automated
+analyzer over them: which behaviours are admitted, in what language, how
+deep in the document — and what consent level the text actually earns.
+
+Run:  python examples/eula_inspector.py
+"""
+
+from repro import ConsentLevel, generate_population, PopulationConfig
+from repro.analysis.tables import render_table
+from repro.eula import EulaAnalyzer, generate_eula
+from repro.winsim import Behavior
+
+
+def main():
+    population = generate_population(PopulationConfig(size=150, seed=2007))
+    analyzer = EulaAnalyzer()
+
+    # Pick one specimen from each consent level for a close look.
+    specimens = {}
+    for executable in population.executables:
+        if executable.behaviors and executable.consent not in specimens:
+            specimens[executable.consent] = executable
+        if len(specimens) == 3:
+            break
+
+    for consent in (ConsentLevel.HIGH, ConsentLevel.MEDIUM, ConsentLevel.LOW):
+        executable = specimens[consent]
+        document = generate_eula(executable)
+        actual = set(executable.behaviors)
+        if executable.bundled:
+            actual.add(Behavior.BUNDLES_SOFTWARE)
+        report = analyzer.analyze(document.text, actual)
+        print("=" * 70)
+        print(f"{executable.file_name}  (vendor: {executable.vendor or '<none>'})")
+        print(f"  licence length:   {report.word_count} words"
+              + ("  — beyond what anyone reads" if report.unreadable_length else ""))
+        for disclosure in report.disclosures:
+            if disclosure.style.value == "absent":
+                where = "NOT MENTIONED ANYWHERE"
+            else:
+                where = (
+                    f"{disclosure.style.value} language at word "
+                    f"{disclosure.position_words}"
+                )
+            print(f"  {disclosure.behavior.value:<22} {where}")
+        print(f"  ground-truth consent: {executable.consent.name.lower()}")
+        print(f"  derived from text:    {report.derived_consent.name.lower()}")
+        print()
+
+    # The buried sentence itself, for flavour.
+    grey = specimens[ConsentLevel.MEDIUM]
+    document = generate_eula(grey)
+    report = analyzer.analyze(document.text, grey.behaviors)
+    first = next(
+        d for d in report.disclosures if d.position_words is not None
+    )
+    words = document.text.split()
+    snippet = " ".join(words[first.position_words:first.position_words + 28])
+    print(f"what word {first.position_words} of {grey.file_name}'s licence "
+          f"actually says:\n  \"...{snippet}...\"\n")
+
+    # Population-wide accuracy.
+    rows = []
+    for consent in (ConsentLevel.HIGH, ConsentLevel.MEDIUM, ConsentLevel.LOW):
+        group = [
+            e
+            for e in population.executables
+            if e.consent is consent and (e.behaviors or e.bundled)
+        ]
+        recovered = 0
+        for executable in group:
+            doc = generate_eula(executable)
+            actual = set(executable.behaviors)
+            if executable.bundled:
+                actual.add(Behavior.BUNDLES_SOFTWARE)
+            if analyzer.analyze(doc.text, actual).derived_consent is consent:
+                recovered += 1
+        rows.append(
+            [consent.name.lower(), len(group), f"{recovered / len(group):.0%}"]
+        )
+    print(
+        render_table(
+            ["ground-truth consent", "programs (with behaviours)", "recovered from text"],
+            rows,
+            title="Consent recovery across the population",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

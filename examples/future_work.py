@@ -1,0 +1,165 @@
+"""Section 5, realized: the paper's future work running end-to-end.
+
+Four upgrades over the 2006 prototype, in one scenario:
+
+1. **Runtime analysis** — the server's sandbox lab detonates new
+   software and publishes hard behaviour evidence.
+2. **Pseudonym credentials** — a user registers through an RSA
+   blind-signature credential: one account per person, no e-mail, no
+   linkability.
+3. **Adaptive puzzles** — an account farm watches its hash-guessing
+   difficulty climb.
+4. **Preferences** — the user's declarative preferences compile into a
+   policy that consumes the hard evidence, blocking ad-ware before a
+   single vote exists.
+
+Run:  python examples/future_work.py
+"""
+
+import random
+
+from repro import (
+    Behavior,
+    ClientConfig,
+    Machine,
+    Network,
+    ReputationServer,
+    SimClock,
+    build_executable,
+    days,
+)
+from repro.client import always_deny
+from repro.core import UserPreferences
+from repro.crypto import CredentialIssuer, obtain_credential
+from repro.protocol import (
+    CredentialRegisterRequest,
+    LoginRequest,
+    PuzzleRequest,
+    decode,
+    encode,
+)
+
+
+def main():
+    clock = SimClock()
+    network = Network()
+    server = ReputationServer(
+        clock=clock,
+        puzzle_difficulty=4,
+        adaptive_puzzles=True,
+        runtime_analysis=True,
+        analysis_delay=days(1),
+    )
+    network.register("server", server.handle_bytes)
+
+    # ------------------------------------------------------------------
+    # 1. Runtime analysis: a fresh ad-ware sample reaches the lab.
+    # ------------------------------------------------------------------
+    adware = build_executable(
+        "smiley-pack.exe",
+        vendor="HotbarWare",
+        behaviors={Behavior.DISPLAYS_ADS, Behavior.TRACKS_BROWSING},
+    )
+    server.submit_sample(adware)
+    print("sample submitted to the analysis lab "
+          f"(backlog: {server.analysis.backlog})")
+    clock.advance(days(1))
+    server.run_daily_batch()
+    evidence = server.analysis.store.behaviors_for(adware.software_id)
+    print("lab evidence after one day: "
+          + ", ".join(sorted(b.value for b in evidence)))
+
+    # ------------------------------------------------------------------
+    # 2. Pseudonym registration: no e-mail, no identity, one per person.
+    # ------------------------------------------------------------------
+    eid = CredentialIssuer("National eID", bits=384, rng=random.Random(1))
+    server.trust_credential_issuer(eid.public_key)
+    credential = obtain_credential(eid, "citizen #4711", rng=random.Random(2))
+    signature_bytes = credential.signature.to_bytes(
+        (credential.signature.bit_length() + 7) // 8, "big"
+    )
+    response = decode(
+        server.handle_bytes(
+            "somewhere",
+            encode(
+                CredentialRegisterRequest(
+                    username="pseudonymous_panda",
+                    password="long-passphrase",
+                    issuer_name=credential.issuer_name,
+                    serial=credential.serial,
+                    signature=signature_bytes,
+                )
+            ),
+        )
+    )
+    print(f"\npseudonym registration: {response.detail}")
+    print("issuer knows it served 'citizen #4711'; the server only knows "
+          "'pseudonymous_panda'. Neither can link the two.")
+    row = server.engine.db.table("accounts").get("pseudonymous_panda")
+    print(f"stored e-mail hash for this account: {row['email_hash']!r}")
+
+    # ------------------------------------------------------------------
+    # 3. Adaptive puzzles: the account farm pays exponentially.
+    # ------------------------------------------------------------------
+    difficulties = []
+    for __ in range(6):
+        puzzle = decode(server.handle_bytes("bot-farm", encode(PuzzleRequest())))
+        difficulties.append(puzzle.difficulty)
+    honest = decode(server.handle_bytes("honest-home", encode(PuzzleRequest())))
+    print(f"\npuzzle difficulty for a repeat-requesting host: {difficulties}")
+    print(f"puzzle difficulty for a first-time honest host:  {honest.difficulty}")
+
+    # ------------------------------------------------------------------
+    # 4. Preferences -> policy -> hard evidence blocks ad-ware unvoted.
+    # ------------------------------------------------------------------
+    preferences = UserPreferences(
+        minimum_rating=7.5,
+        forbidden_behaviors=frozenset(
+            {Behavior.DISPLAYS_ADS, Behavior.TRACKS_BROWSING}
+        ),
+    )
+    print("\nuser preferences compile to:")
+    for line in preferences.compile().describe():
+        print(f"  - {line}")
+
+    session = decode(
+        server.handle_bytes(
+            "somewhere",
+            encode(
+                LoginRequest(
+                    username="pseudonymous_panda", password="long-passphrase"
+                )
+            ),
+        )
+    ).session
+    machine = Machine("panda-pc", clock=clock)
+    client_config = ClientConfig(
+        address="somewhere",
+        server_address="server",
+        username="pseudonymous_panda",
+        password="long-passphrase",
+        email="unused@nowhere.example",
+    )
+    from repro.client import ReputationClient
+
+    client = ReputationClient(
+        client_config,
+        machine,
+        network,
+        responder=always_deny(),  # never consulted, as we will see
+        policy=preferences.compile(),
+    )
+    client._session = session  # reuse the pseudonym session
+    client.install_hook()
+
+    machine.install(adware)
+    record = machine.run(adware.software_id)
+    votes = server.engine.ratings.vote_count(adware.software_id)
+    print(f"\nlaunching {adware.file_name}: {record.outcome.value} "
+          f"(votes in the system: {votes}, dialogs shown: "
+          f"{client.stats.dialogs_shown})")
+    print("hard evidence blocked it before the first vote ever existed.")
+
+
+if __name__ == "__main__":
+    main()

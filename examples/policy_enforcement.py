@@ -1,0 +1,149 @@
+"""The Sec. 4.2 extensions: signatures, policies, and expert feeds.
+
+A corporate desktop where the execution decision is almost never the
+user's: valid signatures from trusted vendors auto-allow, community
+ratings auto-allow or auto-deny through the policy module, an expert
+feed overrides crowd noise, and only the rare unknown program reaches
+the interactive dialog.
+
+Run:  python examples/policy_enforcement.py
+"""
+
+from repro import (
+    Behavior,
+    ClientConfig,
+    Machine,
+    Network,
+    Policy,
+    ReputationClient,
+    ReputationServer,
+    SimClock,
+    build_executable,
+    days,
+)
+from repro.client import always_deny
+from repro.core import FeedEntry, FeedPublisher
+from repro.core.policy import (
+    MaximumRatingDenyRule,
+    MinimumRatingRule,
+    TrustedSignerRule,
+    UnsignedUnknownRule,
+)
+from repro.crypto import CertificateAuthority, SignatureVerifier
+
+
+def main():
+    clock = SimClock()
+    network = Network()
+    server = ReputationServer(clock=clock, puzzle_difficulty=4)
+    network.register("server", server.handle_bytes)
+
+    # A signing PKI with one trusted vendor.
+    authority = CertificateAuthority("Corporate Root CA", key=b"root-key")
+    microsoft = authority.issue_certificate("Microsoft")
+
+    signed_tool = build_executable(
+        "office-tool.exe", vendor="Microsoft", content=b"office-tool"
+    )
+    signed_tool = build_executable(
+        "office-tool.exe",
+        vendor="Microsoft",
+        content=signed_tool.content,
+        signature=authority.sign(microsoft, signed_tool.content),
+    )
+    community_favorite = build_executable("archiver.exe", vendor="WinZip Computing")
+    adware = build_executable(
+        "coupon-bar.exe",
+        vendor="WhenU",
+        behaviors={Behavior.DISPLAYS_ADS, Behavior.TRACKS_BROWSING},
+    )
+    shilled = build_executable(
+        "optimizer.exe",
+        vendor="Totally Legit Software",
+        behaviors={Behavior.DEGRADES_PERFORMANCE},
+    )
+    mystery = build_executable("mystery.exe", vendor=None)
+
+    # Seed community opinion: favourite rated high, adware rated low,
+    # `shilled` boosted to 9 by a shill ring.
+    engine = server.engine
+    for index in range(6):
+        username = f"member_{index}"
+        engine.enroll_user(username)
+        engine.trust.force_set(username, 15.0)
+        engine.cast_vote(username, community_favorite.software_id, 9)
+        engine.cast_vote(username, adware.software_id, 2)
+    for index in range(6):
+        username = f"shill_{index}"
+        engine.enroll_user(username)
+        engine.cast_vote(username, shilled.software_id, 10)
+    for executable in (community_favorite, adware, shilled):
+        engine.register_software(
+            executable.software_id,
+            executable.file_name,
+            executable.file_size,
+            executable.vendor,
+            executable.version,
+        )
+    clock.advance(days(1))
+    server.run_daily_batch()
+
+    # The corporate policy of Sec. 4.2, plus a low-rating deny rule.
+    policy = Policy(
+        [
+            TrustedSignerRule(),
+            MaximumRatingDenyRule(threshold=4.0, min_votes=2),
+            MinimumRatingRule(threshold=7.5, min_votes=2),
+            UnsignedUnknownRule(),
+        ],
+        name="corporate-desktop",
+    )
+    print("policy rules, in order:")
+    for line in policy.describe():
+        print(f"  - {line}")
+
+    desktop = Machine("corporate-desktop", clock=clock)
+    client = ReputationClient(
+        ClientConfig(
+            address="10.2.0.1",
+            server_address="server",
+            username="employee",
+            password="password!",
+            email="employee@corp.example",
+        ),
+        desktop,
+        network,
+        # If a dialog ever appears, this user denies — watch how rarely
+        # that is needed.
+        responder=always_deny(),
+        policy=policy,
+        signature_verifier=SignatureVerifier([authority]),
+    )
+    client.sign_up()
+    client.install_hook()
+    client.signers.trust_vendor("Microsoft")
+
+    # An expert lab feed corrects the shill ring.
+    lab = FeedPublisher("SecurityLab")
+    lab.publish(FeedEntry(software_id=shilled.software_id, score=2.0))
+    client.subscriptions.subscribe(lab)
+
+    print("\nexecution outcomes:")
+    for executable in (signed_tool, community_favorite, adware, shilled, mystery):
+        sid = desktop.install(executable)
+        record = desktop.run(sid)
+        print(
+            f"  {executable.file_name:<22} -> {record.outcome.value:<7} "
+            f"(via {record.decided_by})"
+        )
+
+    stats = client.stats
+    print(
+        f"\ninteraction: {stats.dialogs_shown} dialog(s) shown; "
+        f"{stats.auto_allowed_signature} signature auto-allow, "
+        f"{stats.policy_allowed} policy allow, {stats.policy_denied} policy deny"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Quickstart: one server, two users, one spyware program.
+
+The minimal end-to-end story of the paper: an experienced user's rating
+stops the next user from ever running the same privacy-invasive program.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Behavior,
+    ClientConfig,
+    Machine,
+    Network,
+    ReputationClient,
+    ReputationServer,
+    SimClock,
+    build_executable,
+    days,
+    score_threshold_responder,
+)
+from repro.client import honest_rater, render_dialog_text, PrompterConfig
+
+
+def main():
+    # One simulated clock drives the whole world.
+    clock = SimClock()
+    network = Network()
+    server = ReputationServer(clock=clock, puzzle_difficulty=4)
+    network.register("reputation.example", server.handle_bytes)
+
+    # The questionable download of the day: a free game that tracks
+    # browsing and shows ads, with a 6000-word EULA nobody reads.
+    freegame = build_executable(
+        "freegame.exe",
+        vendor="BonziSoft",
+        behaviors={Behavior.TRACKS_BROWSING, Behavior.DISPLAYS_ADS},
+        eula_word_count=6000,
+    )
+    print(f"software ID (SHA-1 of content): {freegame.software_id}")
+    print(f"ground-truth classification:    {freegame.taxonomy_cell.name}\n")
+
+    # --- User 1: an early adopter who rates what she runs -----------------
+    alice_pc = Machine("alice-pc", clock=clock)
+    alice = ReputationClient(
+        ClientConfig(
+            address="10.0.0.1",
+            server_address="reputation.example",
+            username="alice",
+            password="correct-horse",
+            email="alice@example.org",
+        ),
+        alice_pc,
+        network,
+        # After 3 runs she gets the rating prompt and reports a 2/10.
+        rating_responder=honest_rater(lambda sid: 2),
+        prompter_config=PrompterConfig(execution_threshold=3, max_prompts_per_week=2),
+    )
+    alice.sign_up()
+    alice.install_hook()
+
+    alice_pc.install(freegame)
+    for day in range(4):
+        record = alice_pc.run(freegame.software_id)
+        print(f"alice day {day}: {record.outcome.value}")
+    print(f"alice submitted votes: {alice.stats.votes_submitted}")
+
+    # The server's nightly batch publishes the score.
+    clock.advance(days(1))
+    server.run_daily_batch()
+    published = server.engine.software_reputation(freegame.software_id)
+    print(f"\npublished reputation: {published.score:.1f}/10 "
+          f"({published.vote_count} vote)\n")
+
+    # --- User 2: arrives later, follows community scores ------------------
+    follow_scores = score_threshold_responder(threshold=5.0)
+
+    def show_and_decide(context):
+        print("the dialog bob sees:")
+        print(render_dialog_text(context))
+        return follow_scores(context)
+
+    bob_pc = Machine("bob-pc", clock=clock)
+    bob = ReputationClient(
+        ClientConfig(
+            address="10.0.0.2",
+            server_address="reputation.example",
+            username="bob",
+            password="battery-staple",
+            email="bob@example.org",
+        ),
+        bob_pc,
+        network,
+        responder=show_and_decide,
+    )
+    bob.sign_up()
+    bob.install_hook()
+
+    bob_pc.install(freegame)
+    record = bob_pc.run(freegame.software_id)
+    print(f"bob's first launch attempt: {record.outcome.value} "
+          f"(decided by {record.decided_by})")
+    print(f"bob infected: {bob_pc.is_infected()}")
+
+
+if __name__ == "__main__":
+    main()

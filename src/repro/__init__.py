@@ -1,0 +1,124 @@
+"""repro — a collaborative software reputation system for blocking
+privacy-invasive software.
+
+Reproduction of Boldt, Carlsson, Larsson & Lindén, *"Preventing
+Privacy-Invasive Software Using Collaborative Reputation Systems"*
+(SDM 2007, co-located with VLDB).  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import (
+        SimClock, Network, ReputationServer, ReputationClient, ClientConfig,
+        Machine, build_executable,
+    )
+
+    clock = SimClock()
+    network = Network()
+    server = ReputationServer(clock=clock)
+    network.register("server", server.handle_bytes)
+
+    machine = Machine("my-pc", clock=clock)
+    client = ReputationClient(
+        ClientConfig(
+            address="10.0.0.1", server_address="server",
+            username="alice", password="s3cret", email="alice@example.org",
+        ),
+        machine, network,
+    )
+    client.sign_up()
+    client.install_hook()
+    # every machine.run(...) now flows through the reputation system
+"""
+
+from .clock import SimClock, minutes, hours, days, weeks
+from .errors import ReproError
+from .core import (
+    ReputationEngine,
+    TrustPolicy,
+    Policy,
+    PolicyVerdict,
+    SoftwareFacts,
+    UserPreferences,
+    ConsentLevel,
+    Consequence,
+    classify,
+    transform_with_reputation,
+    BootstrapCorpus,
+    bootstrap_database,
+    FeedPublisher,
+    FeedEntry,
+)
+from .storage import Database
+from .net import Network, AnonymityNetwork
+from .server import ReputationServer, WebView
+from .client import (
+    ReputationClient,
+    ClientConfig,
+    PrompterConfig,
+    score_threshold_responder,
+    cautious_responder,
+    always_allow,
+    always_deny,
+)
+from .winsim import Machine, Executable, build_executable, Behavior, HookDecision
+from .baselines import AntivirusScanner, AntiSpywareScanner, NoProtection, SignatureDatabase
+from .sim import (
+    CommunityConfig,
+    CommunitySimulation,
+    PopulationConfig,
+    generate_population,
+    true_quality_score,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimClock",
+    "minutes",
+    "hours",
+    "days",
+    "weeks",
+    "ReproError",
+    "ReputationEngine",
+    "TrustPolicy",
+    "Policy",
+    "PolicyVerdict",
+    "SoftwareFacts",
+    "UserPreferences",
+    "ConsentLevel",
+    "Consequence",
+    "classify",
+    "transform_with_reputation",
+    "BootstrapCorpus",
+    "bootstrap_database",
+    "FeedPublisher",
+    "FeedEntry",
+    "Database",
+    "Network",
+    "AnonymityNetwork",
+    "ReputationServer",
+    "WebView",
+    "ReputationClient",
+    "ClientConfig",
+    "PrompterConfig",
+    "score_threshold_responder",
+    "cautious_responder",
+    "always_allow",
+    "always_deny",
+    "Machine",
+    "Executable",
+    "build_executable",
+    "Behavior",
+    "HookDecision",
+    "AntivirusScanner",
+    "AntiSpywareScanner",
+    "NoProtection",
+    "SignatureDatabase",
+    "CommunityConfig",
+    "CommunitySimulation",
+    "PopulationConfig",
+    "generate_population",
+    "true_quality_score",
+    "__version__",
+]

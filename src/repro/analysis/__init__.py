@@ -1,0 +1,11 @@
+"""Analysis: table rendering and the experiment suite (E1-E10)."""
+
+from .tables import render_table, render_taxonomy_matrix, format_score
+from . import experiments
+
+__all__ = [
+    "render_table",
+    "render_taxonomy_matrix",
+    "format_score",
+    "experiments",
+]

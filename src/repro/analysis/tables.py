@@ -1,0 +1,86 @@
+"""ASCII rendering of result tables.
+
+The benchmarks print the same exhibits the paper contains — Table 1,
+Table 2, and the Sec. 4.3 comparison — so a bench run reads like the
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.taxonomy import ConsentLevel, Consequence, TABLE1_CELLS
+
+
+def format_score(score: Optional[float]) -> str:
+    """Uniform rendering of optional scores."""
+    if score is None:
+        return "-"
+    return f"{score:.2f}"
+
+
+def render_table(headers: list, rows: list, title: str = "") -> str:
+    """A plain monospaced table with column auto-sizing."""
+    columns = [str(header) for header in headers]
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in rendered_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    )
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+_CONSENT_LABELS = {
+    ConsentLevel.HIGH: "High consent",
+    ConsentLevel.MEDIUM: "Medium consent",
+    ConsentLevel.LOW: "Low consent",
+}
+_CONSEQUENCE_LABELS = {
+    Consequence.TOLERABLE: "Tolerable",
+    Consequence.MODERATE: "Moderate",
+    Consequence.SEVERE: "Severe",
+}
+
+
+def render_taxonomy_matrix(
+    counts: dict,
+    title: str,
+    consent_rows: Iterable[ConsentLevel] = (
+        ConsentLevel.HIGH,
+        ConsentLevel.MEDIUM,
+        ConsentLevel.LOW,
+    ),
+) -> str:
+    """Render Table 1/Table 2 with per-cell names and counts.
+
+    *counts* maps cell number (1-9) to a count.  Passing only the high and
+    low consent rows renders the Table-2 shape.
+    """
+    headers = ["", *(_CONSEQUENCE_LABELS[c] for c in (
+        Consequence.TOLERABLE, Consequence.MODERATE, Consequence.SEVERE
+    ))]
+    rows = []
+    for consent in consent_rows:
+        row = [_CONSENT_LABELS[consent]]
+        for consequence in (
+            Consequence.TOLERABLE,
+            Consequence.MODERATE,
+            Consequence.SEVERE,
+        ):
+            cell = TABLE1_CELLS[(consent, consequence)]
+            count = counts.get(cell.number, 0)
+            row.append(f"{cell.number}) {cell.name} [{count}]")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

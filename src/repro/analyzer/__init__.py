@@ -1,0 +1,25 @@
+"""Automated runtime behaviour analysis (Sec. 5 future work).
+
+*"we will also examine the possibility of using runtime software analysis
+to automatically collect information about whether software has some
+unwanted behaviour, for instance if it shows advertisements or includes
+an incomplete uninstallation function.  The results from such
+investigations could then be inserted into the reputation system as hard
+evidence on the behaviour for that specific software."*
+
+* :mod:`~repro.analyzer.sandbox` — an instrumented throwaway machine
+  that executes a sample and observes what it actually does;
+* :mod:`~repro.analyzer.evidence` — the hard-evidence store inside the
+  reputation engine, and the analysis service that processes
+  newly-seen software with a configurable lab delay.
+"""
+
+from .sandbox import Sandbox, SandboxReport
+from .evidence import BehaviorEvidenceStore, AnalysisService
+
+__all__ = [
+    "Sandbox",
+    "SandboxReport",
+    "BehaviorEvidenceStore",
+    "AnalysisService",
+]

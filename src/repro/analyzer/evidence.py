@@ -1,0 +1,140 @@
+"""Hard behaviour evidence inside the reputation database.
+
+Sandbox findings are stored per software ID and served to clients as
+"hard evidence" alongside crowd ratings, so the Sec. 4.2 policy rules
+("does not show any advertisements") can fire on observed facts even
+before any user has voted.
+
+:class:`AnalysisService` is the pipeline: newly-seen software is queued,
+and after a configurable lab delay (analysts are not instantaneous) the
+sandbox report lands in the store.  The service plugs into the
+reputation server: every first-seen query enqueues the sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..storage import Column, ColumnType, Database, Schema
+from ..winsim import Behavior, Executable
+from .sandbox import Sandbox, SandboxReport
+
+EVIDENCE_SCHEMA_NAME = "behavior_evidence"
+
+
+def evidence_schema() -> Schema:
+    return Schema(
+        name=EVIDENCE_SCHEMA_NAME,
+        columns=[
+            Column("software_id", ColumnType.TEXT),
+            Column("behaviors", ColumnType.TEXT),  # comma-joined enum values
+            Column("dropped_payloads", ColumnType.INT, check=lambda v: v >= 0),
+            Column("has_uninstaller", ColumnType.BOOL),
+            Column("analyzed_at", ColumnType.INT, check=lambda v: v >= 0),
+        ],
+        primary_key="software_id",
+    )
+
+
+class BehaviorEvidenceStore:
+    """Per-software hard evidence, persisted in the engine database."""
+
+    def __init__(self, database: Database):
+        if database.has_table(EVIDENCE_SCHEMA_NAME):
+            self._table = database.table(EVIDENCE_SCHEMA_NAME)
+        else:
+            self._table = database.create_table(evidence_schema())
+
+    def record(self, report: SandboxReport, analyzed_at: int) -> None:
+        """Store (or refresh) the evidence for one software."""
+        behaviors = ",".join(
+            sorted(behavior.value for behavior in report.observed_behaviors)
+        )
+        self._table.upsert(
+            {
+                "software_id": report.software_id,
+                "behaviors": behaviors,
+                "dropped_payloads": len(report.dropped_payload_ids),
+                "has_uninstaller": report.has_uninstaller,
+                "analyzed_at": analyzed_at,
+            }
+        )
+
+    def behaviors_for(self, software_id: str) -> frozenset:
+        """Observed behaviours, or an empty set if never analyzed."""
+        row = self._table.get_or_none(software_id)
+        if row is None or not row["behaviors"]:
+            return frozenset()
+        return frozenset(
+            Behavior(value) for value in row["behaviors"].split(",")
+        )
+
+    def is_analyzed(self, software_id: str) -> bool:
+        return software_id in self._table
+
+    def report_row(self, software_id: str) -> Optional[dict]:
+        """The raw evidence row (None if not analyzed)."""
+        return self._table.get_or_none(software_id)
+
+    def analyzed_count(self) -> int:
+        return len(self._table)
+
+
+@dataclass
+class _QueuedSample:
+    executable: Executable
+    ready_at: int
+
+
+class AnalysisService:
+    """The automated lab: queue in, evidence out after a delay."""
+
+    def __init__(
+        self,
+        store: BehaviorEvidenceStore,
+        sandbox: Optional[Sandbox] = None,
+        analysis_delay: int = 0,
+    ):
+        if analysis_delay < 0:
+            raise ValueError("analysis delay cannot be negative")
+        self.store = store
+        self.sandbox = sandbox or Sandbox()
+        self.analysis_delay = analysis_delay
+        self._queue: list[_QueuedSample] = []
+        self._seen: set = set()
+        self.samples_processed = 0
+
+    def submit(self, executable: Executable, now: int) -> bool:
+        """Queue a sample for analysis; returns False if already known."""
+        software_id = executable.software_id
+        if software_id in self._seen:
+            return False
+        self._seen.add(software_id)
+        self._queue.append(
+            _QueuedSample(executable=executable, ready_at=now + self.analysis_delay)
+        )
+        return True
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def process_due(self, now: int) -> int:
+        """Run the sandbox on every sample whose delay has elapsed.
+
+        Returns the number of samples analyzed.  Called from the server's
+        daily batch, mirroring how the score aggregation runs.
+        """
+        still_waiting = []
+        processed = 0
+        for sample in self._queue:
+            if sample.ready_at > now:
+                still_waiting.append(sample)
+                continue
+            report = self.sandbox.analyze(sample.executable)
+            self.store.record(report, analyzed_at=now)
+            processed += 1
+        self._queue = still_waiting
+        self.samples_processed += processed
+        return processed

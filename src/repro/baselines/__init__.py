@@ -1,0 +1,33 @@
+"""Baseline countermeasures for the Sec. 4.3 comparison.
+
+All baselines plug into the same execution hook chain as the reputation
+client, so experiment E6 compares mechanisms on identical traffic:
+
+* :mod:`~repro.baselines.nothing` — no protection (the >80 %-infected
+  home-PC baseline);
+* :mod:`~repro.baselines.antivirus` — signature AV: reliable but binary
+  verdicts, an update lag, and no interest in the grey zone;
+* :mod:`~repro.baselines.antispyware` — signature anti-spyware: targets
+  the grey zone too, but the legal constraint (EULA-consented software
+  can sue) forces it to drop medium-consent targets.
+"""
+
+from .base import (
+    Countermeasure,
+    SignatureDatabase,
+    SignatureLab,
+    DefinitionEntry,
+)
+from .nothing import NoProtection
+from .antivirus import AntivirusScanner
+from .antispyware import AntiSpywareScanner
+
+__all__ = [
+    "Countermeasure",
+    "SignatureDatabase",
+    "SignatureLab",
+    "DefinitionEntry",
+    "NoProtection",
+    "AntivirusScanner",
+    "AntiSpywareScanner",
+]

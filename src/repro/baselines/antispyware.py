@@ -1,0 +1,67 @@
+"""Signature-based anti-spyware, with the legal constraint.
+
+Anti-spyware vendors *want* to target the grey zone, but (Sec. 1): the
+behaviour "is stated in the license agreement that the user already has
+accepted, which could lead to law suits ... they may be forced to remove
+certain software from their list of targeted spyware to avoid future
+legal actions, and hence deliver an incomplete product".
+
+With ``legal_constraint=True`` (the realistic setting) the lab drops any
+sample whose EULA obtained at least medium consent unless its behaviour
+is outright severe; with ``False`` it models a fearless vendor — the gap
+between the two is the legally-forced coverage hole the reputation system
+does not have (E6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clock import days, hours
+from ..core.taxonomy import ConsentLevel, Consequence
+from ..winsim import Executable
+from .base import SignatureDatabase, SignatureLab, SignatureScanner
+
+
+def antispyware_targeting_policy(
+    executable: Executable, legal_constraint: bool = True
+) -> Optional[str]:
+    """Label spyware and malware, minus what lawyers forbid."""
+    cell = executable.taxonomy_cell
+    if cell.is_legitimate:
+        return None
+    if legal_constraint:
+        consented = executable.consent.value >= ConsentLevel.MEDIUM.value
+        if consented and executable.consequence is not Consequence.SEVERE:
+            # EULA-covered and not clearly destructive: a lawsuit risk
+            # (the Gator precedent the paper cites), so no definition.
+            return None
+    if cell.is_malware:
+        return "malware"
+    return "spyware"
+
+
+class AntiSpywareScanner(SignatureScanner):
+    """One anti-spyware product installation."""
+
+    name = "antispyware"
+
+    #: Spyware labs historically lagged AV labs.
+    DEFAULT_ANALYSIS_DELAY = days(5)
+    DEFAULT_SYNC_INTERVAL = hours(24)
+
+    def __init__(self, database: SignatureDatabase, sync_interval: int = DEFAULT_SYNC_INTERVAL):
+        super().__init__(database, sync_interval)
+
+    @staticmethod
+    def build_lab(
+        database: SignatureDatabase,
+        analysis_delay: int = DEFAULT_ANALYSIS_DELAY,
+        legal_constraint: bool = True,
+    ) -> SignatureLab:
+        """The anti-spyware vendor lab feeding *database*."""
+
+        def policy(executable: Executable) -> Optional[str]:
+            return antispyware_targeting_policy(executable, legal_constraint)
+
+        return SignatureLab(database, policy, analysis_delay)

@@ -1,0 +1,47 @@
+"""Signature-based anti-virus.
+
+Sec. 1: *"anti-virus software does not focus on spyware, but rather on
+more malicious software types, such as viruses, worms and Trojan
+horses"*.  The AV lab therefore only writes definitions for software in
+the paper's malware region — low consent or severe consequences — and
+deliberately ignores the grey zone, however unpleasant it is.  Verdicts
+are binary (Sec. 4.3's "black and white world").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clock import days, hours
+from ..winsim import Executable
+from .base import SignatureDatabase, SignatureLab, SignatureScanner
+
+
+def antivirus_targeting_policy(executable: Executable) -> Optional[str]:
+    """Label malware samples; ignore spyware and legitimate software."""
+    cell = executable.taxonomy_cell
+    if cell.is_malware:
+        return "malware"
+    return None
+
+
+class AntivirusScanner(SignatureScanner):
+    """One AV product installation (per machine)."""
+
+    name = "antivirus"
+
+    #: Typical lab turnaround for a new sample.
+    DEFAULT_ANALYSIS_DELAY = days(2)
+    #: Definition download interval on the client.
+    DEFAULT_SYNC_INTERVAL = hours(24)
+
+    def __init__(self, database: SignatureDatabase, sync_interval: int = DEFAULT_SYNC_INTERVAL):
+        super().__init__(database, sync_interval)
+
+    @staticmethod
+    def build_lab(
+        database: SignatureDatabase,
+        analysis_delay: int = DEFAULT_ANALYSIS_DELAY,
+    ) -> SignatureLab:
+        """The shared AV vendor lab feeding *database*."""
+        return SignatureLab(database, antivirus_targeting_policy, analysis_delay)

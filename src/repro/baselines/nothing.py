@@ -1,0 +1,22 @@
+"""The no-protection baseline.
+
+Sec. 1: unprotected users "rely entirely on anti-virus software and
+firewalls", or on nothing at all — the population where "well over 80% of
+all home PCs ... are infected".  :class:`NoProtection` passes on
+everything; it exists so experiment harnesses can treat "nothing" as just
+another countermeasure.
+"""
+
+from __future__ import annotations
+
+from ..winsim import ExecutionRequest, HookDecision
+from .base import Countermeasure
+
+
+class NoProtection(Countermeasure):
+    """Allows everything (by passing; the chain default allows)."""
+
+    name = "no-protection"
+
+    def hook(self, request: ExecutionRequest) -> HookDecision:
+        return HookDecision.PASS

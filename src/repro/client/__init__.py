@@ -1,0 +1,44 @@
+"""The client application.
+
+The GUI client of Sec. 3.1, minus the pixels: it intercepts executions
+through the machine's hook chain, consults its local white/black lists,
+queries the server for community ratings, shows the user a decision
+dialog (a programmable responder in this reproduction), enforces an
+optional policy, and schedules rating prompts (after 50 executions, at
+most two per week).
+"""
+
+from .lists import SoftwareList, SignerList
+from .prompter import RatingPrompter, PrompterConfig
+from .ui import (
+    DialogContext,
+    UserAnswer,
+    RatingAnswer,
+    always_allow,
+    always_deny,
+    score_threshold_responder,
+    cautious_responder,
+    honest_rater,
+    never_rates,
+    render_dialog_text,
+)
+from .app import ReputationClient, ClientConfig
+
+__all__ = [
+    "SoftwareList",
+    "SignerList",
+    "RatingPrompter",
+    "PrompterConfig",
+    "DialogContext",
+    "UserAnswer",
+    "RatingAnswer",
+    "always_allow",
+    "always_deny",
+    "score_threshold_responder",
+    "cautious_responder",
+    "honest_rater",
+    "never_rates",
+    "render_dialog_text",
+    "ReputationClient",
+    "ClientConfig",
+]

@@ -1,0 +1,73 @@
+"""Client-side caching of server answers.
+
+The paper contrasts the conventional tools' "vendor database that must
+be updated locally on the client" with the reputation client's live
+queries.  A small TTL cache is the practical middle ground: scores only
+move at the 24-hour batch anyway, so re-querying the server on every
+double-click of the same program buys nothing.  The TTL defaults to the
+aggregation period for exactly that reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..clock import SECONDS_PER_DAY
+from ..protocol import SoftwareInfoResponse
+
+
+@dataclass
+class _CacheEntry:
+    info: SoftwareInfoResponse
+    stored_at: int
+
+
+class ScoreCache:
+    """A TTL cache of :class:`SoftwareInfoResponse` keyed by software ID."""
+
+    def __init__(self, ttl: int = SECONDS_PER_DAY, max_entries: int = 4096):
+        if ttl < 0:
+            raise ValueError("TTL cannot be negative")
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._entries: dict[str, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, software_id: str, now: int) -> Optional[SoftwareInfoResponse]:
+        """A fresh cached answer, or ``None`` (and a recorded miss)."""
+        entry = self._entries.get(software_id)
+        if entry is None or now - entry.stored_at >= self.ttl:
+            if entry is not None:
+                del self._entries[software_id]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.info
+
+    def put(self, info: SoftwareInfoResponse, now: int) -> None:
+        """Cache a server answer (evicting the oldest entry when full)."""
+        if len(self._entries) >= self.max_entries and info.software_id not in self._entries:
+            oldest = min(
+                self._entries, key=lambda key: self._entries[key].stored_at
+            )
+            del self._entries[oldest]
+        self._entries[info.software_id] = _CacheEntry(info, now)
+
+    def invalidate(self, software_id: str) -> None:
+        """Drop one entry (e.g. right after the user voted on it)."""
+        self._entries.pop(software_id, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

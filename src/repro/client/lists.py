@@ -1,0 +1,87 @@
+"""Local white and black lists.
+
+Sec. 3.1: *"The client uses different lists to keep track of which
+software have been marked as safe (the white list) and which have been
+marked as unsafe (the black list).  These two lists are then used for
+automatically allowing or denying software to run, without asking for the
+user's permission every time."*  Entries are keyed by the software ID
+(the SHA-1 of the file content), so a modified binary never inherits a
+white-list decision.
+
+:class:`SignerList` is the Sec. 4.2 extension at the vendor level: users
+"white list and blacklist different companies through their digital
+signatures".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class SoftwareList:
+    """A named set of software IDs with optional per-entry notes."""
+
+    def __init__(self, name: str, entries: Optional[Iterable[str]] = None):
+        self.name = name
+        self._entries: dict[str, str] = {}
+        for software_id in entries or ():
+            self.add(software_id)
+
+    def add(self, software_id: str, note: str = "") -> None:
+        """Add *software_id* (idempotent; the latest note wins)."""
+        self._entries[software_id] = note
+
+    def remove(self, software_id: str) -> None:
+        """Drop an entry (no-op if absent)."""
+        self._entries.pop(software_id, None)
+
+    def __contains__(self, software_id: str) -> bool:
+        return software_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def note_for(self, software_id: str) -> Optional[str]:
+        return self._entries.get(software_id)
+
+    def software_ids(self) -> tuple:
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class SignerList:
+    """Vendor-level trust decisions keyed by certificate subject."""
+
+    def __init__(self):
+        self._trusted: set = set()
+        self._blocked: set = set()
+
+    def trust_vendor(self, subject: str) -> None:
+        """White-list a signing vendor (removes any block)."""
+        self._blocked.discard(subject)
+        self._trusted.add(subject)
+
+    def block_vendor(self, subject: str) -> None:
+        """Black-list a signing vendor (removes any trust)."""
+        self._trusted.discard(subject)
+        self._blocked.add(subject)
+
+    def forget_vendor(self, subject: str) -> None:
+        self._trusted.discard(subject)
+        self._blocked.discard(subject)
+
+    def is_trusted(self, subject: str) -> bool:
+        return subject in self._trusted
+
+    def is_blocked(self, subject: str) -> bool:
+        return subject in self._blocked
+
+    @property
+    def trusted_subjects(self) -> tuple:
+        return tuple(sorted(self._trusted))
+
+    @property
+    def blocked_subjects(self) -> tuple:
+        return tuple(sorted(self._blocked))

@@ -1,0 +1,82 @@
+"""Rating prompt scheduling.
+
+Sec. 3.1 sets both knobs: *"The user is only asked to rate software which
+he has executed more than a predefined number of times, currently 50
+times ... there is also a threshold on the number of software the user is
+asked to rate each week, currently two ratings per week.  So, when the
+user has executed a specific software 50 times she will be asked to rate
+it the next time it is started, unless two software already has been
+rated that week."*
+
+Experiment E8 measures the resulting interruption budget and sweeps both
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import SECONDS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class PrompterConfig:
+    """The two Sec. 3.1 thresholds (paper defaults)."""
+
+    execution_threshold: int = 50
+    max_prompts_per_week: int = 2
+
+    def __post_init__(self):
+        if self.execution_threshold < 1:
+            raise ValueError("execution threshold must be at least 1")
+        if self.max_prompts_per_week < 0:
+            raise ValueError("weekly prompt cap cannot be negative")
+
+
+class RatingPrompter:
+    """Decides when the client interrupts the user for a rating."""
+
+    def __init__(self, config: PrompterConfig | None = None):
+        self.config = config or PrompterConfig()
+        self._rated: set = set()
+        self._declined: set = set()
+        self._prompts_by_week: dict[int, int] = {}
+        self.total_prompts = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def mark_rated(self, software_id: str) -> None:
+        """The user submitted a rating; never prompt for this ID again."""
+        self._rated.add(software_id)
+
+    def mark_declined(self, software_id: str) -> None:
+        """The user refused to rate; do not nag about this ID again."""
+        self._declined.add(software_id)
+
+    def has_rated(self, software_id: str) -> bool:
+        return software_id in self._rated
+
+    def prompts_in_week(self, week_index: int) -> int:
+        return self._prompts_by_week.get(week_index, 0)
+
+    # -- the decision -----------------------------------------------------------
+
+    def should_prompt(self, software_id: str, execution_count: int, now: int) -> bool:
+        """Would a launch right now trigger the rating dialog?
+
+        *execution_count* is the number of runs completed **before** this
+        launch; the paper prompts "the next time it is started" after the
+        50th run, i.e. when the count has reached the threshold.
+        """
+        if software_id in self._rated or software_id in self._declined:
+            return False
+        if execution_count < self.config.execution_threshold:
+            return False
+        week = now // SECONDS_PER_WEEK
+        return self.prompts_in_week(week) < self.config.max_prompts_per_week
+
+    def record_prompt(self, software_id: str, now: int) -> None:
+        """Count an issued prompt against the weekly budget."""
+        week = now // SECONDS_PER_WEEK
+        self._prompts_by_week[week] = self.prompts_in_week(week) + 1
+        self.total_prompts += 1

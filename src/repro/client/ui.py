@@ -1,0 +1,214 @@
+"""The decision dialog, with programmable users.
+
+The real client pops a GUI dialog showing "other users rating and
+comments of the particular software" and asks allow/deny.  Headless, the
+dialog is a data structure (:class:`DialogContext`) and the user is a
+*responder* — a callable returning a :class:`UserAnswer`.  Simulated user
+archetypes (expert, novice...) are built from the factories here by
+:mod:`repro.sim.users`.
+
+Rating prompts work the same way: a rating responder maps a
+:class:`DialogContext` to a :class:`RatingAnswer` (or ``None`` to
+decline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..protocol import SoftwareInfoResponse
+
+
+@dataclass(frozen=True)
+class DialogContext:
+    """What the dialog shows for one pending execution."""
+
+    software_id: str
+    file_name: str
+    vendor: Optional[str]
+    info: Optional[SoftwareInfoResponse]  # None when the server is unreachable
+    execution_count: int
+    timestamp: int
+
+    @property
+    def community_score(self) -> Optional[float]:
+        if self.info is None:
+            return None
+        return self.info.score
+
+    @property
+    def vote_count(self) -> int:
+        if self.info is None:
+            return 0
+        return self.info.vote_count
+
+    @property
+    def comment_texts(self) -> tuple:
+        if self.info is None:
+            return ()
+        return tuple(comment.text for comment in self.info.comments)
+
+
+@dataclass(frozen=True)
+class UserAnswer:
+    """The user's verdict in the allow/deny dialog.
+
+    *remember* adds the software to the white list (if allowed) or black
+    list (if denied), suppressing future dialogs for this ID.
+    """
+
+    allow: bool
+    remember: bool = False
+
+
+@dataclass(frozen=True)
+class RatingAnswer:
+    """The user's input in the rating dialog."""
+
+    score: int
+    comment: Optional[str] = None
+
+
+#: A decision responder: dialog in, answer out.
+Responder = Callable[[DialogContext], UserAnswer]
+
+#: A rating responder: dialog in, rating out (None declines).
+RatingResponder = Callable[[DialogContext], Optional[RatingAnswer]]
+
+
+def render_dialog_text(context: DialogContext) -> str:
+    """The allow/deny dialog as text — what the GUI would show.
+
+    Mirrors the paper's description: the pending program's identity, the
+    community rating, and "other users rating and comments of the
+    particular software", ending with the allow/deny question.
+    """
+    lines = [
+        "=" * 56,
+        "  A program is requesting to run",
+        "=" * 56,
+        f"  Program : {context.file_name}",
+        f"  Vendor  : {context.vendor or '<not provided>'}",
+        f"  ID      : {context.software_id[:16]}...",
+        f"  Runs on this computer so far: {context.execution_count}",
+        "-" * 56,
+    ]
+    if context.info is None:
+        lines.append("  (reputation server unreachable — no community data)")
+    elif context.community_score is None:
+        lines.append("  No community rating yet — you would be among the")
+        lines.append("  first to run this program.")
+    else:
+        lines.append(
+            f"  Community rating: {context.community_score:.1f}/10 "
+            f"({context.vote_count} votes)"
+        )
+        if context.info.vendor_score is not None:
+            lines.append(
+                f"  Vendor rating:    {context.info.vendor_score:.1f}/10"
+            )
+        if context.info.reported_behaviors:
+            lines.append(
+                "  Analyzed behaviour: "
+                + ", ".join(context.info.reported_behaviors)
+            )
+    comments = context.comment_texts[:3]
+    if comments:
+        lines.append("  What other users say:")
+        for text in comments:
+            lines.append(f"    - {text[:70]}")
+    lines.append("-" * 56)
+    lines.append("  Allow this program to run?  [Allow] [Deny]")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Decision responder factories
+# ---------------------------------------------------------------------------
+
+def always_allow(remember: bool = False) -> Responder:
+    """A user who clicks Allow on everything (the unprotected baseline
+    mindset)."""
+
+    def respond(context: DialogContext) -> UserAnswer:
+        return UserAnswer(allow=True, remember=remember)
+
+    return respond
+
+
+def always_deny(remember: bool = False) -> Responder:
+    """A user who trusts nothing (crashes their own system, per Sec. 4.2)."""
+
+    def respond(context: DialogContext) -> UserAnswer:
+        return UserAnswer(allow=False, remember=remember)
+
+    return respond
+
+
+def score_threshold_responder(
+    threshold: float = 5.0,
+    allow_unrated: bool = True,
+    remember: bool = True,
+) -> Responder:
+    """A user who follows the community score.
+
+    Allows software scoring above *threshold*; unrated software falls back
+    to *allow_unrated* (an optimist installs it, a sceptic does not).
+    """
+
+    def respond(context: DialogContext) -> UserAnswer:
+        score = context.community_score
+        if score is None:
+            return UserAnswer(allow=allow_unrated, remember=False)
+        return UserAnswer(allow=score > threshold, remember=remember)
+
+    return respond
+
+
+def cautious_responder(
+    threshold: float = 5.0,
+    min_votes: int = 3,
+    remember: bool = True,
+) -> Responder:
+    """A sceptical expert: needs both a decent score and enough votes.
+
+    Unrated or thinly-rated software is denied — this archetype models the
+    experienced users whose behaviour the paper wants to propagate to
+    novices through the reputation system.
+    """
+
+    def respond(context: DialogContext) -> UserAnswer:
+        score = context.community_score
+        if score is None or context.vote_count < min_votes:
+            return UserAnswer(allow=False, remember=False)
+        return UserAnswer(allow=score > threshold, remember=remember)
+
+    return respond
+
+
+# ---------------------------------------------------------------------------
+# Rating responder factories
+# ---------------------------------------------------------------------------
+
+def honest_rater(true_score_of: Callable[[str], int]) -> RatingResponder:
+    """A user who reports ground truth (via the supplied oracle).
+
+    The simulation passes an oracle derived from the executable's actual
+    behaviours; rating error models (novices, attackers) wrap or replace
+    this.
+    """
+
+    def rate(context: DialogContext) -> Optional[RatingAnswer]:
+        return RatingAnswer(score=true_score_of(context.software_id))
+
+    return rate
+
+
+def never_rates() -> RatingResponder:
+    """A free-rider: uses community data, contributes nothing."""
+
+    def rate(context: DialogContext) -> Optional[RatingAnswer]:
+        return None
+
+    return rate

@@ -1,0 +1,97 @@
+"""Simulated time.
+
+Every layer of the system that needs "now" — account timestamps, the daily
+aggregation batch, trust-factor weekly growth caps, the client's
+two-prompts-per-week throttle — takes a :class:`SimClock` instead of reading
+wall time.  This makes every experiment deterministic and lets benchmarks
+fast-forward weeks of community activity in milliseconds.
+
+Time is measured in integer **seconds** from an arbitrary epoch (0).  Helper
+constants and conversion utilities cover the units the paper talks about:
+24-hour aggregation periods and calendar weeks for trust growth and prompt
+throttling.
+"""
+
+from __future__ import annotations
+
+from .errors import ClockError
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 60 * SECONDS_PER_MINUTE
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+def minutes(n: float) -> int:
+    """Return *n* minutes expressed in seconds."""
+    return int(n * SECONDS_PER_MINUTE)
+
+
+def hours(n: float) -> int:
+    """Return *n* hours expressed in seconds."""
+    return int(n * SECONDS_PER_HOUR)
+
+
+def days(n: float) -> int:
+    """Return *n* days expressed in seconds."""
+    return int(n * SECONDS_PER_DAY)
+
+
+def weeks(n: float) -> int:
+    """Return *n* weeks expressed in seconds."""
+    return int(n * SECONDS_PER_WEEK)
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    >>> clock = SimClock()
+    >>> clock.now()
+    0
+    >>> clock.advance(days(1))
+    >>> clock.day_index()
+    1
+    """
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ClockError("clock cannot start before the epoch")
+        self._now = int(start)
+
+    def now(self) -> int:
+        """Current simulated time, in seconds since the epoch."""
+        return self._now
+
+    def advance(self, delta: int) -> None:
+        """Move time forward by *delta* seconds (must be >= 0)."""
+        if delta < 0:
+            raise ClockError(f"cannot advance time by {delta} seconds")
+        self._now += int(delta)
+
+    def advance_to(self, timestamp: int) -> None:
+        """Jump forward to an absolute *timestamp* (must not be in the past)."""
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = int(timestamp)
+
+    def day_index(self, timestamp: int | None = None) -> int:
+        """Calendar day number (0-based) of *timestamp* (default: now)."""
+        at = self._now if timestamp is None else timestamp
+        return at // SECONDS_PER_DAY
+
+    def week_index(self, timestamp: int | None = None) -> int:
+        """Calendar week number (0-based) of *timestamp* (default: now)."""
+        at = self._now if timestamp is None else timestamp
+        return at // SECONDS_PER_WEEK
+
+    def seconds_until_next_day(self) -> int:
+        """Seconds remaining until the next day boundary (0 if on one)."""
+        remainder = self._now % SECONDS_PER_DAY
+        if remainder == 0:
+            return 0
+        return SECONDS_PER_DAY - remainder
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now}, day={self.day_index()})"

@@ -1,0 +1,221 @@
+"""The daily aggregation batch.
+
+Section 3.2: *"Software ratings are calculated at fixed points in time
+(currently once in every 24-hour period).  During this work users' trust
+factors are taken into consideration when calculating the final score for
+a particular software."*
+
+The final score of a software is the trust-weighted mean of its votes::
+
+    score(s) = sum(trust(u) * vote(u, s)) / sum(trust(u))
+
+Weighting by trust is the paper's first mitigation against incorrect
+information: "as soon as more experienced users give contradicting votes,
+their opinions will carry a higher weight, tipping the balance".
+
+The aggregator supports two modes, compared in experiment E10:
+
+* **full** — recompute every rated software (the paper's nightly batch);
+* **incremental** — recompute only software whose vote set changed since
+  the previous run (the rating book's dirty set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..clock import SECONDS_PER_DAY
+from ..storage import Column, ColumnType, Database, Schema
+from .ratings import RatingBook
+from .trust import TrustLedger
+
+SCORES_SCHEMA_NAME = "software_scores"
+
+
+def scores_schema() -> Schema:
+    return Schema(
+        name=SCORES_SCHEMA_NAME,
+        columns=[
+            Column("software_id", ColumnType.TEXT),
+            Column("score", ColumnType.FLOAT),
+            Column("vote_count", ColumnType.INT, check=lambda value: value >= 0),
+            Column("total_weight", ColumnType.FLOAT, check=lambda value: value >= 0),
+            Column("computed_at", ColumnType.INT, check=lambda value: value >= 0),
+        ],
+        primary_key="software_id",
+    )
+
+
+@dataclass(frozen=True)
+class SoftwareScore:
+    """The published reputation of one software."""
+
+    software_id: str
+    score: float
+    vote_count: int
+    total_weight: float
+    computed_at: int
+
+
+@dataclass(frozen=True)
+class AggregationReport:
+    """What one batch run did (diagnostics and benchmarks)."""
+
+    ran_at: int
+    software_recomputed: int
+    votes_considered: int
+    mode: str
+
+
+class Aggregator:
+    """Computes and publishes trust-weighted software scores."""
+
+    #: The paper's batch period: once every 24 hours.
+    period_seconds = SECONDS_PER_DAY
+
+    def __init__(
+        self,
+        database: Database,
+        ratings: RatingBook,
+        trust: TrustLedger,
+    ):
+        self._ratings = ratings
+        self._trust = trust
+        if database.has_table(SCORES_SCHEMA_NAME):
+            self._scores = database.table(SCORES_SCHEMA_NAME)
+        else:
+            self._scores = database.create_table(scores_schema())
+        self._last_run: Optional[int] = None
+
+    # -- reading scores ------------------------------------------------------
+
+    def score_of(self, software_id: str) -> Optional[SoftwareScore]:
+        """The last published score of *software_id*, or ``None`` if unrated."""
+        row = self._scores.get_or_none(software_id)
+        if row is None:
+            return None
+        return SoftwareScore(
+            software_id=row["software_id"],
+            score=row["score"],
+            vote_count=row["vote_count"],
+            total_weight=row["total_weight"],
+            computed_at=row["computed_at"],
+        )
+
+    def all_scores(self) -> list:
+        return [
+            SoftwareScore(
+                software_id=row["software_id"],
+                score=row["score"],
+                vote_count=row["vote_count"],
+                total_weight=row["total_weight"],
+                computed_at=row["computed_at"],
+            )
+            for row in self._scores.all()
+        ]
+
+    def scored_count(self) -> int:
+        return len(self._scores)
+
+    def top_scores(self, limit: int = 10, min_votes: int = 1) -> list:
+        """Best-rated software, highest first."""
+        rows = self._scores.select(
+            predicate=lambda row: row["vote_count"] >= min_votes,
+            order_by="score",
+            descending=True,
+            limit=limit,
+        )
+        return [self._row_to_score(row) for row in rows]
+
+    def bottom_scores(self, limit: int = 10, min_votes: int = 1) -> list:
+        """Worst-rated software — the community's spyware warning list."""
+        rows = self._scores.select(
+            predicate=lambda row: row["vote_count"] >= min_votes,
+            order_by="score",
+            descending=False,
+            limit=limit,
+        )
+        return [self._row_to_score(row) for row in rows]
+
+    @staticmethod
+    def _row_to_score(row: dict) -> "SoftwareScore":
+        return SoftwareScore(
+            software_id=row["software_id"],
+            score=row["score"],
+            vote_count=row["vote_count"],
+            total_weight=row["total_weight"],
+            computed_at=row["computed_at"],
+        )
+
+    @property
+    def last_run(self) -> Optional[int]:
+        return self._last_run
+
+    def is_due(self, now: int) -> bool:
+        """True if a batch should run (period elapsed or never run)."""
+        if self._last_run is None:
+            return True
+        return now - self._last_run >= self.period_seconds
+
+    # -- running the batch ------------------------------------------------------
+
+    def run(self, now: int, incremental: bool = False) -> AggregationReport:
+        """Execute the batch and publish scores.
+
+        *incremental* restricts recomputation to software with new votes
+        since the last run; a full run also drains the dirty set so the
+        two modes compose.
+        """
+        if incremental:
+            targets = self._ratings.drain_dirty()
+            mode = "incremental"
+        else:
+            targets = self._ratings.rated_software_ids()
+            self._ratings.drain_dirty()
+            mode = "full"
+        votes_considered = 0
+        for software_id in sorted(targets):
+            votes = self._ratings.votes_for(software_id)
+            votes_considered += len(votes)
+            score = self._weighted_score(votes)
+            if score is None:
+                continue
+            value, total_weight = score
+            self._scores.upsert(
+                {
+                    "software_id": software_id,
+                    "score": value,
+                    "vote_count": len(votes),
+                    "total_weight": total_weight,
+                    "computed_at": now,
+                }
+            )
+        self._last_run = now
+        return AggregationReport(
+            ran_at=now,
+            software_recomputed=len(targets),
+            votes_considered=votes_considered,
+            mode=mode,
+        )
+
+    def _weighted_score(self, votes: list) -> Optional[tuple]:
+        """Trust-weighted mean of *votes*; ``None`` if there are none."""
+        if not votes:
+            return None
+        weighted_sum = 0.0
+        total_weight = 0.0
+        for vote in votes:
+            weight = self._trust.weight_of(vote.username)
+            weighted_sum += weight * vote.score
+            total_weight += weight
+        if total_weight <= 0:
+            return None
+        return weighted_sum / total_weight, total_weight
+
+
+def unweighted_mean(votes: list) -> Optional[float]:
+    """Plain mean, used by ablations that switch trust weighting off."""
+    if not votes:
+        return None
+    return sum(vote.score for vote in votes) / len(votes)

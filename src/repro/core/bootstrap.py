@@ -1,0 +1,118 @@
+"""Database bootstrapping.
+
+The second Sec. 2.1 mitigation against sparse, unreliable early data:
+*"use bootstrapping of the program database at an early stage ... copying
+the information from an existing, more or less reliable, software rating
+database ... That way, it would be possible to ensure that no common
+program has few or zero votes"*.
+
+A :class:`BootstrapCorpus` is such an external database: per software, a
+prior score and a weight expressing how many effective votes the prior is
+worth.  :func:`bootstrap_database` injects it as votes from dedicated
+pseudo-users whose trust factor encodes the weight, so the normal
+aggregation pipeline needs no special case — later real votes dilute the
+prior exactly as the paper intends ("their votes one out of many, rather
+than the one and only").
+
+Experiment E7 compares cold-start coverage with and without this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..errors import ServerError
+from .ratings import MAX_SCORE, MIN_SCORE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .reputation import ReputationEngine
+
+#: Username prefix for bootstrap pseudo-users; real registration rejects it.
+BOOTSTRAP_USER_PREFIX = "__bootstrap__"
+
+
+@dataclass(frozen=True)
+class BootstrapEntry:
+    """One software's prior from the external corpus."""
+
+    software_id: str
+    file_name: str
+    file_size: int
+    vendor: Optional[str]
+    version: Optional[str]
+    prior_score: float
+    #: Effective vote weight of the prior (how hard it is to displace).
+    weight: float = 10.0
+
+    def __post_init__(self):
+        if not (MIN_SCORE <= self.prior_score <= MAX_SCORE):
+            raise ServerError(
+                f"prior score {self.prior_score} outside "
+                f"[{MIN_SCORE}, {MAX_SCORE}]"
+            )
+        if self.weight <= 0:
+            raise ServerError("bootstrap weight must be positive")
+
+
+@dataclass(frozen=True)
+class BootstrapCorpus:
+    """An external software-rating database to copy in."""
+
+    source_name: str
+    entries: tuple
+
+    @staticmethod
+    def from_iterable(source_name: str, entries: Iterable) -> "BootstrapCorpus":
+        return BootstrapCorpus(source_name=source_name, entries=tuple(entries))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def bootstrap_database(
+    engine: "ReputationEngine",
+    corpus: BootstrapCorpus,
+    now: int,
+) -> int:
+    """Copy *corpus* into the reputation database; returns entries applied.
+
+    Each entry becomes (a) a software-registry record and (b) one vote by
+    a per-entry pseudo-user whose trust factor equals the entry weight.
+    The pseudo-user is enrolled with a signup timestamp far enough in the
+    past that the weekly growth cap admits the weight — bootstrapping
+    happens "preferably before the system is put to use", so the prior
+    corpus has already earned its credibility elsewhere.
+
+    Entries whose software already has votes are skipped: bootstrap is a
+    cold-start device, never an override of live community data.
+    """
+    applied = 0
+    for position, entry in enumerate(corpus.entries):
+        if engine.ratings.vote_count(entry.software_id) > 0:
+            continue
+        engine.vendors.register(
+            software_id=entry.software_id,
+            file_name=entry.file_name,
+            file_size=entry.file_size,
+            vendor=entry.vendor,
+            version=entry.version,
+            now=now,
+        )
+        pseudo_user = f"{BOOTSTRAP_USER_PREFIX}{corpus.source_name}:{position}"
+        if not engine.trust.is_enrolled(pseudo_user):
+            # The prior corpus earned its credibility before this system
+            # existed, so its weight is set directly rather than grown
+            # through the weekly cap.
+            engine.trust.enroll(pseudo_user, now)
+            engine.trust.force_set(pseudo_user, entry.weight)
+        rounded = int(round(entry.prior_score))
+        rounded = min(max(rounded, MIN_SCORE), MAX_SCORE)
+        engine.ratings.cast(pseudo_user, entry.software_id, rounded, now)
+        applied += 1
+    return applied
+
+
+def is_bootstrap_user(username: str) -> bool:
+    """True if *username* is a bootstrap pseudo-user."""
+    return username.startswith(BOOTSTRAP_USER_PREFIX)

@@ -1,0 +1,200 @@
+"""Administrator moderation of comments.
+
+The third Sec. 2.1 mitigation: *"one or more administrators keeping track
+of all ratings and comments going into the system, verifying the validity
+and quality of the comments prior to allowing other users to view them"*.
+The paper also notes the cost: manual work that grows with the user base
+and delays vote/comment visibility.  Both sides are modelled — the queue
+itself here, and the review *latency* it induces is measured in E5's
+moderation ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ModerationError
+from .comments import (
+    STATUS_APPROVED,
+    STATUS_PENDING,
+    STATUS_REJECTED,
+    Comment,
+    CommentBoard,
+)
+
+
+class ModerationDecision(Enum):
+    """An administrator's verdict on a pending comment."""
+
+    APPROVE = "approve"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class ModerationAction:
+    """An audit-log entry for one moderation decision."""
+
+    comment_id: int
+    admin: str
+    decision: ModerationDecision
+    timestamp: int
+
+
+class ModerationQueue:
+    """Work queue for administrators over a moderated comment board."""
+
+    def __init__(self, board: CommentBoard):
+        if not board.moderated:
+            raise ModerationError(
+                "moderation queue requires a moderated comment board"
+            )
+        self._board = board
+        self.audit_log: list[ModerationAction] = []
+
+    def pending(self) -> list:
+        """Comments awaiting review, oldest first."""
+        return self._board.pending_comments()
+
+    def backlog_size(self) -> int:
+        return len(self._board.pending_comments())
+
+    def decide(
+        self,
+        comment_id: int,
+        admin: str,
+        decision: ModerationDecision,
+        now: int,
+    ) -> Comment:
+        """Apply *decision* to a pending comment."""
+        comment = self._board.get_comment(comment_id)
+        if comment.status != STATUS_PENDING:
+            raise ModerationError(
+                f"comment {comment_id} is {comment.status}, not pending"
+            )
+        new_status = (
+            STATUS_APPROVED
+            if decision is ModerationDecision.APPROVE
+            else STATUS_REJECTED
+        )
+        updated = self._board.set_status(comment_id, new_status)
+        self.audit_log.append(
+            ModerationAction(comment_id, admin, decision, now)
+        )
+        return updated
+
+    def approve(self, comment_id: int, admin: str, now: int) -> Comment:
+        return self.decide(comment_id, admin, ModerationDecision.APPROVE, now)
+
+    def reject(self, comment_id: int, admin: str, now: int) -> Comment:
+        return self.decide(comment_id, admin, ModerationDecision.REJECT, now)
+
+    def review_all(
+        self,
+        admin: str,
+        now: int,
+        is_acceptable,
+    ) -> tuple:
+        """Batch-review the whole backlog with predicate *is_acceptable*.
+
+        Returns ``(approved_count, rejected_count)``.  This is how the
+        simulation models an admin working through the queue once per
+        review period.
+        """
+        approved = 0
+        rejected = 0
+        for comment in self.pending():
+            if is_acceptable(comment):
+                self.approve(comment.comment_id, admin, now)
+                approved += 1
+            else:
+                self.reject(comment.comment_id, admin, now)
+                rejected += 1
+        return approved, rejected
+
+
+class AutoModerator:
+    """Heuristic pre-screening of the moderation queue.
+
+    The paper's objection to moderation is cost: "once the number of
+    users has reached a certain level, this would require a lot of manual
+    work".  An automatic pre-screen answers it the way production systems
+    do — decide the obvious cases, escalate only the ambiguous ones:
+
+    * comments that look like behaviour reports are auto-approved;
+    * comments that look like spam/shouting are auto-rejected;
+    * everything else stays pending for a human.
+
+    Scoring is deliberately simple and inspectable: shouting ratio,
+    marketing vocabulary, repetition, and the presence of concrete
+    behaviour words.
+    """
+
+    SPAM_WORDS = (
+        "buy now", "free money", "click here", "limited offer",
+        "100% safe", "totally safe", "best ever", "!!!",
+    )
+    REPORT_WORDS = (
+        "observed", "ads", "popup", "pop-up", "tracks", "tracking",
+        "uninstall", "startup", "slow", "homepage", "bundle", "spyware",
+        "keylog", "works fine", "no surprises",
+    )
+
+    def __init__(
+        self,
+        queue: ModerationQueue,
+        reject_threshold: float = 2.0,
+        approve_threshold: float = -1.0,
+    ):
+        if approve_threshold >= reject_threshold:
+            raise ModerationError(
+                "approve threshold must sit below the reject threshold"
+            )
+        self.queue = queue
+        self.reject_threshold = reject_threshold
+        self.approve_threshold = approve_threshold
+
+    def spam_score(self, text: str) -> float:
+        """Higher is spammier; negative means report-like."""
+        lowered = text.lower()
+        score = 0.0
+        for phrase in self.SPAM_WORDS:
+            if phrase in lowered:
+                score += 1.5
+        letters = [c for c in text if c.isalpha()]
+        if letters:
+            caps_ratio = sum(1 for c in letters if c.isupper()) / len(letters)
+            if caps_ratio > 0.5:
+                score += 1.0
+        words = lowered.split()
+        if words and len(set(words)) / len(words) < 0.5:
+            score += 1.0  # heavy repetition
+        for phrase in self.REPORT_WORDS:
+            if phrase in lowered:
+                score -= 1.0
+        return score
+
+    def prescreen(self, now: int) -> dict:
+        """Run over the backlog; returns decision counts.
+
+        ``{"auto_approved": n, "auto_rejected": n, "escalated": n}`` —
+        escalated comments remain pending for the human queue.
+        """
+        auto_approved = 0
+        auto_rejected = 0
+        escalated = 0
+        for comment in self.queue.pending():
+            score = self.spam_score(comment.text)
+            if score >= self.reject_threshold:
+                self.queue.reject(comment.comment_id, "auto-moderator", now)
+                auto_rejected += 1
+            elif score <= self.approve_threshold:
+                self.queue.approve(comment.comment_id, "auto-moderator", now)
+                auto_approved += 1
+            else:
+                escalated += 1
+        return {
+            "auto_approved": auto_approved,
+            "auto_rejected": auto_rejected,
+            "escalated": escalated,
+        }

@@ -1,0 +1,158 @@
+"""The reputation engine: one facade over the core mechanisms.
+
+This is what the server (and the tests/benchmarks) drive.  It wires the
+trust ledger, rating book, comment board, aggregator, and vendor book over
+one :class:`~repro.storage.Database`, and implements the cross-cutting
+behaviours the paper describes:
+
+* remarks on a comment move the *comment author's* trust factor
+  (Sec. 2.1's reliability profile / Sec. 3.2's trust factors);
+* the daily batch publishes trust-weighted software scores (Sec. 3.2);
+* vendor reputations derive from published software scores (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..clock import SimClock
+from ..storage import Database
+from .aggregation import AggregationReport, Aggregator, SoftwareScore
+from .comments import Comment, CommentBoard, Remark
+from .moderation import ModerationQueue
+from .ratings import RatingBook, Vote
+from .trust import TrustLedger, TrustPolicy
+from .vendor import SoftwareRecord, VendorBook, VendorScore
+
+
+class ReputationEngine:
+    """The complete server-side reputation mechanism."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        clock: Optional[SimClock] = None,
+        trust_policy: Optional[TrustPolicy] = None,
+        moderated_comments: bool = False,
+    ):
+        self.db = database or Database()
+        self.clock = clock or SimClock()
+        self.trust = TrustLedger(self.db, trust_policy)
+        self.ratings = RatingBook(self.db)
+        self.comments = CommentBoard(self.db, moderated=moderated_comments)
+        self.aggregator = Aggregator(self.db, self.ratings, self.trust)
+        self.vendors = VendorBook(self.db, self.aggregator)
+        self.moderation: Optional[ModerationQueue] = (
+            ModerationQueue(self.comments) if moderated_comments else None
+        )
+
+    # -- membership ---------------------------------------------------------
+
+    def enroll_user(self, username: str) -> float:
+        """Open a trust ledger entry for a (pre-authenticated) new user."""
+        return self.trust.enroll(username, self.clock.now())
+
+    # -- software -------------------------------------------------------------
+
+    def register_software(
+        self,
+        software_id: str,
+        file_name: str,
+        file_size: int,
+        vendor: Optional[str] = None,
+        version: Optional[str] = None,
+    ) -> SoftwareRecord:
+        """Idempotently add an executable to the registry."""
+        return self.vendors.register(
+            software_id=software_id,
+            file_name=file_name,
+            file_size=file_size,
+            vendor=vendor,
+            version=version,
+            now=self.clock.now(),
+        )
+
+    # -- feedback ---------------------------------------------------------------
+
+    def cast_vote(self, username: str, software_id: str, score: int) -> Vote:
+        """Record a 1–10 vote (one per user per software)."""
+        return self.ratings.cast(username, software_id, score, self.clock.now())
+
+    def add_comment(self, username: str, software_id: str, text: str) -> Comment:
+        """Post a comment (pending if moderation is on)."""
+        return self.comments.add_comment(
+            username, software_id, text, self.clock.now()
+        )
+
+    def add_remark(self, username: str, comment_id: int, positive: bool) -> Remark:
+        """Grade a comment and adjust the author's trust factor.
+
+        This is the feedback loop of Sec. 2.1's first mitigation: remark
+        feedback builds "a reliability profile for each user ... making
+        the votes and comments of well-known, reliable users more visible
+        and influential".
+        """
+        remark = self.comments.add_remark(
+            username, comment_id, positive, self.clock.now()
+        )
+        author = self.comments.get_comment(comment_id).username
+        policy = self.trust.policy
+        if positive:
+            self.trust.credit(
+                author, policy.credit_per_positive_remark, self.clock.now()
+            )
+        else:
+            self.trust.debit(author, policy.debit_per_negative_remark)
+        return remark
+
+    def ranked_comments(self, software_id: str) -> list:
+        """Visible comments, most credible first.
+
+        Sec. 2.1: the reliability profile makes "the votes and comments
+        of well-known, reliable users more visible and influential".
+        Rank weight is the author's trust factor scaled by the comment's
+        own remark balance; ties break on age (older first).
+        """
+        comments = self.comments.comments_for(software_id)
+
+        def weight(comment) -> float:
+            author_trust = self.trust.weight_of(comment.username)
+            return author_trust * (1.0 + max(0, comment.helpfulness))
+
+        return sorted(
+            comments,
+            key=lambda comment: (-weight(comment), comment.timestamp),
+        )
+
+    # -- published reputations -------------------------------------------------------
+
+    def run_daily_aggregation(self, incremental: bool = False) -> AggregationReport:
+        """Run the 24-hour batch at the current simulated time."""
+        return self.aggregator.run(self.clock.now(), incremental=incremental)
+
+    def maybe_run_aggregation(self) -> Optional[AggregationReport]:
+        """Run the batch only if the 24-hour period has elapsed."""
+        if self.aggregator.is_due(self.clock.now()):
+            return self.run_daily_aggregation()
+        return None
+
+    def software_reputation(self, software_id: str) -> Optional[SoftwareScore]:
+        """The published score, or ``None`` for unrated software."""
+        return self.aggregator.score_of(software_id)
+
+    def vendor_reputation(self, vendor: str) -> Optional[VendorScore]:
+        """Derived vendor score, or ``None`` if nothing rated yet."""
+        return self.vendors.vendor_score(vendor)
+
+    # -- statistics ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Headline numbers (the paper quotes "well over 2000 rated
+        software programs")."""
+        return {
+            "registered_software": self.vendors.total_software(),
+            "rated_software": self.aggregator.scored_count(),
+            "total_votes": self.ratings.total_votes(),
+            "total_comments": self.comments.total_comments(),
+            "members": len(self.trust.all_members()),
+        }

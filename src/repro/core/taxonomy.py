@@ -1,0 +1,178 @@
+"""The PIS classification (Table 1) and its reputation transformation (Table 2).
+
+Boldt & Carlsson classify software on two axes:
+
+* **user's informed consent** — high, medium, low;
+* **negative user consequences** — tolerable, moderate, severe.
+
+The 3 × 3 grid names nine species (Table 1, p. 144)::
+
+                     tolerable      moderate        severe
+    high consent     legitimate     adverse         double agents
+    medium consent   semi-transp.   unsolicited     semi-parasites
+    low consent      covert         trojans         parasites
+
+*Spyware* (privacy-invasive software in the grey zone) is exactly the set
+with medium consent or moderate consequences that is neither clearly
+legitimate nor clearly malware.
+
+Section 4.1 argues that a deployed reputation system eliminates the medium
+consent level: once users can read other users' experiences before running
+a program, consent is either genuinely informed (high) or the software is
+deceitful (low).  Table 2 (p. 151) is the resulting 2 × 3 grid.  The
+:func:`transform_with_reputation` function implements that collapse and is
+the subject of experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ConsentLevel(Enum):
+    """User's informed consent, as defined by the paper."""
+
+    HIGH = 3
+    MEDIUM = 2
+    LOW = 1
+
+    def __lt__(self, other: "ConsentLevel") -> bool:
+        return self.value < other.value
+
+
+class Consequence(Enum):
+    """Degree of negative user consequences."""
+
+    TOLERABLE = 1
+    MODERATE = 2
+    SEVERE = 3
+
+    def __lt__(self, other: "Consequence") -> bool:
+        return self.value < other.value
+
+
+@dataclass(frozen=True)
+class TaxonomyCell:
+    """One cell of the classification grid."""
+
+    number: int
+    name: str
+    consent: ConsentLevel
+    consequence: Consequence
+
+    @property
+    def is_legitimate(self) -> bool:
+        """Cell 1: high consent and tolerable consequences."""
+        return (
+            self.consent is ConsentLevel.HIGH
+            and self.consequence is Consequence.TOLERABLE
+        )
+
+    @property
+    def is_malware(self) -> bool:
+        """Low consent **or** severe consequences (paper, Sec. 1.1)."""
+        return (
+            self.consent is ConsentLevel.LOW
+            or self.consequence is Consequence.SEVERE
+        )
+
+    @property
+    def is_spyware(self) -> bool:
+        """The grey zone: everything that is neither legitimate nor malware."""
+        return not self.is_legitimate and not self.is_malware
+
+
+#: Table 1 cells, keyed by (consent, consequence), numbered as in the paper.
+TABLE1_CELLS: dict = {
+    (ConsentLevel.HIGH, Consequence.TOLERABLE): TaxonomyCell(
+        1, "Legitimate software", ConsentLevel.HIGH, Consequence.TOLERABLE
+    ),
+    (ConsentLevel.HIGH, Consequence.MODERATE): TaxonomyCell(
+        2, "Adverse software", ConsentLevel.HIGH, Consequence.MODERATE
+    ),
+    (ConsentLevel.HIGH, Consequence.SEVERE): TaxonomyCell(
+        3, "Double agents", ConsentLevel.HIGH, Consequence.SEVERE
+    ),
+    (ConsentLevel.MEDIUM, Consequence.TOLERABLE): TaxonomyCell(
+        4, "Semi-transparent software", ConsentLevel.MEDIUM, Consequence.TOLERABLE
+    ),
+    (ConsentLevel.MEDIUM, Consequence.MODERATE): TaxonomyCell(
+        5, "Unsolicited software", ConsentLevel.MEDIUM, Consequence.MODERATE
+    ),
+    (ConsentLevel.MEDIUM, Consequence.SEVERE): TaxonomyCell(
+        6, "Semi-parasites", ConsentLevel.MEDIUM, Consequence.SEVERE
+    ),
+    (ConsentLevel.LOW, Consequence.TOLERABLE): TaxonomyCell(
+        7, "Covert software", ConsentLevel.LOW, Consequence.TOLERABLE
+    ),
+    (ConsentLevel.LOW, Consequence.MODERATE): TaxonomyCell(
+        8, "Trojans", ConsentLevel.LOW, Consequence.MODERATE
+    ),
+    (ConsentLevel.LOW, Consequence.SEVERE): TaxonomyCell(
+        9, "Parasites", ConsentLevel.LOW, Consequence.SEVERE
+    ),
+}
+
+#: Table 2 cells: the grid after the medium-consent row collapses.
+TABLE2_CELLS: dict = {
+    key: cell
+    for key, cell in TABLE1_CELLS.items()
+    if cell.consent is not ConsentLevel.MEDIUM
+}
+
+
+def classify(consent: ConsentLevel, consequence: Consequence) -> TaxonomyCell:
+    """Return the Table-1 cell for a (consent, consequence) pair."""
+    return TABLE1_CELLS[(consent, consequence)]
+
+
+def transform_with_reputation(
+    cell: TaxonomyCell,
+    reputation_informs_user: bool,
+    deceitful: bool,
+) -> TaxonomyCell:
+    """Re-classify software under a deployed reputation system (Table 2).
+
+    The paper (Sec. 4.1): *"all PIS that previously have suffered from a
+    medium user consent level, now instead would be transformed into either
+    a high consent level (i.e. legitimate software) or a low consent level
+    (i.e. malware)"*.
+
+    * If the user was informed by the reputation system and the software is
+      not deceitful, consent rises to HIGH — installing it becomes an
+      informed decision.
+    * If the software is deceitful (hides behaviour, evades ratings), it is
+      treated as LOW consent, i.e. malware handled by anti-malware tools.
+    * Without reputation information (*reputation_informs_user* False,
+      e.g. an unrated program on a system with no coverage) the cell is
+      unchanged.
+
+    High- and low-consent software is unaffected: the transformation only
+    resolves the grey zone.
+    """
+    if cell.consent is not ConsentLevel.MEDIUM:
+        return cell
+    if deceitful:
+        return TABLE1_CELLS[(ConsentLevel.LOW, cell.consequence)]
+    if reputation_informs_user:
+        return TABLE1_CELLS[(ConsentLevel.HIGH, cell.consequence)]
+    return cell
+
+
+def cell_by_number(number: int) -> TaxonomyCell:
+    """Look up a cell by its paper numbering (1–9)."""
+    for cell in TABLE1_CELLS.values():
+        if cell.number == number:
+            return cell
+    raise KeyError(f"no taxonomy cell numbered {number}")
+
+
+def spyware_cells() -> list:
+    """The grey-zone cells (medium consent or moderate consequence)."""
+    return [cell for cell in TABLE1_CELLS.values() if cell.is_spyware]
+
+
+def malware_cells() -> list:
+    """Cells the paper treats as malware."""
+    return [cell for cell in TABLE1_CELLS.values() if cell.is_malware]

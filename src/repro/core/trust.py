@@ -1,0 +1,159 @@
+"""User trust factors.
+
+Section 3.2 fixes the trust-factor mechanics precisely:
+
+* new users start at trust **1** (also the minimum);
+* the maximum is **100**;
+* growth is capped at **5 units per week of membership** — "you can reach
+  a maximum trust factor of 5 the first week you are a member, 10 the
+  second week, and so on.  Thereby preventing any user from gaining a high
+  trust factor and a high influence without proving themselves worthy of
+  it over a relatively long period of time."
+
+Trust moves in response to remark feedback on a user's comments (positive
+remarks earn credit, negative remarks cost it); the ledger only enforces
+the bounds — what earns credit is decided by the reputation engine.
+
+Experiment E4 sweeps these parameters and ablates the weekly cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import SECONDS_PER_WEEK
+from ..errors import ServerError
+from ..storage import Column, ColumnType, Database, Schema
+
+
+@dataclass(frozen=True)
+class TrustPolicy:
+    """The tunable trust-factor parameters (paper defaults)."""
+
+    initial: float = 1.0
+    minimum: float = 1.0
+    maximum: float = 100.0
+    max_growth_per_week: float = 5.0
+    #: Trust credit for one positive remark on the user's comment.
+    credit_per_positive_remark: float = 0.5
+    #: Trust debit for one negative remark on the user's comment.
+    debit_per_negative_remark: float = 0.5
+
+    def __post_init__(self):
+        if self.minimum > self.initial or self.initial > self.maximum:
+            raise ValueError(
+                "trust policy requires minimum <= initial <= maximum"
+            )
+        if self.max_growth_per_week < 0:
+            raise ValueError("max_growth_per_week cannot be negative")
+
+    def cap_at(self, signup_ts: int, now: int) -> float:
+        """Highest trust reachable *now* for a user who joined at *signup_ts*.
+
+        The paper counts the first week as week one: trust may reach 5
+        during it, 10 during the second, and so on.
+        """
+        if now < signup_ts:
+            raise ServerError("membership cannot start in the future")
+        weeks_of_membership = (now - signup_ts) // SECONDS_PER_WEEK + 1
+        cap = self.initial - 1.0 + self.max_growth_per_week * weeks_of_membership
+        # An explicitly uncapped policy (cap = inf) falls through to maximum.
+        return min(cap, self.maximum)
+
+
+TRUST_SCHEMA_NAME = "trust_factors"
+
+
+def trust_schema() -> Schema:
+    """Schema of the trust-factor table."""
+    return Schema(
+        name=TRUST_SCHEMA_NAME,
+        columns=[
+            Column("username", ColumnType.TEXT),
+            Column("trust", ColumnType.FLOAT, check=lambda value: value >= 0),
+            Column("signup_ts", ColumnType.INT, check=lambda value: value >= 0),
+        ],
+        primary_key="username",
+    )
+
+
+class TrustLedger:
+    """Trust-factor bookkeeping over the database."""
+
+    def __init__(self, database: Database, policy: TrustPolicy | None = None):
+        self.policy = policy or TrustPolicy()
+        if database.has_table(TRUST_SCHEMA_NAME):
+            self._table = database.table(TRUST_SCHEMA_NAME)
+        else:
+            self._table = database.create_table(trust_schema())
+
+    def enroll(self, username: str, signup_ts: int) -> float:
+        """Open a ledger entry for a new member at the initial trust."""
+        self._table.insert(
+            {
+                "username": username,
+                "trust": self.policy.initial,
+                "signup_ts": signup_ts,
+            }
+        )
+        return self.policy.initial
+
+    def is_enrolled(self, username: str) -> bool:
+        return username in self._table
+
+    def get(self, username: str) -> float:
+        """Current trust factor of *username*."""
+        return self._table.get(username)["trust"]
+
+    def signup_timestamp(self, username: str) -> int:
+        return self._table.get(username)["signup_ts"]
+
+    def credit(self, username: str, amount: float, now: int) -> float:
+        """Raise trust by *amount*, clipped to the weekly-growth cap.
+
+        Returns the new trust value.  Credits beyond the cap are simply
+        lost — the paper's growth limitation, not a deferred balance.
+        """
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        row = self._table.get(username)
+        cap = self.policy.cap_at(row["signup_ts"], now)
+        new_trust = min(row["trust"] + amount, cap)
+        new_trust = max(new_trust, row["trust"])  # cap never *lowers* trust
+        self._table.update(username, {"trust": new_trust})
+        return new_trust
+
+    def debit(self, username: str, amount: float) -> float:
+        """Lower trust by *amount*, floored at the policy minimum."""
+        if amount < 0:
+            raise ValueError("debit amount must be non-negative")
+        row = self._table.get(username)
+        new_trust = max(row["trust"] - amount, self.policy.minimum)
+        self._table.update(username, {"trust": new_trust})
+        return new_trust
+
+    def force_set(self, username: str, trust: float) -> None:
+        """Set trust directly, bypassing the growth cap (bounds still apply).
+
+        Reserved for bootstrap pseudo-users — the external corpus earned
+        its credibility before this system existed (Sec. 2.1) — and for
+        test fixtures.  Normal trust movement goes through
+        :meth:`credit` / :meth:`debit`.
+        """
+        clamped = min(max(trust, self.policy.minimum), self.policy.maximum)
+        self._table.update(username, {"trust": clamped})
+
+    def weight_of(self, username: str) -> float:
+        """Aggregation weight of a voter (their current trust factor).
+
+        Unknown voters (e.g. bootstrap pseudo-users removed later) weigh
+        the policy minimum rather than erroring, so aggregation is total.
+        """
+        row = self._table.get_or_none(username)
+        if row is None:
+            return self.policy.minimum
+        return row["trust"]
+
+    def all_members(self) -> list:
+        """Usernames with a ledger entry."""
+        return [row["username"] for row in self._table.all()]

@@ -1,0 +1,183 @@
+"""The software registry and vendor-level reputations.
+
+Section 3.3 stores, per executable: the SHA-1 software ID, file name, file
+size, company name, and version — noting that "information about both the
+company name and file version is dependant on the software developer to
+put these values into the program file, which unfortunately is not always
+true".
+
+Vendor reputation is "simply calculating the average score of all software
+belonging to the particular vendor" (Sec. 3.2).  It is the countermeasure
+against polymorphic executables (each instance hashing differently): when
+per-file ratings are diluted across thousands of one-off fingerprints, the
+*vendor's* rating still converges (experiment E10).  A missing company
+name is itself a PIS signal (Sec. 3.3) — surfaced here as
+:meth:`VendorBook.vendor_missing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import RowNotFoundError
+from ..storage import Column, ColumnType, Database, Schema
+from .aggregation import Aggregator
+
+SOFTWARE_SCHEMA_NAME = "software"
+
+
+def software_schema() -> Schema:
+    return Schema(
+        name=SOFTWARE_SCHEMA_NAME,
+        columns=[
+            Column("software_id", ColumnType.TEXT),
+            Column("file_name", ColumnType.TEXT),
+            Column("file_size", ColumnType.INT, check=lambda value: value >= 0),
+            Column("vendor", ColumnType.TEXT, nullable=True),
+            Column("version", ColumnType.TEXT, nullable=True),
+            Column("first_seen", ColumnType.INT, check=lambda value: value >= 0),
+        ],
+        primary_key="software_id",
+    )
+
+
+@dataclass(frozen=True)
+class SoftwareRecord:
+    """Registry metadata for one executable."""
+
+    software_id: str
+    file_name: str
+    file_size: int
+    vendor: Optional[str]
+    version: Optional[str]
+    first_seen: int
+
+    @property
+    def vendor_missing(self) -> bool:
+        """No company name in the version resources — a PIS signal."""
+        return self.vendor is None
+
+
+@dataclass(frozen=True)
+class VendorScore:
+    """The derived reputation of a software vendor."""
+
+    vendor: str
+    score: float
+    software_count: int
+    rated_software_count: int
+
+
+class VendorBook:
+    """Software registry plus vendor-score derivation."""
+
+    def __init__(self, database: Database, aggregator: Aggregator):
+        self._aggregator = aggregator
+        if database.has_table(SOFTWARE_SCHEMA_NAME):
+            self._software = database.table(SOFTWARE_SCHEMA_NAME)
+        else:
+            self._software = database.create_table(software_schema())
+        if not self._software.has_index("vendor"):
+            self._software.create_index("vendor", kind="hash")
+
+    # -- registry -----------------------------------------------------------
+
+    def register(
+        self,
+        software_id: str,
+        file_name: str,
+        file_size: int,
+        vendor: Optional[str],
+        version: Optional[str],
+        now: int,
+    ) -> SoftwareRecord:
+        """Add an executable to the registry (idempotent per software ID)."""
+        existing = self._software.get_or_none(software_id)
+        if existing is not None:
+            return self._row_to_record(existing)
+        self._software.insert(
+            {
+                "software_id": software_id,
+                "file_name": file_name,
+                "file_size": file_size,
+                "vendor": vendor,
+                "version": version,
+                "first_seen": now,
+            }
+        )
+        return self.get(software_id)
+
+    def get(self, software_id: str) -> SoftwareRecord:
+        return self._row_to_record(self._software.get(software_id))
+
+    def get_or_none(self, software_id: str) -> Optional[SoftwareRecord]:
+        row = self._software.get_or_none(software_id)
+        return self._row_to_record(row) if row is not None else None
+
+    def is_known(self, software_id: str) -> bool:
+        return software_id in self._software
+
+    def software_of_vendor(self, vendor: str) -> list:
+        """All registered executables naming *vendor*."""
+        rows = self._software.select(vendor=vendor)
+        return [self._row_to_record(row) for row in rows]
+
+    def software_without_vendor(self) -> list:
+        """Executables with no company name (Sec. 3.3 PIS signal)."""
+        rows = self._software.select(vendor=None)
+        return [self._row_to_record(row) for row in rows]
+
+    def total_software(self) -> int:
+        return len(self._software)
+
+    def search_by_name(self, needle: str) -> list:
+        """Registry search for the web interface (substring match)."""
+        lowered = needle.lower()
+        rows = self._software.select(
+            predicate=lambda row: lowered in row["file_name"].lower()
+        )
+        return [self._row_to_record(row) for row in rows]
+
+    # -- vendor scores ---------------------------------------------------------
+
+    def vendor_score(self, vendor: str) -> Optional[VendorScore]:
+        """Mean of the published scores of the vendor's software.
+
+        ``None`` if the vendor is unknown or none of their software has a
+        published score yet.
+        """
+        records = self.software_of_vendor(vendor)
+        if not records:
+            return None
+        scores = []
+        for record in records:
+            published = self._aggregator.score_of(record.software_id)
+            if published is not None:
+                scores.append(published.score)
+        if not scores:
+            return None
+        return VendorScore(
+            vendor=vendor,
+            score=sum(scores) / len(scores),
+            software_count=len(records),
+            rated_software_count=len(scores),
+        )
+
+    def all_vendors(self) -> list:
+        """Distinct vendor names in the registry (excluding missing)."""
+        index = self._software.index("vendor")
+        return sorted(
+            value for value in index.distinct_values() if value is not None
+        )
+
+    @staticmethod
+    def _row_to_record(row: dict) -> SoftwareRecord:
+        return SoftwareRecord(
+            software_id=row["software_id"],
+            file_name=row["file_name"],
+            file_size=row["file_size"],
+            vendor=row["vendor"],
+            version=row["version"],
+            first_seen=row["first_seen"],
+        )

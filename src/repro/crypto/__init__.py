@@ -1,0 +1,63 @@
+"""Cryptographic primitives used by the reputation system.
+
+The paper relies on four cryptographic mechanisms, each implemented in its
+own module:
+
+* :mod:`repro.crypto.digests` — SHA-1 file fingerprints ("software IDs").
+* :mod:`repro.crypto.secrets` — salted e-mail hashes and password hashes.
+* :mod:`repro.crypto.signatures` — a simulated code-signing PKI for the
+  enhanced white-listing extension (Sec. 4.2).
+* :mod:`repro.crypto.puzzles` — client puzzles that make automated account
+  creation expensive (Sec. 2.1 / Aura's DoS-resistant authentication [3]).
+"""
+
+from .digests import software_id, software_id_hex, DIGEST_BYTES
+from .secrets import (
+    SecretPepper,
+    hash_email,
+    hash_password,
+    verify_password,
+    constant_time_equals,
+)
+from .signatures import (
+    CertificateAuthority,
+    Certificate,
+    CodeSignature,
+    SignatureVerifier,
+    VerificationResult,
+)
+from .puzzles import Puzzle, PuzzleIssuer, AdaptivePuzzleIssuer, solve_puzzle
+from .pseudonyms import (
+    CredentialIssuer,
+    CredentialHolder,
+    Credential,
+    IssuerPublicKey,
+    verify_credential,
+    obtain_credential,
+)
+
+__all__ = [
+    "software_id",
+    "software_id_hex",
+    "DIGEST_BYTES",
+    "SecretPepper",
+    "hash_email",
+    "hash_password",
+    "verify_password",
+    "constant_time_equals",
+    "CertificateAuthority",
+    "Certificate",
+    "CodeSignature",
+    "SignatureVerifier",
+    "VerificationResult",
+    "Puzzle",
+    "PuzzleIssuer",
+    "AdaptivePuzzleIssuer",
+    "solve_puzzle",
+    "CredentialIssuer",
+    "CredentialHolder",
+    "Credential",
+    "IssuerPublicKey",
+    "verify_credential",
+    "obtain_credential",
+]

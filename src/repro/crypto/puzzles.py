@@ -1,0 +1,151 @@
+"""Client puzzles for registration flood control.
+
+Section 2.1 requires "some non-automatable process, such as image
+verification" at account creation, and the future-work section points at
+"computational penalties through variable hash guessing" (Aura's client
+puzzles [3]).  A CAPTCHA cannot be reproduced in a headless library, so we
+implement the hash-guessing variant: the server issues a nonce and a
+difficulty, and the client must find a suffix such that
+``SHA-256(nonce || suffix)`` starts with ``difficulty`` zero bits.
+
+Solving cost grows as ``2**difficulty`` hash evaluations on average while
+verification stays O(1) — exactly the asymmetry that throttles automated
+Sybil account farms (experiment E5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Puzzle:
+    """A hash pre-image puzzle: find ``suffix`` with enough leading zero bits."""
+
+    nonce: bytes
+    difficulty: int
+
+    def check(self, suffix: bytes) -> bool:
+        """True if *suffix* solves this puzzle."""
+        if self.difficulty == 0:
+            return True
+        digest = hashlib.sha256(self.nonce + suffix).digest()
+        return _leading_zero_bits(digest) >= self.difficulty
+
+
+def _leading_zero_bits(digest: bytes) -> int:
+    """Count the number of leading zero bits in *digest*."""
+    bits = 0
+    for byte in digest:
+        if byte == 0:
+            bits += 8
+            continue
+        for shift in range(7, -1, -1):
+            if byte >> shift:
+                return bits + (7 - shift)
+        return bits
+    return bits
+
+
+def solve_puzzle(puzzle: Puzzle, max_attempts: int = 1_000_000) -> bytes:
+    """Brute-force a solution to *puzzle*.
+
+    Deterministic given the puzzle: counts up from zero.  Raises
+    ``ValueError`` if no solution is found within *max_attempts*, which for
+    sane difficulties (<= ~16 bits) never happens in practice.
+    """
+    for attempt in range(max_attempts):
+        suffix = attempt.to_bytes(8, "big")
+        if puzzle.check(suffix):
+            return suffix
+    raise ValueError(
+        f"no solution within {max_attempts} attempts at difficulty {puzzle.difficulty}"
+    )
+
+
+class PuzzleIssuer:
+    """Server-side puzzle factory with per-issue unique nonces."""
+
+    def __init__(self, difficulty: int = 8, rng: random.Random | None = None):
+        if difficulty < 0 or difficulty > 32:
+            raise ValueError(f"difficulty must be in [0, 32], got {difficulty}")
+        self.difficulty = difficulty
+        self._rng = rng or random.Random(0)
+        self._outstanding: dict[bytes, Puzzle] = {}
+
+    def issue(self, origin: str | None = None, now: int = 0) -> Puzzle:
+        """Create and remember a fresh puzzle.
+
+        The base issuer ignores *origin*/*now*; they exist so the server
+        can treat fixed and adaptive issuers uniformly.
+        """
+        return self._issue_at(self.difficulty)
+
+    def _issue_at(self, difficulty: int) -> Puzzle:
+        nonce = self._rng.getrandbits(128).to_bytes(16, "big")
+        puzzle = Puzzle(nonce=nonce, difficulty=difficulty)
+        self._outstanding[nonce] = puzzle
+        return puzzle
+
+    def redeem(self, nonce: bytes, suffix: bytes) -> bool:
+        """Check a solution and consume the puzzle (one redemption only)."""
+        puzzle = self._outstanding.pop(nonce, None)
+        if puzzle is None:
+            return False
+        return puzzle.check(suffix)
+
+    @property
+    def outstanding_count(self) -> int:
+        """Number of issued-but-unredeemed puzzles."""
+        return len(self._outstanding)
+
+
+class AdaptivePuzzleIssuer(PuzzleIssuer):
+    """Variable hash guessing keyed on the requesting address.
+
+    The paper's future work points at "relying on the IP address and
+    computational penalties through variable hash guessing" (Aura [3]):
+    each puzzle request from the same origin within a sliding window
+    raises that origin's difficulty by one bit, doubling the expected
+    work.  Honest users pay the base cost once; an account farm on a
+    single host pays exponentially.
+    """
+
+    def __init__(
+        self,
+        base_difficulty: int = 8,
+        max_difficulty: int = 24,
+        window_seconds: int = 24 * 3600,
+        rng: random.Random | None = None,
+    ):
+        super().__init__(difficulty=base_difficulty, rng=rng)
+        if not (0 <= base_difficulty <= max_difficulty <= 32):
+            raise ValueError(
+                "need 0 <= base_difficulty <= max_difficulty <= 32"
+            )
+        self.base_difficulty = base_difficulty
+        self.max_difficulty = max_difficulty
+        self.window_seconds = window_seconds
+        self._recent: dict[str, list] = {}
+
+    def difficulty_for(self, origin: str | None, now: int) -> int:
+        """Current difficulty for *origin* (anonymous requests pay base)."""
+        if origin is None:
+            return self.base_difficulty
+        timestamps = [
+            ts
+            for ts in self._recent.get(origin, [])
+            if now - ts < self.window_seconds
+        ]
+        self._recent[origin] = timestamps
+        return min(
+            self.base_difficulty + len(timestamps), self.max_difficulty
+        )
+
+    def issue(self, origin: str | None = None, now: int = 0) -> Puzzle:
+        difficulty = self.difficulty_for(origin, now)
+        if origin is not None:
+            self._recent.setdefault(origin, []).append(now)
+        return self._issue_at(difficulty)

@@ -1,0 +1,150 @@
+"""Simulated code-signing PKI.
+
+Section 4.2 proposes an *enhanced white-listing system* that automatically
+allows executables "digitally signed by a trusted vendor e.g., Microsoft or
+Adobe".  Real Authenticode is a Windows-only binary format, so we model the
+part that matters for the mechanism: a certificate authority issues vendor
+certificates, vendors sign the SHA-1 digest of an executable's content, and
+clients verify (a) that the signature covers this exact content, (b) that
+the certificate chains to a CA they trust, and (c) that nothing is revoked
+or expired.
+
+Signing uses HMAC with a per-CA key standing in for asymmetric crypto;
+the trust semantics (who vouches for whom, what a tampered file looks
+like) are identical, which is what the policy experiments exercise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .digests import software_id
+
+
+class VerificationResult(Enum):
+    """Outcome of verifying a code signature against a trust store."""
+
+    VALID = "valid"
+    UNSIGNED = "unsigned"
+    BAD_DIGEST = "bad-digest"
+    UNTRUSTED_ISSUER = "untrusted-issuer"
+    REVOKED = "revoked"
+    EXPIRED = "expired"
+
+    @property
+    def is_trusted(self) -> bool:
+        return self is VerificationResult.VALID
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A vendor certificate issued by a :class:`CertificateAuthority`."""
+
+    subject: str
+    issuer: str
+    serial: int
+    not_after: int
+    fingerprint: str
+
+
+@dataclass(frozen=True)
+class CodeSignature:
+    """A signature over one executable's content digest."""
+
+    certificate: Certificate
+    digest: bytes
+    mac: bytes
+
+
+@dataclass
+class CertificateAuthority:
+    """Issues vendor certificates and signs executables on their behalf.
+
+    One CA object plays both the CA and the vendors' signing keys — the
+    simulation does not model key distribution, only the resulting trust
+    decisions.
+    """
+
+    name: str
+    key: bytes
+    _serial: int = field(default=0, repr=False)
+    _revoked: set = field(default_factory=set, repr=False)
+
+    def issue_certificate(self, subject: str, not_after: int = 2 ** 62) -> Certificate:
+        """Issue a certificate for vendor *subject*, valid until *not_after*."""
+        self._serial += 1
+        material = f"{self.name}|{subject}|{self._serial}".encode("utf-8")
+        fingerprint = hashlib.sha1(material).hexdigest()
+        return Certificate(
+            subject=subject,
+            issuer=self.name,
+            serial=self._serial,
+            not_after=not_after,
+            fingerprint=fingerprint,
+        )
+
+    def sign(self, certificate: Certificate, content: bytes) -> CodeSignature:
+        """Sign the digest of *content* under *certificate*."""
+        if certificate.issuer != self.name:
+            raise ValueError(
+                f"certificate issued by {certificate.issuer!r}, not by this CA"
+            )
+        digest = software_id(content)
+        mac = self._mac(certificate, digest)
+        return CodeSignature(certificate=certificate, digest=digest, mac=mac)
+
+    def revoke(self, certificate: Certificate) -> None:
+        """Revoke *certificate*; future verifications will fail."""
+        self._revoked.add(certificate.fingerprint)
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        return certificate.fingerprint in self._revoked
+
+    def _mac(self, certificate: Certificate, digest: bytes) -> bytes:
+        payload = certificate.fingerprint.encode("ascii") + digest
+        return hmac.new(self.key, payload, hashlib.sha256).digest()
+
+    def check_mac(self, signature: CodeSignature) -> bool:
+        """True if *signature* was produced by this CA and is unmodified."""
+        expected = self._mac(signature.certificate, signature.digest)
+        return hmac.compare_digest(expected, signature.mac)
+
+
+class SignatureVerifier:
+    """A client-side trust store plus verification routine."""
+
+    def __init__(self, trusted_authorities: list[CertificateAuthority] | None = None):
+        self._authorities: dict[str, CertificateAuthority] = {}
+        for authority in trusted_authorities or []:
+            self.trust(authority)
+
+    def trust(self, authority: CertificateAuthority) -> None:
+        """Add *authority* to the trust store."""
+        self._authorities[authority.name] = authority
+
+    def distrust(self, authority_name: str) -> None:
+        """Remove an authority from the trust store (no-op if absent)."""
+        self._authorities.pop(authority_name, None)
+
+    def verify(
+        self,
+        content: bytes,
+        signature: CodeSignature | None,
+        at_time: int = 0,
+    ) -> VerificationResult:
+        """Verify *signature* over *content* against the trust store."""
+        if signature is None:
+            return VerificationResult.UNSIGNED
+        authority = self._authorities.get(signature.certificate.issuer)
+        if authority is None or not authority.check_mac(signature):
+            return VerificationResult.UNTRUSTED_ISSUER
+        if authority.is_revoked(signature.certificate):
+            return VerificationResult.REVOKED
+        if at_time > signature.certificate.not_after:
+            return VerificationResult.EXPIRED
+        if signature.digest != software_id(content):
+            return VerificationResult.BAD_DIGEST
+        return VerificationResult.VALID

@@ -1,0 +1,167 @@
+"""Exception hierarchy for the reputation-system reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Layers define narrower subclasses here
+(rather than in their own modules) to avoid circular imports: the storage
+engine, protocol codec, server, and client all share this module.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# --------------------------------------------------------------------------
+# Storage layer
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class SchemaError(StorageError):
+    """A table schema is malformed or a row violates its column types."""
+
+
+class ConstraintViolation(StorageError):
+    """A uniqueness / not-null / check constraint was violated."""
+
+
+class DuplicateKeyError(ConstraintViolation):
+    """An insert or update would duplicate a unique key."""
+
+
+class RowNotFoundError(StorageError):
+    """A lookup by primary key found no row."""
+
+
+class TableNotFoundError(StorageError):
+    """The named table does not exist in the database."""
+
+
+class TableExistsError(StorageError):
+    """A table with that name already exists."""
+
+
+class TransactionError(StorageError):
+    """Misuse of the transaction API (nested begin, commit w/o begin...)."""
+
+
+class WalCorruptionError(StorageError):
+    """The write-ahead log contains an undecodable or truncated record."""
+
+
+# --------------------------------------------------------------------------
+# Protocol / network layer
+# --------------------------------------------------------------------------
+
+class ProtocolError(ReproError):
+    """Base class for message-codec failures."""
+
+
+class MalformedMessageError(ProtocolError):
+    """An XML payload could not be decoded into a known message."""
+
+
+class UnknownMessageError(ProtocolError):
+    """The message type is syntactically valid but not recognised."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-transport failures."""
+
+
+class EndpointUnreachableError(NetworkError):
+    """No endpoint is registered at the destination address."""
+
+
+class MessageDroppedError(NetworkError):
+    """The simulated network dropped the message (loss injection)."""
+
+
+class CircuitError(NetworkError):
+    """An anonymity circuit could not be built or has collapsed."""
+
+
+# --------------------------------------------------------------------------
+# Server-side application errors
+# --------------------------------------------------------------------------
+
+class ServerError(ReproError):
+    """Base class for reputation-server application failures."""
+
+
+class RegistrationError(ServerError):
+    """Account registration was rejected."""
+
+
+class DuplicateAccountError(RegistrationError):
+    """The username or (hashed) e-mail address is already registered."""
+
+
+class PuzzleError(RegistrationError):
+    """The anti-automation puzzle solution was missing or wrong."""
+
+
+class ActivationError(ServerError):
+    """Account activation failed (bad token, already active...)."""
+
+
+class AuthenticationError(ServerError):
+    """Login failed or a request carried invalid credentials."""
+
+
+class AccountNotActiveError(AuthenticationError):
+    """The account exists but has not completed e-mail activation."""
+
+
+class DuplicateVoteError(ServerError):
+    """The user has already voted on this software."""
+
+
+class RateLimitExceededError(ServerError):
+    """The flood-control layer rejected the request."""
+
+
+class ModerationError(ServerError):
+    """Invalid moderation operation (unknown comment, double decision...)."""
+
+
+# --------------------------------------------------------------------------
+# Client-side errors
+# --------------------------------------------------------------------------
+
+class ClientError(ReproError):
+    """Base class for reputation-client failures."""
+
+
+class ExecutionVetoed(ClientError):
+    """Raised by the hook chain when an execution is denied.
+
+    The simulated machine converts this into a blocked-execution event;
+    it is an exception so that *any* hook in the chain can veto without
+    the subsequent hooks running, mirroring how the kernel driver aborts
+    ``NtCreateSection``.
+    """
+
+
+class PolicyError(ClientError):
+    """A software policy is malformed or references unknown attributes."""
+
+
+# --------------------------------------------------------------------------
+# Simulation errors
+# --------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Base class for simulation-harness misuse."""
+
+
+class ClockError(SimulationError):
+    """Time moved backwards or a timer was misused."""
+
+
+class ScenarioError(SimulationError):
+    """A scenario configuration is invalid."""

@@ -1,0 +1,30 @@
+"""End User License Agreements: generation and automated analysis.
+
+The paper's consent axis is really a statement about EULAs: spyware
+vendors "normally inform the users of their actions, but often in such a
+format that it is unrealistic to believe that normal computer users will
+read and understand the provided information" — legal prose "sometimes
+spanning well over 5000 words".
+
+* :mod:`~repro.eula.generator` — produces license text for an
+  executable, with behaviour disclosures that are prominent, buried in
+  legalese, or absent, matching the ground-truth consent level;
+* :mod:`~repro.eula.analyzer` — recovers the consent level from the
+  text alone: which behaviours are disclosed, how deeply they are
+  buried, and how much reading the user is being asked to do.
+
+The analyzer is the kind of client-side aid the paper's discussion
+implies: a dialog that says "the licence admits browsing tracking at
+word 4,812" turns medium consent into informed consent.
+"""
+
+from .generator import EulaGenerator, generate_eula
+from .analyzer import EulaAnalyzer, EulaReport, DisclosureStyle
+
+__all__ = [
+    "EulaGenerator",
+    "generate_eula",
+    "EulaAnalyzer",
+    "EulaReport",
+    "DisclosureStyle",
+]

@@ -1,0 +1,152 @@
+"""Automated EULA analysis.
+
+Recovers the consent axis from licence text alone: which behaviours the
+document discloses, whether the disclosure is plain language or legalese,
+how deep into the text it is buried, and how long the document is.
+
+The derived consent level follows the paper's definitions:
+
+* **HIGH** — actual behaviours are disclosed readably in a document a
+  user can plausibly read (short, plain, disclosures near the top);
+* **MEDIUM** — the behaviours *are* in the text, but as euphemisms deep
+  inside thousands of words ("often in such a format that it is
+  unrealistic to believe that normal computer users will read and
+  understand the provided information");
+* **LOW** — the software does things its licence never mentions.
+
+Detection is keyword-based over the two disclosure vocabularies used by
+the generator — standing in for the NLP a production analyzer would use,
+while exercising identical decision logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional
+
+from ..core.taxonomy import ConsentLevel
+from ..winsim import Behavior
+from .generator import LEGALESE_DISCLOSURES, PLAIN_DISCLOSURES
+
+
+class DisclosureStyle(Enum):
+    """How a behaviour is admitted in the text."""
+
+    PLAIN = "plain"
+    LEGALESE = "legalese"
+    ABSENT = "absent"
+
+
+@dataclass(frozen=True)
+class Disclosure:
+    """One behaviour's disclosure as found in the document."""
+
+    behavior: Behavior
+    style: DisclosureStyle
+    #: Word offset where the disclosure begins (None if absent).
+    position_words: Optional[int]
+
+
+@dataclass(frozen=True)
+class EulaReport:
+    """The analyzer's verdict on one licence."""
+
+    word_count: int
+    disclosures: tuple
+    derived_consent: ConsentLevel
+    #: True when the document exceeds what a user plausibly reads.
+    unreadable_length: bool
+
+    def disclosure_for(self, behavior: Behavior) -> Optional[Disclosure]:
+        for disclosure in self.disclosures:
+            if disclosure.behavior is behavior:
+                return disclosure
+        return None
+
+    @property
+    def disclosed_behaviors(self) -> frozenset:
+        return frozenset(
+            disclosure.behavior
+            for disclosure in self.disclosures
+            if disclosure.style is not DisclosureStyle.ABSENT
+        )
+
+    @property
+    def undisclosed_behaviors(self) -> frozenset:
+        return frozenset(
+            disclosure.behavior
+            for disclosure in self.disclosures
+            if disclosure.style is DisclosureStyle.ABSENT
+        )
+
+
+class EulaAnalyzer:
+    """Derives consent levels from licence text."""
+
+    #: Documents beyond this are treated as unreadable (the paper's
+    #: "well over 5000 words" threshold, with margin).
+    readable_word_limit = 2000
+    #: A disclosure past this fraction of an unreadable document counts
+    #: as buried even if it is phrased plainly.
+    burial_fraction = 0.3
+
+    def analyze(self, text: str, actual_behaviors: Iterable[Behavior]) -> EulaReport:
+        """Analyze *text* against the behaviours the software exhibits.
+
+        *actual_behaviors* is supplied by whoever knows the truth — the
+        runtime-analysis sandbox in the full pipeline — so the analyzer
+        can tell "discloses everything" from "hides something".
+        """
+        words = text.split()
+        word_count = len(words)
+        lowered = text.lower()
+        disclosures = []
+        for behavior in sorted(set(actual_behaviors), key=lambda b: b.value):
+            disclosures.append(self._find_disclosure(behavior, lowered, text))
+        derived = self._derive_consent(word_count, disclosures)
+        return EulaReport(
+            word_count=word_count,
+            disclosures=tuple(disclosures),
+            derived_consent=derived,
+            unreadable_length=word_count > self.readable_word_limit,
+        )
+
+    def _find_disclosure(
+        self, behavior: Behavior, lowered: str, text: str
+    ) -> Disclosure:
+        for style, vocabulary in (
+            (DisclosureStyle.PLAIN, PLAIN_DISCLOSURES),
+            (DisclosureStyle.LEGALESE, LEGALESE_DISCLOSURES),
+        ):
+            sentence = vocabulary[behavior].lower()
+            position = lowered.find(sentence)
+            if position >= 0:
+                words_before = len(text[:position].split())
+                return Disclosure(
+                    behavior=behavior,
+                    style=style,
+                    position_words=words_before,
+                )
+        return Disclosure(
+            behavior=behavior, style=DisclosureStyle.ABSENT, position_words=None
+        )
+
+    def _derive_consent(self, word_count: int, disclosures: list) -> ConsentLevel:
+        if not disclosures:
+            # Nothing harmful to disclose: the licence is honest by
+            # construction.
+            return ConsentLevel.HIGH
+        if any(d.style is DisclosureStyle.ABSENT for d in disclosures):
+            return ConsentLevel.LOW
+        readable = word_count <= self.readable_word_limit
+        burial_limit = max(1, int(word_count * self.burial_fraction))
+        informative = all(
+            d.style is DisclosureStyle.PLAIN
+            and d.position_words is not None
+            and d.position_words <= burial_limit
+            for d in disclosures
+        )
+        if readable and informative:
+            return ConsentLevel.HIGH
+        return ConsentLevel.MEDIUM

@@ -1,0 +1,21 @@
+"""Simulated network.
+
+The paper's deployment is a client talking to a web server over the
+Internet, optionally through Tor (Sec. 2.2).  :class:`~repro.net.transport.Network`
+provides request/response delivery between named endpoints with pluggable
+latency and loss; :mod:`~repro.net.anonymity` builds Tor-like relay
+circuits so the server cannot see which client address originated a
+request.
+"""
+
+from .transport import Network, Endpoint, DeliveryStats, LatencyModel
+from .anonymity import AnonymityNetwork, Circuit
+
+__all__ = [
+    "Network",
+    "Endpoint",
+    "DeliveryStats",
+    "LatencyModel",
+    "AnonymityNetwork",
+    "Circuit",
+]

@@ -1,0 +1,107 @@
+"""Tor-like anonymity circuits.
+
+Section 2.2: *"Protection of users' anonymity could be established by
+utilizing distributed anonymity services, such as Tor, for all
+communication between the client and the server.  This would further
+increase user's privacy by [hiding] their IP address from the reputation
+system owner."*
+
+The model keeps the property that matters — **unlinkability of origin** —
+without onion cryptography: a :class:`Circuit` is a chain of relay
+endpoints, each of which forwards the request while replacing the visible
+source address with its own, so the destination handler only ever sees
+the exit relay.  Each hop pays the network's latency, reproducing Tor's
+real trade-off (privacy versus response time), which the E8/E6 latency
+accounting can expose.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CircuitError
+from .transport import Network
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """An ordered relay chain; the last element is the exit."""
+
+    relays: tuple
+
+    def __post_init__(self):
+        if len(self.relays) < 1:
+            raise CircuitError("a circuit needs at least one relay")
+        if len(set(self.relays)) != len(self.relays):
+            raise CircuitError("circuit relays must be distinct")
+
+    @property
+    def exit_relay(self) -> str:
+        return self.relays[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.relays)
+
+
+class AnonymityNetwork:
+    """A set of relays on a :class:`Network`, plus circuit routing."""
+
+    #: Tor's default circuit length.
+    DEFAULT_CIRCUIT_LENGTH = 3
+
+    def __init__(self, network: Network, rng: Optional[random.Random] = None):
+        self._network = network
+        self._rng = rng or random.Random(0)
+        self._relays: list[str] = []
+
+    # -- relay management -----------------------------------------------------
+
+    def add_relay(self, address: str) -> None:
+        """Stand up a relay at *address* (registers a forwarding endpoint)."""
+        if address in self._relays:
+            raise CircuitError(f"relay {address!r} already exists")
+        # Relays are pass-through hosts; they never originate traffic
+        # themselves, so the handler only matters for direct probes.
+        self._network.register(address, lambda source, payload: b"")
+        self._relays.append(address)
+
+    @property
+    def relay_addresses(self) -> tuple:
+        return tuple(self._relays)
+
+    def build_circuit(self, length: int = DEFAULT_CIRCUIT_LENGTH) -> Circuit:
+        """Pick *length* distinct relays at random."""
+        if length < 1:
+            raise CircuitError("circuit length must be at least 1")
+        if len(self._relays) < length:
+            raise CircuitError(
+                f"need {length} relays, only {len(self._relays)} available"
+            )
+        return Circuit(tuple(self._rng.sample(self._relays, length)))
+
+    # -- routing ------------------------------------------------------------------
+
+    def request(
+        self,
+        circuit: Circuit,
+        source: str,
+        destination: str,
+        payload: bytes,
+    ) -> bytes:
+        """Send *payload* through *circuit*; the server sees the exit only.
+
+        Each hop is a real network delivery (paying latency and exposed to
+        loss); the visible source of the final hop is the exit relay.
+        """
+        for relay in circuit.relays:
+            if not self._network.is_registered(relay):
+                raise CircuitError(f"relay {relay!r} has left the network")
+        previous = source
+        # Walk the chain: each relay receives the payload from `previous`.
+        for relay in circuit.relays:
+            self._network.request(previous, relay, payload)
+            previous = relay
+        return self._network.request(circuit.exit_relay, destination, payload)

@@ -1,0 +1,67 @@
+"""Client/server wire protocol.
+
+"XML is used as the communication protocol between the client and the
+server" (Sec. 3.2).  :mod:`~repro.protocol.messages` defines the typed
+request/response vocabulary; :mod:`~repro.protocol.xml_codec` converts any
+registered message to and from XML bytes.  The client and server only
+exchange encoded bytes through the simulated network — the codec is the
+single place where structure meets the wire.
+"""
+
+from .messages import (
+    Message,
+    RegisterRequest,
+    RegisterResponse,
+    CredentialRegisterRequest,
+    ActivateRequest,
+    LoginRequest,
+    LoginResponse,
+    QuerySoftwareRequest,
+    SoftwareInfoResponse,
+    CommentInfo,
+    VoteRequest,
+    CommentRequest,
+    RemarkRequest,
+    SearchRequest,
+    SearchResponse,
+    SoftwareSummary,
+    VendorQueryRequest,
+    VendorInfoResponse,
+    StatsRequest,
+    StatsResponse,
+    OkResponse,
+    ErrorResponse,
+    PuzzleRequest,
+    PuzzleResponse,
+)
+from .xml_codec import encode, decode, registered_tags
+
+__all__ = [
+    "Message",
+    "RegisterRequest",
+    "RegisterResponse",
+    "CredentialRegisterRequest",
+    "ActivateRequest",
+    "LoginRequest",
+    "LoginResponse",
+    "QuerySoftwareRequest",
+    "SoftwareInfoResponse",
+    "CommentInfo",
+    "VoteRequest",
+    "CommentRequest",
+    "RemarkRequest",
+    "SearchRequest",
+    "SearchResponse",
+    "SoftwareSummary",
+    "VendorQueryRequest",
+    "VendorInfoResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "OkResponse",
+    "ErrorResponse",
+    "PuzzleRequest",
+    "PuzzleResponse",
+    "encode",
+    "decode",
+    "registered_tags",
+]

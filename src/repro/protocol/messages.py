@@ -1,0 +1,270 @@
+"""The protocol vocabulary: typed request/response messages.
+
+Each message is a frozen dataclass registered under an XML tag.  Field
+types are limited to what the codec serialises: ``str``, ``int``,
+``float``, ``bool``, ``bytes``, ``None`` (optionals), flat lists of those,
+and lists of nested messages.
+
+Privacy note (Sec. 2.2): no message carries an IP address, and the
+registration request carries the e-mail **in clear only from client to
+server** — the server immediately hashes it with its secret pepper and
+never persists the cleartext.  (Transport-level anonymity is the business
+of :mod:`repro.net.anonymity`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .xml_codec import message
+
+
+class Message:
+    """Marker base class for all protocol messages."""
+
+
+# ---------------------------------------------------------------------------
+# Account lifecycle
+# ---------------------------------------------------------------------------
+
+@message("puzzle-request")
+@dataclass(frozen=True)
+class PuzzleRequest(Message):
+    """Ask the server for a registration puzzle."""
+
+
+@message("puzzle-response")
+@dataclass(frozen=True)
+class PuzzleResponse(Message):
+    """A puzzle the client must solve before registering."""
+
+    nonce: bytes
+    difficulty: int
+
+
+@message("register-request")
+@dataclass(frozen=True)
+class RegisterRequest(Message):
+    """Create an account (Sec. 2.1 / 3.2)."""
+
+    username: str
+    password: str
+    email: str
+    puzzle_nonce: bytes
+    puzzle_solution: bytes
+
+
+@message("register-response")
+@dataclass(frozen=True)
+class RegisterResponse(Message):
+    """Registration accepted; activation token is "e-mailed" back.
+
+    The simulated mail channel is the response itself — the test of the
+    mechanism is that activation requires something only the mailbox
+    owner receives.
+    """
+
+    activation_token: str
+
+
+@message("credential-register-request")
+@dataclass(frozen=True)
+class CredentialRegisterRequest(Message):
+    """Open an account on a pseudonym credential (Sec. 5, idemix-style).
+
+    Carries no e-mail and no identity: just the issuer's name, the
+    credential serial, and the unblinded RSA signature (big-endian
+    bytes).  The account activates immediately — the credential already
+    proves "one vouched person".
+    """
+
+    username: str
+    password: str
+    issuer_name: str
+    serial: bytes
+    signature: bytes
+
+
+@message("activate-request")
+@dataclass(frozen=True)
+class ActivateRequest(Message):
+    """Confirm the e-mail address with the token."""
+
+    username: str
+    token: str
+
+
+@message("login-request")
+@dataclass(frozen=True)
+class LoginRequest(Message):
+    username: str
+    password: str
+
+
+@message("login-response")
+@dataclass(frozen=True)
+class LoginResponse(Message):
+    session: str
+
+
+# ---------------------------------------------------------------------------
+# Software information
+# ---------------------------------------------------------------------------
+
+@message("query-software-request")
+@dataclass(frozen=True)
+class QuerySoftwareRequest(Message):
+    """The client's pre-execution lookup.
+
+    Carries the executable's metadata so the server can register
+    first-seen software (Sec. 3.3's per-software record).
+    """
+
+    session: str
+    software_id: str
+    file_name: str
+    file_size: int
+    vendor: str | None = None
+    version: str | None = None
+
+
+@message("comment-info")
+@dataclass(frozen=True)
+class CommentInfo(Message):
+    """One visible comment inside a software-info response."""
+
+    comment_id: int
+    username: str
+    text: str
+    positive_remarks: int
+    negative_remarks: int
+
+
+@message("software-info-response")
+@dataclass(frozen=True)
+class SoftwareInfoResponse(Message):
+    """Everything the decision dialog shows the user.
+
+    ``reported_behaviors`` carries *hard evidence* from the server's
+    runtime-analysis pipeline (Sec. 5 future work) as behaviour value
+    strings; ``analyzed`` says whether the lab has processed this
+    software at all (an empty behaviour list from an analyzed sample is
+    itself information).
+    """
+
+    software_id: str
+    known: bool
+    score: float | None = None
+    vote_count: int = 0
+    vendor: str | None = None
+    vendor_score: float | None = None
+    comments: tuple = ()
+    reported_behaviors: tuple = ()
+    analyzed: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Feedback
+# ---------------------------------------------------------------------------
+
+@message("vote-request")
+@dataclass(frozen=True)
+class VoteRequest(Message):
+    session: str
+    software_id: str
+    score: int
+
+
+@message("comment-request")
+@dataclass(frozen=True)
+class CommentRequest(Message):
+    session: str
+    software_id: str
+    text: str
+
+
+@message("remark-request")
+@dataclass(frozen=True)
+class RemarkRequest(Message):
+    session: str
+    comment_id: int
+    positive: bool
+
+
+# ---------------------------------------------------------------------------
+# Web-interface queries
+# ---------------------------------------------------------------------------
+
+@message("search-request")
+@dataclass(frozen=True)
+class SearchRequest(Message):
+    session: str
+    needle: str
+
+
+@message("software-summary")
+@dataclass(frozen=True)
+class SoftwareSummary(Message):
+    software_id: str
+    file_name: str
+    vendor: str | None
+    score: float | None
+    vote_count: int
+
+
+@message("search-response")
+@dataclass(frozen=True)
+class SearchResponse(Message):
+    results: tuple = ()
+
+
+@message("vendor-query-request")
+@dataclass(frozen=True)
+class VendorQueryRequest(Message):
+    session: str
+    vendor: str
+
+
+@message("vendor-info-response")
+@dataclass(frozen=True)
+class VendorInfoResponse(Message):
+    vendor: str
+    known: bool
+    score: float | None = None
+    software_count: int = 0
+    rated_software_count: int = 0
+
+
+@message("stats-request")
+@dataclass(frozen=True)
+class StatsRequest(Message):
+    session: str
+
+
+@message("stats-response")
+@dataclass(frozen=True)
+class StatsResponse(Message):
+    registered_software: int
+    rated_software: int
+    total_votes: int
+    total_comments: int
+    members: int
+
+
+# ---------------------------------------------------------------------------
+# Generic outcomes
+# ---------------------------------------------------------------------------
+
+@message("ok-response")
+@dataclass(frozen=True)
+class OkResponse(Message):
+    detail: str = ""
+
+
+@message("error-response")
+@dataclass(frozen=True)
+class ErrorResponse(Message):
+    """A refusal; *code* is a stable machine-readable string."""
+
+    code: str
+    detail: str = ""

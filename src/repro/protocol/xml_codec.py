@@ -1,0 +1,196 @@
+"""XML codec for protocol messages.
+
+Messages register with the :func:`message` decorator; :func:`encode`
+serialises a message dataclass to XML bytes and :func:`decode` parses
+bytes back into the registered dataclass.  Value types are tagged
+explicitly in the XML so round-trips are exact (``int`` stays ``int``,
+``bytes`` travel as hex), e.g.::
+
+    <message tag="vote-request">
+      <field name="session" type="str">abc</field>
+      <field name="software_id" type="str">60ab...</field>
+      <field name="score" type="int">7</field>
+    </message>
+
+Decoding is defensive: unknown tags, missing fields, bad type labels, and
+malformed XML raise :class:`~repro.errors.MalformedMessageError` or
+:class:`~repro.errors.UnknownMessageError` instead of propagating parser
+internals — the server treats all of these as hostile input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Type
+from xml.etree import ElementTree
+
+from ..errors import MalformedMessageError, ProtocolError, UnknownMessageError
+
+_REGISTRY: dict[str, type] = {}
+_TAG_OF: dict[type, str] = {}
+
+
+def message(tag: str) -> Callable[[type], type]:
+    """Class decorator registering a dataclass under an XML *tag*."""
+
+    def register(cls: type) -> type:
+        if tag in _REGISTRY:
+            raise ProtocolError(f"message tag {tag!r} is already registered")
+        if not dataclasses.is_dataclass(cls):
+            raise ProtocolError(
+                f"@message must wrap a dataclass, got {cls.__name__}"
+            )
+        _REGISTRY[tag] = cls
+        _TAG_OF[cls] = tag
+        return cls
+
+    return register
+
+
+def registered_tags() -> tuple:
+    """All known message tags (diagnostics)."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+def encode(msg: Any) -> bytes:
+    """Serialise a registered message to XML bytes."""
+    cls = type(msg)
+    tag = _TAG_OF.get(cls)
+    if tag is None:
+        raise ProtocolError(f"{cls.__name__} is not a registered message")
+    root = ElementTree.Element("message", {"tag": tag})
+    for field in dataclasses.fields(msg):
+        value = getattr(msg, field.name)
+        element = _encode_value(value)
+        element.set("name", field.name)
+        root.append(element)
+    return ElementTree.tostring(root, encoding="utf-8")
+
+
+def _encode_value(value: Any) -> ElementTree.Element:
+    """Build a ``field``/``item`` element for one value."""
+    element = ElementTree.Element("field")
+    if value is None:
+        element.set("type", "none")
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        element.set("type", "bool")
+        element.text = "true" if value else "false"
+    elif isinstance(value, int):
+        element.set("type", "int")
+        element.text = str(value)
+    elif isinstance(value, float):
+        element.set("type", "float")
+        element.text = repr(value)
+    elif isinstance(value, str):
+        element.set("type", "str")
+        element.text = value
+    elif isinstance(value, (bytes, bytearray)):
+        element.set("type", "bytes")
+        element.text = bytes(value).hex()
+    elif isinstance(value, (list, tuple)):
+        element.set("type", "list")
+        for item in value:
+            child = _encode_item(item)
+            element.append(child)
+    elif type(value) in _TAG_OF:
+        element.set("type", "message")
+        element.append(_nested_element(value))
+    else:
+        raise ProtocolError(
+            f"cannot encode value of type {type(value).__name__}: {value!r}"
+        )
+    return element
+
+
+def _encode_item(item: Any) -> ElementTree.Element:
+    element = _encode_value(item)
+    element.tag = "item"
+    return element
+
+
+def _nested_element(msg: Any) -> ElementTree.Element:
+    return ElementTree.fromstring(encode(msg))
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+def decode(payload: bytes) -> Any:
+    """Parse XML bytes into the registered message dataclass."""
+    try:
+        root = ElementTree.fromstring(payload)
+    except ElementTree.ParseError as exc:
+        raise MalformedMessageError(f"unparseable XML: {exc}") from None
+    return _decode_message_element(root)
+
+
+def _decode_message_element(root: ElementTree.Element) -> Any:
+    if root.tag != "message":
+        raise MalformedMessageError(f"expected <message>, got <{root.tag}>")
+    tag = root.get("tag")
+    cls = _REGISTRY.get(tag or "")
+    if cls is None:
+        raise UnknownMessageError(f"unknown message tag {tag!r}")
+    values: dict[str, Any] = {}
+    for element in root:
+        name = element.get("name")
+        if name is None:
+            raise MalformedMessageError("field element without a name")
+        values[name] = _decode_value(element)
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(values) - field_names
+    if unknown:
+        raise MalformedMessageError(
+            f"message {tag!r} has unknown fields {sorted(unknown)}"
+        )
+    missing = {
+        field.name
+        for field in dataclasses.fields(cls)
+        if field.default is dataclasses.MISSING
+        and field.default_factory is dataclasses.MISSING
+    } - set(values)
+    if missing:
+        raise MalformedMessageError(
+            f"message {tag!r} is missing fields {sorted(missing)}"
+        )
+    try:
+        return cls(**values)
+    except (TypeError, ValueError) as exc:
+        raise MalformedMessageError(f"cannot build {tag!r}: {exc}") from None
+
+
+def _decode_value(element: ElementTree.Element) -> Any:
+    kind = element.get("type")
+    text = element.text or ""
+    try:
+        if kind == "none":
+            return None
+        if kind == "bool":
+            if text not in ("true", "false"):
+                raise ValueError(f"bad boolean {text!r}")
+            return text == "true"
+        if kind == "int":
+            return int(text)
+        if kind == "float":
+            return float(text)
+        if kind == "str":
+            return text
+        if kind == "bytes":
+            return bytes.fromhex(text)
+        if kind == "list":
+            return tuple(_decode_value(child) for child in element)
+        if kind == "message":
+            children = list(element)
+            if len(children) != 1:
+                raise ValueError("nested message must have exactly one child")
+            return _decode_message_element(children[0])
+    except (ValueError, OverflowError) as exc:
+        raise MalformedMessageError(
+            f"bad {kind!r} value {text!r}: {exc}"
+        ) from None
+    raise MalformedMessageError(f"unknown field type {kind!r}")

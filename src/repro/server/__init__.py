@@ -1,0 +1,28 @@
+"""The reputation server.
+
+* :mod:`~repro.server.accounts` — registration, e-mail activation, login.
+* :mod:`~repro.server.ratelimit` — token-bucket flood control.
+* :mod:`~repro.server.votes` — vote/comment/remark ingestion rules.
+* :mod:`~repro.server.app` — the protocol dispatcher bound to a network
+  endpoint.
+* :mod:`~repro.server.webview` — the web interface (HTML pages).
+"""
+
+from .accounts import AccountManager, AccountRecord
+from .ratelimit import TokenBucket, RateLimiter
+from .votes import VoteGate
+from .app import ReputationServer
+from .webview import WebView
+from .http import HttpGateway, http_get
+
+__all__ = [
+    "AccountManager",
+    "AccountRecord",
+    "TokenBucket",
+    "RateLimiter",
+    "VoteGate",
+    "ReputationServer",
+    "WebView",
+    "HttpGateway",
+    "http_get",
+]

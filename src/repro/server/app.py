@@ -1,0 +1,357 @@
+"""The reputation server application.
+
+Binds everything together behind one wire entry point,
+:meth:`ReputationServer.handle_bytes`: decode the XML request, dispatch on
+message type, run the domain logic, encode the response.  All domain
+errors are mapped to :class:`~repro.protocol.ErrorResponse` with stable
+codes so the client (and the attack simulations) can react to specific
+refusals.
+
+Registration walks the full Sec. 2.1 gauntlet: an anti-automation puzzle,
+per-origin flood control, the unique hashed e-mail, then activation via
+the e-mailed token.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from ..clock import SimClock
+from ..core.reputation import ReputationEngine
+from ..crypto.puzzles import PuzzleIssuer
+from ..crypto.secrets import SecretPepper
+from ..errors import (
+    AccountNotActiveError,
+    ActivationError,
+    AuthenticationError,
+    DuplicateAccountError,
+    DuplicateVoteError,
+    MalformedMessageError,
+    ProtocolError,
+    PuzzleError,
+    RateLimitExceededError,
+    RegistrationError,
+    ServerError,
+)
+from ..protocol import (
+    ActivateRequest,
+    CommentInfo,
+    CommentRequest,
+    CredentialRegisterRequest,
+    ErrorResponse,
+    LoginRequest,
+    LoginResponse,
+    OkResponse,
+    PuzzleRequest,
+    PuzzleResponse,
+    QuerySoftwareRequest,
+    RegisterRequest,
+    RegisterResponse,
+    RemarkRequest,
+    SearchRequest,
+    SearchResponse,
+    SoftwareInfoResponse,
+    SoftwareSummary,
+    StatsRequest,
+    StatsResponse,
+    VendorQueryRequest,
+    VendorInfoResponse,
+    VoteRequest,
+    decode,
+    encode,
+)
+from .accounts import AccountManager
+from .ratelimit import RateLimiter
+from .votes import VoteGate
+
+#: Error codes carried in ErrorResponse.code.
+E_BAD_REQUEST = "bad-request"
+E_PUZZLE = "puzzle-failed"
+E_REGISTRATION = "registration-rejected"
+E_DUPLICATE_ACCOUNT = "duplicate-account"
+E_ACTIVATION = "activation-failed"
+E_AUTH = "auth-failed"
+E_NOT_ACTIVE = "not-active"
+E_DUPLICATE_VOTE = "duplicate-vote"
+E_RATE_LIMITED = "rate-limited"
+E_SERVER = "server-error"
+
+
+class ReputationServer:
+    """The complete server: engine + accounts + protocol dispatch."""
+
+    def __init__(
+        self,
+        engine: Optional[ReputationEngine] = None,
+        pepper: Optional[SecretPepper] = None,
+        clock: Optional[SimClock] = None,
+        puzzle_difficulty: int = 8,
+        rng: Optional[random.Random] = None,
+        runtime_analysis: bool = False,
+        analysis_delay: int = 0,
+        adaptive_puzzles: bool = False,
+    ):
+        rng = rng or random.Random(0)
+        self.engine = engine or ReputationEngine(clock=clock)
+        self.clock = self.engine.clock
+        self.analysis = None
+        if runtime_analysis:
+            from ..analyzer import AnalysisService, BehaviorEvidenceStore
+
+            self.analysis = AnalysisService(
+                BehaviorEvidenceStore(self.engine.db),
+                analysis_delay=analysis_delay,
+            )
+        self.accounts = AccountManager(
+            self.engine.db,
+            pepper or SecretPepper(b"reproduction-pepper"),
+            clock=self.clock,
+            rng=rng,
+        )
+        if adaptive_puzzles:
+            from ..crypto.puzzles import AdaptivePuzzleIssuer
+
+            self.puzzles: PuzzleIssuer = AdaptivePuzzleIssuer(
+                base_difficulty=puzzle_difficulty, rng=rng
+            )
+        else:
+            self.puzzles = PuzzleIssuer(difficulty=puzzle_difficulty, rng=rng)
+        self.gate = VoteGate(self.engine)
+        # Registrations per origin address: burst of 3, ~6/day sustained.
+        self.registration_limiter = RateLimiter(3.0, 6.0 / 86400.0)
+        self._dispatch: dict[type, Callable] = {
+            PuzzleRequest: self._handle_puzzle,
+            RegisterRequest: self._handle_register,
+            CredentialRegisterRequest: self._handle_credential_register,
+            ActivateRequest: self._handle_activate,
+            LoginRequest: self._handle_login,
+            QuerySoftwareRequest: self._handle_query_software,
+            VoteRequest: self._handle_vote,
+            CommentRequest: self._handle_comment,
+            RemarkRequest: self._handle_remark,
+            SearchRequest: self._handle_search,
+            VendorQueryRequest: self._handle_vendor_query,
+            StatsRequest: self._handle_stats,
+        }
+
+    # -- wire entry point ---------------------------------------------------
+
+    def handle_bytes(self, source: str, payload: bytes) -> bytes:
+        """The network endpoint handler: XML in, XML out."""
+        try:
+            request = decode(payload)
+        except ProtocolError as exc:
+            return encode(ErrorResponse(code=E_BAD_REQUEST, detail=str(exc)))
+        response = self.handle(source, request)
+        return encode(response)
+
+    def handle(self, source: str, request: object):
+        """Dispatch one decoded request; always returns a message."""
+        handler = self._dispatch.get(type(request))
+        if handler is None:
+            return ErrorResponse(
+                code=E_BAD_REQUEST,
+                detail=f"unsupported request {type(request).__name__}",
+            )
+        try:
+            return handler(source, request)
+        except PuzzleError as exc:
+            return ErrorResponse(code=E_PUZZLE, detail=str(exc))
+        except DuplicateAccountError as exc:
+            return ErrorResponse(code=E_DUPLICATE_ACCOUNT, detail=str(exc))
+        except RegistrationError as exc:
+            return ErrorResponse(code=E_REGISTRATION, detail=str(exc))
+        except ActivationError as exc:
+            return ErrorResponse(code=E_ACTIVATION, detail=str(exc))
+        except AccountNotActiveError as exc:
+            return ErrorResponse(code=E_NOT_ACTIVE, detail=str(exc))
+        except AuthenticationError as exc:
+            return ErrorResponse(code=E_AUTH, detail=str(exc))
+        except DuplicateVoteError as exc:
+            return ErrorResponse(code=E_DUPLICATE_VOTE, detail=str(exc))
+        except RateLimitExceededError as exc:
+            return ErrorResponse(code=E_RATE_LIMITED, detail=str(exc))
+        except MalformedMessageError as exc:
+            return ErrorResponse(code=E_BAD_REQUEST, detail=str(exc))
+        except ServerError as exc:
+            return ErrorResponse(code=E_SERVER, detail=str(exc))
+
+    # -- account lifecycle ----------------------------------------------------
+
+    def _handle_puzzle(self, source: str, request: PuzzleRequest):
+        puzzle = self.puzzles.issue(origin=source, now=self.clock.now())
+        return PuzzleResponse(nonce=puzzle.nonce, difficulty=puzzle.difficulty)
+
+    def _handle_register(self, source: str, request: RegisterRequest):
+        self.registration_limiter.check(source, self.clock.now())
+        if not self.puzzles.redeem(request.puzzle_nonce, request.puzzle_solution):
+            raise PuzzleError("missing, stale, or wrong puzzle solution")
+        token = self.accounts.register(
+            request.username, request.password, request.email
+        )
+        return RegisterResponse(activation_token=token)
+
+    def _handle_credential_register(
+        self, source: str, request: CredentialRegisterRequest
+    ):
+        from ..crypto.pseudonyms import Credential
+
+        self.registration_limiter.check(source, self.clock.now())
+        credential = Credential(
+            issuer_name=request.issuer_name,
+            serial=request.serial,
+            signature=int.from_bytes(request.signature, "big"),
+        )
+        self.accounts.register_with_credential(
+            request.username, request.password, credential
+        )
+        self.engine.enroll_user(request.username)
+        return OkResponse(detail="pseudonym account opened")
+
+    def trust_credential_issuer(self, public_key) -> None:
+        """Accept pseudonym credentials from this issuer."""
+        self.accounts.trust_issuer(public_key)
+
+    def _handle_activate(self, source: str, request: ActivateRequest):
+        self.accounts.activate(request.username, request.token)
+        self.engine.enroll_user(request.username)
+        return OkResponse(detail="account activated")
+
+    def _handle_login(self, source: str, request: LoginRequest):
+        session = self.accounts.login(request.username, request.password)
+        return LoginResponse(session=session)
+
+    # -- software & feedback -----------------------------------------------------
+
+    def _handle_query_software(self, source: str, request: QuerySoftwareRequest):
+        self.accounts.authenticate_session(request.session)
+        self.engine.register_software(
+            software_id=request.software_id,
+            file_name=request.file_name,
+            file_size=request.file_size,
+            vendor=request.vendor,
+            version=request.version,
+        )
+        return self._software_info(request.software_id)
+
+    def _software_info(self, software_id: str) -> SoftwareInfoResponse:
+        record = self.engine.vendors.get_or_none(software_id)
+        if record is None:
+            return SoftwareInfoResponse(software_id=software_id, known=False)
+        published = self.engine.software_reputation(software_id)
+        vendor_score = None
+        if record.vendor is not None:
+            vendor_published = self.engine.vendor_reputation(record.vendor)
+            if vendor_published is not None:
+                vendor_score = vendor_published.score
+        # Most credible comments first (Sec. 2.1's reliability profile).
+        comments = tuple(
+            CommentInfo(
+                comment_id=comment.comment_id,
+                username=comment.username,
+                text=comment.text,
+                positive_remarks=comment.positive_remarks,
+                negative_remarks=comment.negative_remarks,
+            )
+            for comment in self.engine.ranked_comments(software_id)
+        )
+        reported_behaviors: tuple = ()
+        analyzed = False
+        if self.analysis is not None:
+            analyzed = self.analysis.store.is_analyzed(software_id)
+            reported_behaviors = tuple(
+                sorted(
+                    behavior.value
+                    for behavior in self.analysis.store.behaviors_for(software_id)
+                )
+            )
+        return SoftwareInfoResponse(
+            software_id=software_id,
+            known=True,
+            score=None if published is None else published.score,
+            vote_count=0 if published is None else published.vote_count,
+            vendor=record.vendor,
+            vendor_score=vendor_score,
+            comments=comments,
+            reported_behaviors=reported_behaviors,
+            analyzed=analyzed,
+        )
+
+    def _handle_vote(self, source: str, request: VoteRequest):
+        username = self.accounts.authenticate_session(request.session)
+        self.gate.cast_vote(username, request.software_id, request.score)
+        return OkResponse(detail="vote recorded")
+
+    def _handle_comment(self, source: str, request: CommentRequest):
+        username = self.accounts.authenticate_session(request.session)
+        comment = self.gate.add_comment(username, request.software_id, request.text)
+        return OkResponse(detail=f"comment {comment.comment_id} recorded")
+
+    def _handle_remark(self, source: str, request: RemarkRequest):
+        username = self.accounts.authenticate_session(request.session)
+        self.gate.add_remark(username, request.comment_id, request.positive)
+        return OkResponse(detail="remark recorded")
+
+    # -- web-interface queries ---------------------------------------------------
+
+    def _handle_search(self, source: str, request: SearchRequest):
+        self.accounts.authenticate_session(request.session)
+        results = []
+        for record in self.engine.vendors.search_by_name(request.needle):
+            published = self.engine.software_reputation(record.software_id)
+            results.append(
+                SoftwareSummary(
+                    software_id=record.software_id,
+                    file_name=record.file_name,
+                    vendor=record.vendor,
+                    score=None if published is None else published.score,
+                    vote_count=0 if published is None else published.vote_count,
+                )
+            )
+        return SearchResponse(results=tuple(results))
+
+    def _handle_vendor_query(self, source: str, request: VendorQueryRequest):
+        self.accounts.authenticate_session(request.session)
+        score = self.engine.vendor_reputation(request.vendor)
+        if score is None:
+            known = bool(self.engine.vendors.software_of_vendor(request.vendor))
+            return VendorInfoResponse(vendor=request.vendor, known=known)
+        return VendorInfoResponse(
+            vendor=request.vendor,
+            known=True,
+            score=score.score,
+            software_count=score.software_count,
+            rated_software_count=score.rated_software_count,
+        )
+
+    def _handle_stats(self, source: str, request: StatsRequest):
+        self.accounts.authenticate_session(request.session)
+        stats = self.engine.stats()
+        return StatsResponse(
+            registered_software=stats["registered_software"],
+            rated_software=stats["rated_software"],
+            total_votes=stats["total_votes"],
+            total_comments=stats["total_comments"],
+            members=stats["members"],
+        )
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def run_daily_batch(self) -> None:
+        """The 24-hour maintenance job: score aggregation plus any due
+        runtime-analysis work (driven by the simulation loop)."""
+        self.engine.maybe_run_aggregation()
+        if self.analysis is not None:
+            self.analysis.process_due(self.clock.now())
+
+    def submit_sample(self, executable) -> bool:
+        """Hand a field sample to the runtime-analysis lab.
+
+        In the deployed system this is the binary-upload channel; in the
+        simulation the community loop calls it when software is first
+        seen running.  No-op (False) without a lab or for known samples.
+        """
+        if self.analysis is None:
+            return False
+        return self.analysis.submit(executable, self.clock.now())

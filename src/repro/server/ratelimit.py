@@ -1,0 +1,84 @@
+"""Flood control.
+
+Section 2.1: *"The main question when it comes to vote flooding is how to
+allow normal users to be able to vote smoothly and yet be able to address
+abusive users that attack the system."*  Token buckets answer exactly
+that: a burst allowance for normal use, a slow refill that caps sustained
+automation.  The server keys buckets per account and (for registration)
+per origin address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import RateLimitExceededError
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket over simulated time (seconds)."""
+
+    capacity: float
+    refill_per_second: float
+    tokens: float = field(default=-1.0)
+    last_refill: int = 0
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError("bucket capacity must be positive")
+        if self.refill_per_second < 0:
+            raise ValueError("refill rate cannot be negative")
+        if self.tokens < 0:
+            self.tokens = self.capacity
+
+    def try_consume(self, now: int, amount: float = 1.0) -> bool:
+        """Take *amount* tokens if available; refills lazily from *now*."""
+        if now > self.last_refill:
+            elapsed = now - self.last_refill
+            self.tokens = min(
+                self.capacity, self.tokens + elapsed * self.refill_per_second
+            )
+            self.last_refill = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+
+class RateLimiter:
+    """A family of token buckets keyed by caller identity."""
+
+    def __init__(self, capacity: float, refill_per_second: float):
+        self.capacity = capacity
+        self.refill_per_second = refill_per_second
+        self._buckets: dict[Any, TokenBucket] = {}
+        self.rejections = 0
+
+    def check(self, key: Any, now: int, amount: float = 1.0) -> None:
+        """Consume from *key*'s bucket or raise :class:`RateLimitExceededError`."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(
+                capacity=self.capacity,
+                refill_per_second=self.refill_per_second,
+                last_refill=now,
+            )
+            self._buckets[key] = bucket
+        if not bucket.try_consume(now, amount):
+            self.rejections += 1
+            raise RateLimitExceededError(
+                f"rate limit exceeded for {key!r}"
+            )
+
+    def allowed(self, key: Any, now: int, amount: float = 1.0) -> bool:
+        """Non-raising variant of :meth:`check`."""
+        try:
+            self.check(key, now, amount)
+        except RateLimitExceededError:
+            return False
+        return True
+
+    def tracked_keys(self) -> int:
+        return len(self._buckets)

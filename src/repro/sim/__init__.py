@@ -1,0 +1,68 @@
+"""Simulation harness.
+
+Replaces the paper's live deployment (the "softwareputation" community
+with 2000+ rated programs) with a deterministic, seeded model:
+
+* :mod:`~repro.sim.population` — software populations over the nine
+  Table-1 cells, with vendors, signatures, and ground-truth quality;
+* :mod:`~repro.sim.users` — user archetypes (expert, average, novice,
+  free-rider) with rating-error models;
+* :mod:`~repro.sim.attacks` — the Sec. 2.1 abuse scenarios;
+* :mod:`~repro.sim.community` — the end-to-end driver: many machines,
+  one server, simulated weeks of executions, prompts, votes, batches;
+* :mod:`~repro.sim.metrics` — infection rates, rating error, coverage;
+* :mod:`~repro.sim.scenario` — configuration records.
+"""
+
+from .population import (
+    PopulationConfig,
+    SoftwarePopulation,
+    generate_population,
+    true_quality_score,
+)
+from .users import UserArchetype, EXPERT, AVERAGE, NOVICE, FREE_RIDER, make_rating_responder
+from .attacks import (
+    AttackReport,
+    run_vote_flood,
+    run_sybil_attack,
+    run_self_promotion,
+    run_defamation,
+    run_polymorphic_vendor,
+    run_vendor_rebrand,
+)
+from .community import CommunityConfig, CommunitySimulation, CommunityResult
+from .metrics import (
+    infection_rate,
+    mean_absolute_rating_error,
+    rating_coverage,
+    classification_matrix,
+)
+from .scenario import Scenario
+
+__all__ = [
+    "PopulationConfig",
+    "SoftwarePopulation",
+    "generate_population",
+    "true_quality_score",
+    "UserArchetype",
+    "EXPERT",
+    "AVERAGE",
+    "NOVICE",
+    "FREE_RIDER",
+    "make_rating_responder",
+    "AttackReport",
+    "run_vote_flood",
+    "run_sybil_attack",
+    "run_self_promotion",
+    "run_defamation",
+    "run_polymorphic_vendor",
+    "run_vendor_rebrand",
+    "CommunityConfig",
+    "CommunitySimulation",
+    "CommunityResult",
+    "infection_rate",
+    "mean_absolute_rating_error",
+    "rating_coverage",
+    "classification_matrix",
+    "Scenario",
+]

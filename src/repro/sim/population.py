@@ -1,0 +1,267 @@
+"""Software population generation.
+
+Builds executables across the nine Table-1 cells with behaviours that
+*imply* the cell's consequence level, vendors and version resources that
+match the cell's honesty (legitimate vendors label and sign their
+products; parasites do neither), and a ground-truth quality score that
+honest raters report with noise.
+
+The default mix leans the way the paper's statistics do: a majority of
+legitimate software, a thick grey zone (the >80 % home-PC infection rate
+is carried by greyware prevalence), and a thin tail of outright malware.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.taxonomy import ConsentLevel, Consequence
+from ..crypto.signatures import CertificateAuthority
+from ..winsim import Behavior, Executable, build_executable
+from ..winsim.behaviors import behaviors_at
+
+#: Default cell mix (fractions; normalised at use).  Keyed by cell number.
+DEFAULT_CELL_WEIGHTS: dict = {
+    1: 0.42,  # legitimate
+    2: 0.10,  # adverse
+    3: 0.02,  # double agents
+    4: 0.10,  # semi-transparent
+    5: 0.16,  # unsolicited (the classic ad-funded bundle carriers)
+    6: 0.04,  # semi-parasites
+    7: 0.05,  # covert
+    8: 0.07,  # trojans
+    9: 0.04,  # parasites
+}
+
+_LEGIT_VENDORS = (
+    "Microsoft", "Adobe", "Mozilla", "Opera Software", "RealNetworks",
+    "Sun Microsystems", "Macromedia", "Lavasoft", "WinZip Computing",
+)
+_GREY_VENDORS = (
+    "Claria", "WhenU", "180solutions", "Sharman Networks", "BonziSoft",
+    "HotbarWare", "GatorStyle Media", "FreeToolbarz",
+)
+_MALWARE_VENDORS = (None, None, None, "Totally Legit Software", None)
+
+
+def true_quality_score(executable: Executable) -> int:
+    """Ground-truth 1–10 rating an informed, honest expert would give.
+
+    Quality starts high and each behaviour costs by severity; deceit
+    (low consent) costs on top, because experts punish hidden conduct.
+    """
+    score = 9.0
+    for behavior in executable.behaviors:
+        severity = _SEVERITY_PENALTY[behavior]
+        score -= severity
+    if executable.bundled:
+        score -= 2.0
+    if executable.consent is ConsentLevel.MEDIUM:
+        score -= 1.5
+    elif executable.consent is ConsentLevel.LOW:
+        score -= 3.0
+    return int(min(10, max(1, round(score))))
+
+
+def _penalties() -> dict:
+    from ..winsim.behaviors import BEHAVIOR_SEVERITY
+
+    penalty_of = {
+        Consequence.TOLERABLE: 1.5,
+        Consequence.MODERATE: 3.5,
+        Consequence.SEVERE: 7.0,
+    }
+    return {
+        behavior: penalty_of[severity]
+        for behavior, severity in BEHAVIOR_SEVERITY.items()
+    }
+
+
+_SEVERITY_PENALTY = _penalties()
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs for :func:`generate_population`."""
+
+    size: int = 200
+    cell_weights: dict = field(default_factory=lambda: dict(DEFAULT_CELL_WEIGHTS))
+    #: Fraction of *legitimate* software carrying a valid signature.
+    signed_fraction: float = 0.6
+    #: Fraction of grey/malware software that strips its vendor name.
+    stripped_vendor_fraction: float = 0.5
+    #: Fraction of cell-5 software that bundles a PIS payload.
+    bundler_fraction: float = 0.5
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.size < 1:
+            raise ValueError("population size must be positive")
+        if not self.cell_weights:
+            raise ValueError("cell weights cannot be empty")
+
+
+@dataclass
+class SoftwarePopulation:
+    """The generated software universe plus its PKI."""
+
+    executables: list
+    authority: CertificateAuthority
+    config: PopulationConfig
+
+    def __len__(self) -> int:
+        return len(self.executables)
+
+    def by_cell(self) -> dict:
+        """Executables grouped by Table-1 cell number."""
+        groups: dict = {}
+        for executable in self.executables:
+            groups.setdefault(executable.taxonomy_cell.number, []).append(executable)
+        return groups
+
+    def legitimate(self) -> list:
+        return [e for e in self.executables if e.taxonomy_cell.is_legitimate]
+
+    def spyware(self) -> list:
+        return [e for e in self.executables if e.taxonomy_cell.is_spyware]
+
+    def malware(self) -> list:
+        return [e for e in self.executables if e.taxonomy_cell.is_malware]
+
+
+def generate_population(config: Optional[PopulationConfig] = None) -> SoftwarePopulation:
+    """Deterministically build a software population for *config*."""
+    config = config or PopulationConfig()
+    rng = random.Random(config.seed)
+    authority = CertificateAuthority("VeriSoft Root CA", key=b"population-ca-key")
+    certificates = {
+        vendor: authority.issue_certificate(vendor) for vendor in _LEGIT_VENDORS
+    }
+    cells = sorted(config.cell_weights)
+    weights = [config.cell_weights[number] for number in cells]
+    executables = []
+    for index in range(config.size):
+        cell_number = rng.choices(cells, weights=weights)[0]
+        executables.append(
+            _build_for_cell(cell_number, index, rng, authority, certificates, config)
+        )
+    return SoftwarePopulation(executables, authority, config)
+
+
+def _build_for_cell(
+    cell_number: int,
+    index: int,
+    rng: random.Random,
+    authority: CertificateAuthority,
+    certificates: dict,
+    config: PopulationConfig,
+) -> Executable:
+    consent, consequence = _CELL_AXES[cell_number]
+    behaviors = _behaviors_for(consequence, rng)
+    bundled: tuple = ()
+    if cell_number == 5 and rng.random() < config.bundler_fraction:
+        # The canonical Sec. 2.1 hazard: a "great free program" whose
+        # installer drops PIS payloads.  The payload registers itself at
+        # startup, so it keeps running without the user ever launching it.
+        payload = build_executable(
+            file_name=f"bundle_payload_{index}.exe",
+            vendor=rng.choice(_GREY_VENDORS),
+            behaviors=frozenset(
+                {
+                    Behavior.TRACKS_BROWSING,
+                    Behavior.DISPLAYS_ADS,
+                    Behavior.REGISTERS_STARTUP,
+                }
+            ),
+            consent=ConsentLevel.LOW,
+            content=f"PAYLOAD|{config.seed}|{index}".encode("utf-8"),
+        )
+        bundled = (payload,)
+    if cell_number in (1, 2, 3):
+        vendor = rng.choice(_LEGIT_VENDORS)
+        eula_words = rng.randint(200, 1500)
+    elif cell_number in (4, 5, 6):
+        vendor = rng.choice(_GREY_VENDORS)
+        # Grey-zone EULAs are the "well over 5000 words" kind.
+        eula_words = rng.randint(3000, 9000)
+    else:
+        vendor = rng.choice(_MALWARE_VENDORS)
+        eula_words = 0
+    if cell_number != 1 and vendor is not None:
+        if rng.random() < config.stripped_vendor_fraction and cell_number >= 4:
+            vendor = None
+    # Content derives from (seed, index, cell) so two populations built
+    # from the same config are byte-identical — the bootstrap corpus and
+    # the community must agree on software IDs.
+    executable = build_executable(
+        file_name=_file_name(cell_number, index, rng),
+        vendor=vendor,
+        version=f"{rng.randint(1, 9)}.{rng.randint(0, 9)}",
+        behaviors=behaviors,
+        consent=consent,
+        eula_word_count=eula_words,
+        bundled=bundled,
+        content=f"MZ|{config.seed}|{index}|{cell_number}".encode("utf-8"),
+    )
+    is_legit = cell_number == 1
+    if is_legit and vendor in certificates and rng.random() < config.signed_fraction:
+        signature = authority.sign(certificates[vendor], executable.content)
+        executable = Executable(
+            file_name=executable.file_name,
+            content=executable.content,
+            vendor=executable.vendor,
+            version=executable.version,
+            signature=signature,
+            behaviors=executable.behaviors,
+            consent=executable.consent,
+            eula_word_count=executable.eula_word_count,
+            bundled=executable.bundled,
+        )
+    return executable
+
+
+_CELL_AXES = {
+    1: (ConsentLevel.HIGH, Consequence.TOLERABLE),
+    2: (ConsentLevel.HIGH, Consequence.MODERATE),
+    3: (ConsentLevel.HIGH, Consequence.SEVERE),
+    4: (ConsentLevel.MEDIUM, Consequence.TOLERABLE),
+    5: (ConsentLevel.MEDIUM, Consequence.MODERATE),
+    6: (ConsentLevel.MEDIUM, Consequence.SEVERE),
+    7: (ConsentLevel.LOW, Consequence.TOLERABLE),
+    8: (ConsentLevel.LOW, Consequence.MODERATE),
+    9: (ConsentLevel.LOW, Consequence.SEVERE),
+}
+
+_NAME_STEMS = {
+    1: ("editor", "player", "archiver", "browser", "reader"),
+    2: ("tuner", "codecpack", "downloader", "toolbar"),
+    3: ("optimizer", "accelerator"),
+    4: ("freegame", "screensaver", "wallpaper"),
+    5: ("p2pshare", "mediabar", "smileypack", "couponfinder"),
+    6: ("cracktool", "keygenhelper"),
+    7: ("svchelper", "sysmon"),
+    8: ("freecodec", "flashupdate"),
+    9: ("winlocker", "creditgrabber"),
+}
+
+
+def _file_name(cell_number: int, index: int, rng: random.Random) -> str:
+    stem = rng.choice(_NAME_STEMS[cell_number])
+    return f"{stem}_{index}.exe"
+
+
+def _behaviors_for(consequence: Consequence, rng: random.Random) -> frozenset:
+    """Pick behaviours whose worst severity is exactly *consequence*."""
+    if consequence is Consequence.TOLERABLE:
+        if rng.random() < 0.5:
+            return frozenset()
+        return frozenset(rng.sample(behaviors_at(Consequence.TOLERABLE), 1))
+    chosen = set(rng.sample(behaviors_at(consequence), 1))
+    # Sprinkle in milder behaviours for texture.
+    if rng.random() < 0.6:
+        chosen.update(rng.sample(behaviors_at(Consequence.TOLERABLE), 1))
+    if consequence is Consequence.SEVERE and rng.random() < 0.5:
+        chosen.update(rng.sample(behaviors_at(Consequence.MODERATE), 1))
+    return frozenset(chosen)

@@ -1,0 +1,36 @@
+"""Scenario records: named, reproducible experiment configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named experiment setup, for EXPERIMENTS.md bookkeeping.
+
+    Purely descriptive — the community/attack modules take their own
+    config objects; a Scenario ties an experiment ID to the parameters it
+    was run with so results stay auditable.
+    """
+
+    experiment_id: str
+    title: str
+    parameters: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.experiment_id:
+            raise ScenarioError("experiment_id cannot be empty")
+        if not self.title:
+            raise ScenarioError("title cannot be empty")
+
+    def describe(self) -> str:
+        """One-line summary for logs and report headers."""
+        if not self.parameters:
+            return f"[{self.experiment_id}] {self.title}"
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.parameters.items())
+        )
+        return f"[{self.experiment_id}] {self.title} ({rendered})"

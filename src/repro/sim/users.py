@@ -1,0 +1,168 @@
+"""User archetypes.
+
+Sec. 2.1 worries about exactly two kinds of honest-but-unequal users —
+experienced users whose feedback is accurate, and "ignorant users voting
+and leaving feedback on programs they know nothing or little about" — plus
+free riders who never contribute.  Each archetype bundles:
+
+* a *decision style* (how they answer the allow/deny dialog);
+* a *rating model* (noise and bias around the ground-truth quality);
+* *activity* (how often they run programs, how many they install);
+* a *remark habit* (whether they grade other users' comments).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..client.ui import (
+    DialogContext,
+    RatingAnswer,
+    RatingResponder,
+    Responder,
+    cautious_responder,
+    score_threshold_responder,
+)
+from ..core.ratings import MAX_SCORE, MIN_SCORE
+from ..winsim import Executable
+from .population import true_quality_score
+
+
+@dataclass(frozen=True)
+class UserArchetype:
+    """A behavioural profile for simulated community members."""
+
+    name: str
+    #: Std-dev of the rating noise around ground truth.
+    rating_noise: float
+    #: Systematic rating bias (novices overrate shiny freeware).
+    rating_bias: float
+    #: Probability of answering a rating prompt at all.
+    rates_probability: float
+    #: Probability of attaching a comment to a vote.
+    comments_probability: float
+    #: Probability of remarking someone else's comment each active day.
+    remarks_probability: float
+    #: Mean program launches per day.
+    executions_per_day: float
+    #: How many programs from the population the user installs.
+    installs: int
+    #: Decision style factory: () -> Responder.
+    responder_factory: Callable[[], Responder]
+    #: Population share when building mixed communities.
+    share: float
+
+    def build_responder(self) -> Responder:
+        return self.responder_factory()
+
+
+EXPERT = UserArchetype(
+    name="expert",
+    rating_noise=0.5,
+    rating_bias=0.0,
+    rates_probability=0.95,
+    comments_probability=0.6,
+    remarks_probability=0.5,
+    executions_per_day=10.0,
+    installs=18,
+    responder_factory=lambda: cautious_responder(threshold=5.0, min_votes=1),
+    share=0.15,
+)
+
+AVERAGE = UserArchetype(
+    name="average",
+    rating_noise=1.2,
+    rating_bias=0.3,
+    rates_probability=0.7,
+    comments_probability=0.25,
+    remarks_probability=0.2,
+    executions_per_day=7.0,
+    installs=12,
+    responder_factory=lambda: score_threshold_responder(
+        threshold=5.0, allow_unrated=True
+    ),
+    share=0.55,
+)
+
+NOVICE = UserArchetype(
+    name="novice",
+    rating_noise=2.5,
+    rating_bias=1.5,  # "a great free and highly recommended program"
+    rates_probability=0.5,
+    comments_probability=0.15,
+    remarks_probability=0.05,
+    executions_per_day=5.0,
+    installs=10,
+    responder_factory=lambda: score_threshold_responder(
+        threshold=3.0, allow_unrated=True
+    ),
+    share=0.2,
+)
+
+FREE_RIDER = UserArchetype(
+    name="free-rider",
+    rating_noise=0.0,
+    rating_bias=0.0,
+    rates_probability=0.0,
+    comments_probability=0.0,
+    remarks_probability=0.0,
+    executions_per_day=6.0,
+    installs=10,
+    responder_factory=lambda: score_threshold_responder(
+        threshold=5.0, allow_unrated=True
+    ),
+    share=0.1,
+)
+
+ALL_ARCHETYPES = (EXPERT, AVERAGE, NOVICE, FREE_RIDER)
+
+
+def noisy_score(
+    executable: Executable,
+    archetype: UserArchetype,
+    rng: random.Random,
+) -> int:
+    """The score this archetype would submit for *executable*."""
+    truth = true_quality_score(executable)
+    value = truth + archetype.rating_bias
+    if archetype.rating_noise > 0:
+        value += rng.gauss(0.0, archetype.rating_noise)
+    return int(min(MAX_SCORE, max(MIN_SCORE, round(value))))
+
+
+def make_rating_responder(
+    archetype: UserArchetype,
+    executables_by_id: dict,
+    rng: random.Random,
+) -> RatingResponder:
+    """Build the rating-prompt behaviour of one simulated user.
+
+    *executables_by_id* is the user's view of their own disk — they rate
+    software they run, which they certainly possess.
+    """
+
+    def rate(context: DialogContext) -> Optional[RatingAnswer]:
+        if rng.random() >= archetype.rates_probability:
+            return None
+        executable = executables_by_id.get(context.software_id)
+        if executable is None:
+            return None
+        score = noisy_score(executable, archetype, rng)
+        comment = None
+        if rng.random() < archetype.comments_probability:
+            comment = _comment_text(executable, score)
+        return RatingAnswer(score=score, comment=comment)
+
+    return rate
+
+
+def _comment_text(executable: Executable, score: int) -> str:
+    """A terse behaviour report, the kind Sec. 4.3 says only users give."""
+    if not executable.behaviors:
+        return f"works fine, no surprises ({score}/10)"
+    observed = ", ".join(
+        sorted(behavior.value for behavior in executable.behaviors)
+    )
+    return f"observed: {observed} ({score}/10)"

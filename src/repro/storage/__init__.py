@@ -1,0 +1,69 @@
+"""Embedded relational storage engine.
+
+The reputation server in the paper sits on a conventional database; this
+package provides the equivalent substrate: typed schemas, primary-key and
+secondary indexes (hash and sorted), transactions with rollback, and
+durability through a write-ahead log with snapshot checkpoints.
+
+The public surface is :class:`~repro.storage.engine.Database`:
+
+>>> from repro.storage import Database, Schema, Column, ColumnType
+>>> db = Database()
+>>> schema = Schema(
+...     name="users",
+...     columns=[
+...         Column("username", ColumnType.TEXT),
+...         Column("trust", ColumnType.FLOAT),
+...     ],
+...     primary_key="username",
+... )
+>>> users = db.create_table(schema)
+>>> users.insert({"username": "alice", "trust": 1.0})
+>>> users.get("alice")["trust"]
+1.0
+"""
+
+from .schema import Column, ColumnType, Schema
+from .table import Table
+from .index import HashIndex, SortedIndex
+from .query import (
+    and_,
+    or_,
+    not_,
+    eq,
+    ne,
+    lt,
+    le,
+    gt,
+    ge,
+    between,
+    contains,
+    in_set,
+)
+from .transactions import Transaction
+from .wal import WriteAheadLog
+from .engine import Database
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "HashIndex",
+    "SortedIndex",
+    "Transaction",
+    "WriteAheadLog",
+    "Database",
+    "and_",
+    "or_",
+    "not_",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "between",
+    "contains",
+    "in_set",
+]

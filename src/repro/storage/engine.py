@@ -1,0 +1,228 @@
+"""The database engine: tables + transactions + durability.
+
+:class:`Database` is the facade the server code uses.  It can run purely
+in memory (the default, used by most simulations) or attached to a
+directory, in which case every committed mutation is WAL-logged and
+:meth:`checkpoint` writes a full snapshot and truncates the log.
+
+Schemas are code, not data: on reopen the caller re-declares its tables
+(with their check constraints, which are Python callables) and then calls
+:meth:`recover` to reload the snapshot and replay the log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..errors import (
+    StorageError,
+    TableExistsError,
+    TableNotFoundError,
+    TransactionError,
+)
+from .schema import Schema
+from .table import MutationEvent, OP_DELETE, OP_INSERT, OP_UPDATE, Table
+from .transactions import Transaction, invert
+from .wal import WriteAheadLog, decode_row, decode_value, encode_row, encode_value
+
+_SNAPSHOT_FILE = "snapshot.json"
+_WAL_FILE = "wal.jsonl"
+
+
+class Database:
+    """A collection of tables with optional durability.
+
+    >>> db = Database()                      # in-memory
+    >>> db = Database(directory="/tmp/rep")  # durable (WAL + snapshots)
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self._tables: dict[str, Table] = {}
+        self._transaction: Optional[Transaction] = None
+        self._tx_buffer: list = []
+        self._suppress_log = False
+        self._directory = directory
+        self._wal: Optional[WriteAheadLog] = None
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._wal = WriteAheadLog(os.path.join(directory, _WAL_FILE))
+
+    # -- schema management --------------------------------------------------
+
+    def create_table(self, schema: Schema) -> Table:
+        """Create a table from *schema* and return it."""
+        if schema.name in self._tables:
+            raise TableExistsError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        table.add_observer(self._on_mutation)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Return the table named *name*."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> tuple:
+        return tuple(self._tables)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and all of its rows."""
+        if name not in self._tables:
+            raise TableNotFoundError(f"no table named {name!r}")
+        del self._tables[name]
+
+    # -- transactions ---------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Return a fresh transaction context manager."""
+        return Transaction(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._transaction is not None
+
+    def _begin(self, transaction: Transaction) -> None:
+        if self._transaction is not None:
+            raise TransactionError("nested transactions are not supported")
+        self._transaction = transaction
+        self._tx_buffer = []
+
+    def _commit(self, transaction: Transaction, undo_log: list) -> None:
+        if self._transaction is not transaction:
+            raise TransactionError("commit from a non-current transaction")
+        buffered, self._tx_buffer = self._tx_buffer, []
+        self._transaction = None
+        if self._wal is not None and buffered:
+            self._wal.append_commit_unit(buffered)
+
+    def _rollback(self, transaction: Transaction, undo_log: list) -> None:
+        if self._transaction is not transaction:
+            raise TransactionError("rollback from a non-current transaction")
+        self._suppress_log = True
+        try:
+            for event in reversed(undo_log):
+                op, pk, row = invert(event)
+                table = self._tables[event.table]
+                if op == OP_DELETE:
+                    table.delete(pk)
+                elif op == OP_UPDATE:
+                    table.update(pk, row)
+                elif op == OP_INSERT:
+                    table.insert(row)
+        finally:
+            self._suppress_log = False
+            self._transaction = None
+            self._tx_buffer = []
+
+    # -- WAL plumbing -----------------------------------------------------------
+
+    def _on_mutation(self, event: MutationEvent) -> None:
+        if self._suppress_log:
+            return
+        if self._transaction is not None:
+            self._transaction.record(event)
+            if self._wal is not None:
+                self._tx_buffer.append(self._encode_event(event))
+        elif self._wal is not None:
+            self._wal.append_commit_unit([self._encode_event(event)])
+
+    @staticmethod
+    def _encode_event(event: MutationEvent) -> dict:
+        return {
+            "op": event.op,
+            "table": event.table,
+            "pk": encode_value(event.pk),
+            "row": encode_row(event.row),
+        }
+
+    # -- durability ----------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Load the snapshot (if any) and replay the WAL into the tables.
+
+        Must be called after all schemas have been re-declared and before
+        any new writes.  Returns the number of replayed mutations.
+        """
+        if self._directory is None:
+            raise StorageError("recover() requires a durable database")
+        if self._transaction is not None:
+            raise TransactionError("cannot recover inside a transaction")
+        applied = 0
+        self._suppress_log = True
+        try:
+            snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+            if os.path.exists(snapshot_path):
+                with open(snapshot_path, "r", encoding="utf-8") as snapshot_file:
+                    snapshot = json.load(snapshot_file)
+                for table_name, rows in snapshot.get("tables", {}).items():
+                    if table_name not in self._tables:
+                        raise StorageError(
+                            f"snapshot references undeclared table {table_name!r}"
+                        )
+                    table = self._tables[table_name]
+                    for row in rows:
+                        table.insert(decode_row(row))
+                        applied += 1
+            assert self._wal is not None
+            for unit in self._wal.replay():
+                for record in unit:
+                    self._apply_record(record)
+                    applied += 1
+        finally:
+            self._suppress_log = False
+        return applied
+
+    def _apply_record(self, record: dict) -> None:
+        table_name = record["table"]
+        if table_name not in self._tables:
+            raise StorageError(
+                f"WAL references undeclared table {table_name!r}"
+            )
+        table = self._tables[table_name]
+        op = record["op"]
+        pk = decode_value(record["pk"])
+        row = decode_row(record["row"])
+        if op == OP_INSERT:
+            table.insert(row)
+        elif op == OP_UPDATE:
+            table.update(pk, row)
+        elif op == OP_DELETE:
+            table.delete(pk)
+        else:
+            raise StorageError(f"unknown WAL operation {op!r}")
+
+    def checkpoint(self) -> None:
+        """Write a full snapshot and truncate the WAL."""
+        if self._directory is None or self._wal is None:
+            raise StorageError("checkpoint() requires a durable database")
+        if self._transaction is not None:
+            raise TransactionError("cannot checkpoint inside a transaction")
+        snapshot = {
+            "tables": {
+                name: [encode_row(row) for row in table.all()]
+                for name, table in self._tables.items()
+            }
+        }
+        snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+        temp_path = snapshot_path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as snapshot_file:
+            json.dump(snapshot, snapshot_file, sort_keys=True)
+            snapshot_file.flush()
+            os.fsync(snapshot_file.fileno())
+        os.replace(temp_path, snapshot_path)
+        self._wal.truncate()
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def total_rows(self) -> int:
+        """Total row count across all tables."""
+        return sum(len(table) for table in self._tables.values())

@@ -1,0 +1,168 @@
+"""Secondary indexes: hash (equality) and sorted (range).
+
+Indexes map a column value to the set of primary keys whose rows carry that
+value.  The server's hot paths use them heavily: votes are looked up by
+``software_id`` during the daily aggregation batch (hash index), and the
+flood-control layer scans votes by timestamp window (sorted index).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class HashIndex:
+    """Equality index: value -> set of primary keys."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self._buckets: dict[Any, set] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def add(self, value: Any, pk: Any) -> None:
+        """Register that the row *pk* has *value* in the indexed column."""
+        self._buckets.setdefault(value, set()).add(pk)
+
+    def remove(self, value: Any, pk: Any) -> None:
+        """Unregister row *pk* from *value* (no-op if absent)."""
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            return
+        bucket.discard(pk)
+        if not bucket:
+            del self._buckets[value]
+
+    def lookup(self, value: Any) -> frozenset:
+        """Primary keys of all rows whose indexed column equals *value*."""
+        return frozenset(self._buckets.get(value, ()))
+
+    def distinct_values(self) -> Iterator[Any]:
+        """Iterate over the distinct indexed values."""
+        return iter(self._buckets)
+
+    def cardinality(self, value: Any) -> int:
+        """Number of rows carrying *value*."""
+        return len(self._buckets.get(value, ()))
+
+
+class SortedIndex:
+    """Range index: keeps (value, pk) pairs in sorted order.
+
+    Supports ``range(lo, hi)`` scans in O(log n + k).  ``None`` values are
+    not indexed (SQL semantics: NULL never matches a range predicate).
+    """
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: list = []  # sorted list of (value, pk) tuples
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, value: Any, pk: Any) -> None:
+        if value is None:
+            return
+        bisect.insort(self._entries, (value, _PkKey(pk)))
+
+    def remove(self, value: Any, pk: Any) -> None:
+        if value is None:
+            return
+        entry = (value, _PkKey(pk))
+        position = bisect.bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            del self._entries[position]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        inclusive: tuple = (True, True),
+    ) -> Iterator[Any]:
+        """Yield primary keys with indexed value in [low, high].
+
+        Either bound may be ``None`` (unbounded).  *inclusive* controls
+        whether each bound itself matches.
+        """
+        low_inclusive, high_inclusive = inclusive
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._entries, (low, _MIN_PK))
+        else:
+            start = bisect.bisect_right(self._entries, (low, _MAX_PK))
+        for position in range(start, len(self._entries)):
+            value, pk_key = self._entries[position]
+            if high is not None:
+                if high_inclusive and value > high:
+                    break
+                if not high_inclusive and value >= high:
+                    break
+            yield pk_key.pk
+
+    def min_value(self) -> Any:
+        """Smallest indexed value, or None if empty."""
+        return self._entries[0][0] if self._entries else None
+
+    def max_value(self) -> Any:
+        """Largest indexed value, or None if empty."""
+        return self._entries[-1][0] if self._entries else None
+
+
+class _PkKey:
+    """Total-order wrapper so heterogeneous primary keys can share an index.
+
+    Orders by (type name, value); compares equal only on identical pk.
+    Also provides the sentinels used for bisecting range endpoints.
+    """
+
+    __slots__ = ("pk",)
+
+    def __init__(self, pk: Any):
+        self.pk = pk
+
+    def _key(self):
+        return (type(self.pk).__name__, self.pk)
+
+    def __lt__(self, other: "_PkKey") -> bool:
+        if other is _MAX_PK:
+            return self is not _MAX_PK
+        if other is _MIN_PK or self is _MAX_PK:
+            return False
+        if self is _MIN_PK:
+            return True
+        try:
+            return self._key() < other._key()
+        except TypeError:
+            return str(self._key()) < str(other._key())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _PkKey) and self.pk == other.pk
+
+    def __hash__(self) -> int:
+        return hash(self.pk)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_PkKey({self.pk!r})"
+
+
+class _Sentinel(_PkKey):
+    __slots__ = ()
+
+    def __init__(self):  # noqa: D401 - sentinel has no pk
+        self.pk = None
+
+
+_MIN_PK = _Sentinel()
+_MAX_PK = _Sentinel()
+
+
+def make_index(kind: str, column: str):
+    """Factory used by the engine: ``kind`` is ``"hash"`` or ``"sorted"``."""
+    if kind == "hash":
+        return HashIndex(column)
+    if kind == "sorted":
+        return SortedIndex(column)
+    raise ValueError(f"unknown index kind {kind!r}")

@@ -1,0 +1,79 @@
+"""Composable row predicates for :meth:`Table.select`.
+
+These are ordinary ``row -> bool`` callables, so they compose with any
+hand-written lambda; the combinators just make the common cases read like
+a WHERE clause:
+
+>>> from repro.storage import eq, gt, and_
+>>> flagged = votes.select(predicate=and_(eq("software_id", sid), gt("score", 7)))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+Predicate = Callable[[dict], bool]
+
+
+def eq(column: str, value: Any) -> Predicate:
+    """Rows where ``row[column] == value``."""
+    return lambda row: row[column] == value
+
+
+def ne(column: str, value: Any) -> Predicate:
+    """Rows where ``row[column] != value``."""
+    return lambda row: row[column] != value
+
+
+def lt(column: str, value: Any) -> Predicate:
+    """Rows where ``row[column] < value`` (NULLs never match)."""
+    return lambda row: row[column] is not None and row[column] < value
+
+
+def le(column: str, value: Any) -> Predicate:
+    """Rows where ``row[column] <= value`` (NULLs never match)."""
+    return lambda row: row[column] is not None and row[column] <= value
+
+
+def gt(column: str, value: Any) -> Predicate:
+    """Rows where ``row[column] > value`` (NULLs never match)."""
+    return lambda row: row[column] is not None and row[column] > value
+
+
+def ge(column: str, value: Any) -> Predicate:
+    """Rows where ``row[column] >= value`` (NULLs never match)."""
+    return lambda row: row[column] is not None and row[column] >= value
+
+
+def between(column: str, low: Any, high: Any) -> Predicate:
+    """Rows where ``low <= row[column] <= high`` (NULLs never match)."""
+    return lambda row: row[column] is not None and low <= row[column] <= high
+
+
+def contains(column: str, needle: str) -> Predicate:
+    """Rows whose text column contains *needle* (case-insensitive)."""
+    lowered = needle.lower()
+    return lambda row: (
+        row[column] is not None and lowered in str(row[column]).lower()
+    )
+
+
+def in_set(column: str, values: Iterable[Any]) -> Predicate:
+    """Rows where ``row[column]`` is one of *values*."""
+    allowed = frozenset(values)
+    return lambda row: row[column] in allowed
+
+
+def and_(*predicates: Predicate) -> Predicate:
+    """Rows matching every sub-predicate."""
+    return lambda row: all(predicate(row) for predicate in predicates)
+
+
+def or_(*predicates: Predicate) -> Predicate:
+    """Rows matching at least one sub-predicate."""
+    return lambda row: any(predicate(row) for predicate in predicates)
+
+
+def not_(predicate: Predicate) -> Predicate:
+    """Rows not matching *predicate*."""
+    return lambda row: not predicate(row)

@@ -1,0 +1,164 @@
+"""Table schemas: typed columns, nullability, uniqueness, check constraints.
+
+The privacy argument of the paper (Sec. 2.2 / 3.2) is fundamentally a
+*schema* argument — the server's user table simply has no columns that
+could hold an IP address or a cleartext e-mail.  Modelling schemas as
+first-class, validating objects lets the test suite state that property
+directly: inserting a row with an undeclared ``ip_address`` field is a
+:class:`~repro.errors.SchemaError`, not a silently-accepted extra key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import SchemaError
+
+
+class ColumnType(Enum):
+    """The value domains a column may hold."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BYTES = "bytes"
+    BOOL = "bool"
+
+    def accepts(self, value: Any) -> bool:
+        """True if *value* is a member of this type's domain."""
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return (
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+            )
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        if self is ColumnType.BYTES:
+            return isinstance(value, (bytes, bytearray))
+        if self is ColumnType.BOOL:
+            return isinstance(value, bool)
+        raise AssertionError(f"unhandled column type {self}")  # pragma: no cover
+
+    def coerce(self, value: Any) -> Any:
+        """Normalise *value* into the canonical Python representation."""
+        if self is ColumnType.FLOAT:
+            return float(value)
+        if self is ColumnType.BYTES:
+            return bytes(value)
+        return value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema.
+
+    ``check`` is an optional predicate applied to non-null values; it is a
+    *memory-level* constraint (not serialised to the WAL — the schema is
+    re-supplied when a database is reopened).
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+    unique: bool = False
+    check: Optional[Callable[[Any], bool]] = None
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+    def validate(self, value: Any) -> Any:
+        """Validate and canonicalise *value*; raises :class:`SchemaError`."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return None
+        if not self.type.accepts(value):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.value}, "
+                f"got {type(value).__name__}: {value!r}"
+            )
+        value = self.type.coerce(value)
+        if self.check is not None and not self.check(value):
+            raise SchemaError(
+                f"column {self.name!r} check constraint failed for {value!r}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A table schema: ordered columns, a primary key, composite uniques.
+
+    ``unique_together`` lists tuples of column names that must be jointly
+    unique — the paper's "one vote per user per software" is the composite
+    unique ``("username", "software_id")`` on the votes table.
+    """
+
+    name: str
+    columns: Sequence[Column]
+    primary_key: str
+    unique_together: Sequence[tuple] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid table name {self.name!r}")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have columns")
+        names = [column.name for column in self.columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"duplicate columns in table {self.name!r}: {sorted(duplicates)}"
+            )
+        if self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        pk_column = self.column(self.primary_key)
+        if pk_column.nullable:
+            raise SchemaError(f"primary key {self.primary_key!r} cannot be nullable")
+        for group in self.unique_together:
+            if len(group) < 2:
+                raise SchemaError(
+                    f"unique_together group {group!r} needs at least two columns"
+                )
+            for column_name in group:
+                if column_name not in names:
+                    raise SchemaError(
+                        f"unique_together references unknown column {column_name!r}"
+                    )
+
+    @property
+    def column_names(self) -> tuple:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` named *name*."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def validate_row(self, row: dict) -> dict:
+        """Validate a full row dict; returns a canonicalised copy.
+
+        Missing nullable columns default to ``None``; missing non-nullable
+        columns and undeclared keys are schema errors.
+        """
+        unknown = set(row) - set(self.column_names)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r} has no columns {sorted(unknown)}"
+            )
+        validated = {}
+        for column in self.columns:
+            value = row.get(column.name)
+            validated[column.name] = column.validate(value)
+        return validated

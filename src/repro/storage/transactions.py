@@ -1,0 +1,102 @@
+"""Transactions with rollback.
+
+The engine exposes ``with db.transaction(): ...``; inside the block every
+table mutation is recorded as an undo entry.  On normal exit the WAL
+records buffered during the transaction are flushed as one commit unit; on
+exception the mutations are undone in reverse order and nothing reaches
+the log.
+
+The undo strategy is physical (old row images), which makes rollback exact
+regardless of what application logic did — important for the server's
+"register account + activate + seed trust" multi-table operations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import TransactionError
+from .table import MutationEvent, OP_DELETE, OP_INSERT, OP_UPDATE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Database
+
+
+class Transaction:
+    """Context manager implementing commit/rollback over a database."""
+
+    def __init__(self, database: "Database"):
+        self._database = database
+        self._undo_log: list[MutationEvent] = []
+        self._active = False
+        self._finished = False
+
+    @property
+    def is_active(self) -> bool:
+        return self._active
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        if self._finished:
+            raise TransactionError("transaction objects are single-use")
+        self._database._begin(self)
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False  # never swallow exceptions
+
+    def record(self, event: MutationEvent) -> None:
+        """Called by the engine for every mutation inside this transaction."""
+        if not self._active:
+            raise TransactionError("transaction is not active")
+        self._undo_log.append(event)
+
+    def commit(self) -> None:
+        """Make the transaction's effects durable."""
+        self._require_active()
+        self._database._commit(self, self._undo_log)
+        self._close()
+
+    def rollback(self) -> None:
+        """Undo every mutation performed inside the transaction."""
+        self._require_active()
+        self._database._rollback(self, self._undo_log)
+        self._close()
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise TransactionError(
+                "transaction already committed or rolled back"
+            )
+
+    def _close(self) -> None:
+        self._active = False
+        self._finished = True
+        self._undo_log = []
+
+    @property
+    def mutation_count(self) -> int:
+        """Number of mutations recorded so far (diagnostics)."""
+        return len(self._undo_log)
+
+
+def invert(event: MutationEvent) -> tuple:
+    """Return ``(op, pk, row)`` describing how to undo *event*.
+
+    * an insert is undone by deleting the new row;
+    * an update is undone by restoring the old row image;
+    * a delete is undone by re-inserting the old row image.
+    """
+    if event.op == OP_INSERT:
+        return (OP_DELETE, event.pk, None)
+    if event.op == OP_UPDATE:
+        return (OP_UPDATE, event.pk, event.old_row)
+    if event.op == OP_DELETE:
+        return (OP_INSERT, event.pk, event.old_row)
+    raise TransactionError(f"cannot invert unknown operation {event.op!r}")

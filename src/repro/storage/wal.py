@@ -1,0 +1,142 @@
+"""Write-ahead log: durability for the reputation database.
+
+The log is a line-oriented JSON file.  Every committed unit of work is a
+sequence of ``mutation`` records terminated by one ``commit`` record; a
+replay applies only complete units, so a crash mid-write (simulated by
+truncating the file) can never surface a half-applied transaction.
+
+Byte values (salts, digests) are JSON-encoded as ``{"__bytes__": "<hex>"}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Optional
+
+from ..errors import WalCorruptionError
+
+KIND_MUTATION = "mutation"
+KIND_COMMIT = "commit"
+
+
+def encode_value(value: Any) -> Any:
+    """Make a column value JSON-safe."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": bytes(value).hex()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict) and set(value) == {"__bytes__"}:
+        return bytes.fromhex(value["__bytes__"])
+    return value
+
+
+def encode_row(row: Optional[dict]) -> Optional[dict]:
+    """JSON-encode a row dict (or ``None``)."""
+    if row is None:
+        return None
+    return {column: encode_value(value) for column, value in row.items()}
+
+
+def decode_row(row: Optional[dict]) -> Optional[dict]:
+    """Inverse of :func:`encode_row`."""
+    if row is None:
+        return None
+    return {column: decode_value(value) for column, value in row.items()}
+
+
+class WriteAheadLog:
+    """Append-only JSON-lines log with group-commit semantics."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    # -- writing ----------------------------------------------------------
+
+    def append_commit_unit(self, mutations: list) -> None:
+        """Durably append *mutations* (already-encoded dicts) plus a commit.
+
+        An empty mutation list writes nothing — empty transactions leave no
+        trace in the log.
+        """
+        if not mutations:
+            return
+        lines = []
+        for mutation in mutations:
+            record = dict(mutation)
+            record["kind"] = KIND_MUTATION
+            lines.append(json.dumps(record, sort_keys=True))
+        lines.append(json.dumps({"kind": KIND_COMMIT, "count": len(mutations)}))
+        with open(self.path, "a", encoding="utf-8") as log_file:
+            log_file.write("\n".join(lines) + "\n")
+            log_file.flush()
+            os.fsync(log_file.fileno())
+
+    def truncate(self) -> None:
+        """Discard all log content (after a checkpoint)."""
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    # -- reading ----------------------------------------------------------
+
+    def replay(self) -> Iterator[list]:
+        """Yield each *committed* unit as a list of mutation dicts.
+
+        A trailing unit with no commit record (torn write) is silently
+        discarded; a syntactically corrupt line *before* the last commit is
+        a :class:`WalCorruptionError`, because data loss there is real.
+        """
+        if not os.path.exists(self.path):
+            return
+        pending: list = []
+        tail_is_torn = False
+        with open(self.path, "r", encoding="utf-8") as log_file:
+            for line_number, line in enumerate(log_file, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final write is expected after a crash; anything
+                    # after it would prove mid-file corruption.
+                    tail_is_torn = True
+                    continue
+                if tail_is_torn:
+                    raise WalCorruptionError(
+                        f"{self.path}: corrupt record before line {line_number}"
+                    )
+                kind = record.get("kind")
+                if kind == KIND_MUTATION:
+                    pending.append(record)
+                elif kind == KIND_COMMIT:
+                    expected = record.get("count")
+                    if expected != len(pending):
+                        raise WalCorruptionError(
+                            f"{self.path}: commit at line {line_number} covers "
+                            f"{expected} mutations, found {len(pending)}"
+                        )
+                    yield pending
+                    pending = []
+                else:
+                    raise WalCorruptionError(
+                        f"{self.path}: unknown record kind {kind!r} "
+                        f"at line {line_number}"
+                    )
+        # anything left in `pending` was never committed: discard.
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def size_bytes(self) -> int:
+        """Current size of the log file (0 if absent)."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0

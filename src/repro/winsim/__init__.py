@@ -1,0 +1,35 @@
+"""Simulated Windows execution environment.
+
+The paper's client intercepts process creation with a kernel driver that
+replaces ``NtCreateSection``.  This package is the offline substitute: it
+models executables as real byte blobs with version resources and optional
+code signatures, and routes every process launch through a *hook chain*
+that any countermeasure (the reputation client, an anti-virus scanner...)
+can veto — the same interception point the driver provides.
+"""
+
+from .behaviors import Behavior, consequence_of, BEHAVIOR_SEVERITY
+from .executable import Executable, build_executable
+from .process import (
+    ExecutionRequest,
+    HookDecision,
+    HookChain,
+    ExecutionOutcome,
+    ExecutionRecord,
+)
+from .machine import Machine, BehaviorEvent
+
+__all__ = [
+    "Behavior",
+    "consequence_of",
+    "BEHAVIOR_SEVERITY",
+    "Executable",
+    "build_executable",
+    "ExecutionRequest",
+    "HookDecision",
+    "HookChain",
+    "ExecutionOutcome",
+    "ExecutionRecord",
+    "Machine",
+    "BehaviorEvent",
+]

@@ -1,0 +1,77 @@
+"""Software behaviour flags and their severity.
+
+The paper's reputation system shines because it records *behaviours* that
+binary malware classification throws away: "it displays pop-up ads,
+registers itself as a start-up program and does not provide a functioning
+uninstall option" (Sec. 4.3).  Each flag below maps to one negative
+consequence level; an executable's overall consequence is the worst flag
+it carries (:func:`consequence_of`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from ..core.taxonomy import Consequence
+
+
+class Behavior(Enum):
+    """Observable behaviours an executable may exhibit."""
+
+    # Tolerable nuisances
+    DISPLAYS_ADS = "displays-ads"
+    REGISTERS_STARTUP = "registers-startup"
+    CHANGES_HOMEPAGE = "changes-homepage"
+    # Moderate: privacy-invasive data handling and degraded control
+    TRACKS_BROWSING = "tracks-browsing"
+    SENDS_USAGE_PROFILE = "sends-usage-profile"
+    NO_UNINSTALLER = "no-uninstaller"
+    BUNDLES_SOFTWARE = "bundles-software"
+    DEGRADES_PERFORMANCE = "degrades-performance"
+    # Severe: outright hostile
+    KEYLOGGING = "keylogging"
+    STEALS_CREDENTIALS = "steals-credentials"
+    REMOTE_CONTROL = "remote-control"
+    SELF_REPLICATES = "self-replicates"
+    DISABLES_SECURITY = "disables-security"
+
+
+#: Severity of each behaviour, per the consent/consequence taxonomy.
+BEHAVIOR_SEVERITY: dict = {
+    Behavior.DISPLAYS_ADS: Consequence.TOLERABLE,
+    Behavior.REGISTERS_STARTUP: Consequence.TOLERABLE,
+    Behavior.CHANGES_HOMEPAGE: Consequence.TOLERABLE,
+    Behavior.TRACKS_BROWSING: Consequence.MODERATE,
+    Behavior.SENDS_USAGE_PROFILE: Consequence.MODERATE,
+    Behavior.NO_UNINSTALLER: Consequence.MODERATE,
+    Behavior.BUNDLES_SOFTWARE: Consequence.MODERATE,
+    Behavior.DEGRADES_PERFORMANCE: Consequence.MODERATE,
+    Behavior.KEYLOGGING: Consequence.SEVERE,
+    Behavior.STEALS_CREDENTIALS: Consequence.SEVERE,
+    Behavior.REMOTE_CONTROL: Consequence.SEVERE,
+    Behavior.SELF_REPLICATES: Consequence.SEVERE,
+    Behavior.DISABLES_SECURITY: Consequence.SEVERE,
+}
+
+
+def consequence_of(behaviors: Iterable[Behavior]) -> Consequence:
+    """Overall negative consequence: the worst behaviour present.
+
+    No behaviours at all is TOLERABLE — plain software does no harm.
+    """
+    worst = Consequence.TOLERABLE
+    for behavior in behaviors:
+        severity = BEHAVIOR_SEVERITY[behavior]
+        if severity.value > worst.value:
+            worst = severity
+    return worst
+
+
+def behaviors_at(consequence: Consequence) -> list:
+    """All behaviours whose severity is exactly *consequence*."""
+    return [
+        behavior
+        for behavior, severity in BEHAVIOR_SEVERITY.items()
+        if severity is consequence
+    ]

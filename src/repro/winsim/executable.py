@@ -1,0 +1,163 @@
+"""Executable files.
+
+An :class:`Executable` carries the pieces of a PE file the paper's database
+design cares about (Sec. 3.3): the raw content (whose SHA-1 is the software
+ID), the file name and size, the vendor ("company name") and version number
+embedded as version resources — which dishonest vendors may omit — plus an
+optional code signature for the Sec. 4.2 white-listing extension.
+
+Ground truth for the simulation rides along: the behaviours the program
+actually exhibits and the consent level its EULA/installer achieves.  The
+countermeasures never read the ground truth directly — they only see
+content bytes, metadata, and community feedback.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.taxonomy import ConsentLevel, Consequence, TaxonomyCell, classify
+from ..crypto.digests import software_id, software_id_hex
+from ..crypto.signatures import CodeSignature
+from .behaviors import Behavior, consequence_of
+
+
+@dataclass(frozen=True)
+class Executable:
+    """One executable file plus simulation ground truth."""
+
+    file_name: str
+    content: bytes
+    vendor: Optional[str] = None
+    version: Optional[str] = None
+    signature: Optional[CodeSignature] = None
+    behaviors: frozenset = frozenset()
+    consent: ConsentLevel = ConsentLevel.HIGH
+    eula_word_count: int = 500
+    bundled: tuple = ()
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def software_id(self) -> str:
+        """Hex SHA-1 of the file content — the reputation system's key."""
+        return software_id_hex(self.content)
+
+    @property
+    def software_id_bytes(self) -> bytes:
+        return software_id(self.content)
+
+    @property
+    def file_size(self) -> int:
+        return len(self.content)
+
+    # -- ground truth ---------------------------------------------------------
+
+    @property
+    def consequence(self) -> Consequence:
+        """Ground-truth negative consequence (worst behaviour present)."""
+        worst = consequence_of(self.behaviors)
+        for child in self.bundled:
+            child_worst = child.consequence
+            if child_worst.value > worst.value:
+                worst = child_worst
+        return worst
+
+    @property
+    def taxonomy_cell(self) -> TaxonomyCell:
+        """Ground-truth Table-1 cell of this executable."""
+        return classify(self.consent, self.consequence)
+
+    @property
+    def is_privacy_invasive(self) -> bool:
+        """Grey-zone or worse: anything not plainly legitimate."""
+        return not self.taxonomy_cell.is_legitimate
+
+    @property
+    def has_behavior_flags(self) -> bool:
+        return bool(self.behaviors)
+
+    def has_behavior(self, behavior: Behavior) -> bool:
+        return behavior in self.behaviors
+
+    # -- derived artifacts ---------------------------------------------------
+
+    def with_new_version(self, version: str, content_suffix: bytes) -> "Executable":
+        """A new release: different content, hence a different software ID.
+
+        Models Sec. 3.3: *"two different versions of the same program will
+        end up having different fingerprints"*.  Any previous signature is
+        dropped — it covered the old digest.
+        """
+        return replace(
+            self,
+            version=version,
+            content=self.content + content_suffix,
+            signature=None,
+        )
+
+    def polymorphic_variant(self, rng: random.Random) -> "Executable":
+        """A per-download mutation used to evade fingerprint-keyed ratings.
+
+        Models the Sec. 3.3 attack: *"questionable software vendors ...
+        make each instance of their software applications differ slightly
+        between each other so that each one has its own distinct hash
+        value"*.  Behaviour is unchanged; only the bytes differ.
+        """
+        padding = rng.getrandbits(64).to_bytes(8, "big")
+        return replace(self, content=self.content + padding, signature=None)
+
+    def stripped_of_vendor(self) -> "Executable":
+        """Remove the company name from the version resources.
+
+        The counter-countermeasure of Sec. 3.3: vendors dodging
+        vendor-level ratings by removing their name — which the paper says
+        "could be used as a signal for PIS".
+        """
+        return replace(self, vendor=None)
+
+    def __repr__(self) -> str:
+        return (
+            f"Executable({self.file_name!r}, id={self.software_id[:10]}..., "
+            f"vendor={self.vendor!r}, cell={self.taxonomy_cell.number})"
+        )
+
+
+_COUNTER = 0
+
+
+def build_executable(
+    file_name: str,
+    vendor: Optional[str] = None,
+    version: Optional[str] = "1.0",
+    behaviors: Optional[frozenset] = None,
+    consent: ConsentLevel = ConsentLevel.HIGH,
+    content: Optional[bytes] = None,
+    signature: Optional[CodeSignature] = None,
+    eula_word_count: int = 500,
+    bundled: tuple = (),
+) -> Executable:
+    """Convenience factory that fabricates unique content bytes.
+
+    Content defaults to a deterministic unique blob derived from a process-
+    wide counter, so every built executable has a distinct software ID
+    unless explicit content is given.
+    """
+    global _COUNTER
+    if content is None:
+        _COUNTER += 1
+        stamp = _COUNTER.to_bytes(8, "big")
+        content = f"MZ\x90\x00|{file_name}|{vendor}|{version}|".encode("utf-8") + stamp
+    return Executable(
+        file_name=file_name,
+        content=content,
+        vendor=vendor,
+        version=version,
+        signature=signature,
+        behaviors=frozenset(behaviors or ()),
+        consent=consent,
+        eula_word_count=eula_word_count,
+        bundled=tuple(bundled),
+    )

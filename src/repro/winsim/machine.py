@@ -1,0 +1,229 @@
+"""A simulated user workstation.
+
+A :class:`Machine` holds installed executables, routes every launch
+through its :class:`~repro.winsim.process.HookChain`, and keeps the two
+logs the experiments read: the execution log (ran / blocked, and by whom)
+and the observed-behaviour log (what actually happened to the user —
+pop-ups shown, browsing tracked, credentials stolen).
+
+Running an installer whose :attr:`Executable.bundled` list is non-empty
+silently installs the bundle — the paper's canonical grey-zone hazard
+("the installer of a program bundled with many different PIS").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..clock import SimClock
+from ..core.taxonomy import Consequence
+from .behaviors import BEHAVIOR_SEVERITY
+from .executable import Executable
+from .process import (
+    ExecutionOutcome,
+    ExecutionRecord,
+    ExecutionRequest,
+    HookChain,
+    HookDecision,
+)
+
+
+@dataclass(frozen=True)
+class BehaviorEvent:
+    """One ground-truth behaviour occurrence on a machine."""
+
+    software_id: str
+    behavior: object  # Behavior
+    timestamp: int
+
+    @property
+    def severity(self) -> Consequence:
+        return BEHAVIOR_SEVERITY[self.behavior]
+
+
+class Machine:
+    """One user's computer."""
+
+    def __init__(self, name: str, clock: Optional[SimClock] = None):
+        self.name = name
+        self.clock = clock or SimClock()
+        self.hooks = HookChain()
+        self._installed: dict[str, Executable] = {}
+        self._execution_counts: dict[str, int] = {}
+        self._last_run_ts: dict[str, int] = {}
+        self.execution_log: list[ExecutionRecord] = []
+        self.behavior_log: list[BehaviorEvent] = []
+
+    # -- software management ------------------------------------------------
+
+    def install(self, executable: Executable) -> str:
+        """Place *executable* on disk; returns its software ID.
+
+        Installation alone triggers no hooks — the paper's client guards
+        *execution*, which is also when bundled payloads unpack.
+        Reinstalling the same content is a no-op.
+        """
+        sid = executable.software_id
+        self._installed[sid] = executable
+        return sid
+
+    def uninstall(self, software_id: str) -> None:
+        """Forcibly remove software (error if not installed).
+
+        This is the "expert with a cleanup tool" path; ordinary users go
+        through :meth:`try_uninstall`, which a broken removal routine can
+        defeat.
+        """
+        if software_id not in self._installed:
+            raise KeyError(f"{software_id!r} is not installed on {self.name!r}")
+        del self._installed[software_id]
+
+    def try_uninstall(self, software_id: str) -> bool:
+        """Uninstall through the program's own removal routine.
+
+        Software flagged ``NO_UNINSTALLER`` — the paper's "does not
+        provide a functioning uninstall option" — survives the attempt
+        and returns ``False``; this is why prevention-at-execution beats
+        after-the-fact cleanup for such programs.
+        """
+        from .behaviors import Behavior
+
+        executable = self.get_installed(software_id)
+        if Behavior.NO_UNINSTALLER in executable.behaviors:
+            return False
+        del self._installed[software_id]
+        return True
+
+    def is_installed(self, software_id: str) -> bool:
+        return software_id in self._installed
+
+    def installed_software(self) -> list:
+        """The installed executables (copy of the list)."""
+        return list(self._installed.values())
+
+    def get_installed(self, software_id: str) -> Executable:
+        try:
+            return self._installed[software_id]
+        except KeyError:
+            raise KeyError(
+                f"{software_id!r} is not installed on {self.name!r}"
+            ) from None
+
+    def execution_count(self, software_id: str) -> int:
+        """How many times this software has *run* on this machine."""
+        return self._execution_counts.get(software_id, 0)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, software_id: str) -> ExecutionRecord:
+        """Attempt to execute installed software through the hook chain."""
+        executable = self.get_installed(software_id)
+        request = ExecutionRequest(
+            executable=executable,
+            machine_name=self.name,
+            timestamp=self.clock.now(),
+            execution_count=self.execution_count(software_id),
+        )
+        decision, decider = self.hooks.decide(request)
+        if decision is HookDecision.DENY:
+            record = ExecutionRecord(
+                software_id=software_id,
+                file_name=executable.file_name,
+                timestamp=self.clock.now(),
+                outcome=ExecutionOutcome.BLOCKED,
+                decided_by=decider,
+            )
+            self.execution_log.append(record)
+            return record
+        self._execution_counts[software_id] = self.execution_count(software_id) + 1
+        self._last_run_ts[software_id] = self.clock.now()
+        self._apply_side_effects(executable)
+        record = ExecutionRecord(
+            software_id=software_id,
+            file_name=executable.file_name,
+            timestamp=self.clock.now(),
+            outcome=ExecutionOutcome.RAN,
+            decided_by=decider,
+        )
+        self.execution_log.append(record)
+        return record
+
+    def install_and_run(self, executable: Executable) -> ExecutionRecord:
+        """Shorthand: install then immediately execute."""
+        return self.run(self.install(executable))
+
+    def _apply_side_effects(self, executable: Executable) -> None:
+        now = self.clock.now()
+        for behavior in executable.behaviors:
+            self.behavior_log.append(
+                BehaviorEvent(executable.software_id, behavior, now)
+            )
+        # Bundled payloads install silently when the carrier runs.
+        for payload in executable.bundled:
+            self.install(payload)
+
+    # -- experiment metrics --------------------------------------------------------
+
+    def executed_software(self) -> list:
+        """Executables that have actually run at least once."""
+        return [
+            self._installed[sid]
+            for sid, count in self._execution_counts.items()
+            if count > 0 and sid in self._installed
+        ]
+
+    def is_infected(self, threshold: Consequence = Consequence.MODERATE) -> bool:
+        """True if any *executed* software reaches *threshold* consequences.
+
+        This is the infection notion behind the paper's ">80 % of all home
+        PCs ... are infected by questionable software" statistic: grey-zone
+        or worse software that has actually run.
+        """
+        return any(
+            executable.consequence.value >= threshold.value
+            for executable in self.executed_software()
+        )
+
+    def is_actively_infected(
+        self,
+        window: int,
+        threshold: Consequence = Consequence.MODERATE,
+    ) -> bool:
+        """True if PIS-or-worse software ran within the last *window* seconds.
+
+        This is the *live* infection notion: a blocked (blacklisted,
+        policy-denied, score-shunned) program stops running, and the
+        machine ages out of the infected population — which is how a
+        reputation system actually "removes" spyware.
+        """
+        horizon = self.clock.now() - window
+        for sid, last_ts in self._last_run_ts.items():
+            if last_ts < horizon:
+                continue
+            executable = self._installed.get(sid)
+            if executable is None:
+                continue
+            if executable.consequence.value >= threshold.value:
+                return True
+        return False
+
+    def last_run_timestamp(self, software_id: str) -> Optional[int]:
+        """When this software last ran (None if never)."""
+        return self._last_run_ts.get(software_id)
+
+    def blocked_count(self) -> int:
+        """Number of executions stopped by the hook chain."""
+        return sum(
+            1
+            for record in self.execution_log
+            if record.outcome is ExecutionOutcome.BLOCKED
+        )
+
+    def ran_count(self) -> int:
+        """Number of executions that went through."""
+        return sum(
+            1
+            for record in self.execution_log
+            if record.outcome is ExecutionOutcome.RAN
+        )

@@ -1,0 +1,69 @@
+"""The `python -m repro` CLI."""
+
+import pytest
+
+from repro.cli import _REGISTRY, build_parser, main
+
+
+class TestRegistry:
+    def test_all_eseries_present(self):
+        for number in range(1, 11):
+            assert f"e{number}" in _REGISTRY
+
+    def test_all_ablations_present(self):
+        for number in range(1, 7):
+            assert f"a{number}" in _REGISTRY
+
+    def test_entries_have_descriptions_and_runners(self):
+        for key, (description, full, quick) in _REGISTRY.items():
+            assert description
+            assert callable(full)
+            assert callable(quick)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "A4" in out
+
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "e4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Trust-factor growth" in out
+        assert "100" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "e4", "a2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E4 —" in out
+        assert "A2 —" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "zz9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiments" in err
+
+    def test_case_insensitive_ids(self, capsys):
+        assert main(["run", "E4", "--quick"]) == 0
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        """The report command writes every exhibit to one markdown file.
+
+        Patched down to two fast experiments to keep the suite quick.
+        """
+        import repro.cli as cli
+
+        trimmed = {key: cli._REGISTRY[key] for key in ("e4", "a2")}
+        monkeypatch.setattr(cli, "_REGISTRY", trimmed)
+        output = tmp_path / "report.md"
+        assert main(["report", "--quick", "-o", str(output)]) == 0
+        text = output.read_text()
+        assert "# Reproduction report" in text
+        assert "E4 —" in text
+        assert "A2 —" in text
+        assert "Trust-factor growth" in text

@@ -1,0 +1,54 @@
+"""Seed robustness: headline shapes must not depend on the chosen seed.
+
+Each test sweeps a handful of seeds at reduced scale and requires the
+paper-shape conclusion to hold for every one — guarding against
+experiments that only "work" on their committed seed.
+"""
+
+import pytest
+
+from repro.analysis import ablations as A
+from repro.analysis import experiments as X
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_a1_weighting_beats_plain_mean_across_seeds(seed):
+    result = A.run_a1_weighting(experts=6, novices=24, seed=seed)
+    assert result["weighted_error"] < result["plain_error"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_e5_trust_weighting_absorbs_attacks_across_seeds(seed):
+    result = X.run_e5_attacks(seed=seed)
+    undefended = result["outcomes"]["undefended (flat trust, no puzzle)"]
+    weighted = result["outcomes"]["trust weighting"]
+    full = result["outcomes"]["all defences"]
+    assert abs(undefended["promotion_displacement"]) > 2.0
+    assert abs(weighted["promotion_displacement"]) < abs(
+        undefended["promotion_displacement"]
+    )
+    assert abs(full["promotion_displacement"]) < 1.0
+    assert result["outcomes"]["vote_flood"]["votes_accepted"] == 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_e1_population_always_fills_all_cells(seed):
+    result = X.run_e1_table1(population_size=400, seed=seed)
+    assert all(result["counts"][number] > 0 for number in range(1, 10))
+    assert result["legitimate"] > result["malware"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_a6_eula_recovery_across_seeds(seed):
+    result = A.run_a6_eula_analysis(population_size=100, seed=seed)
+    assert result["behavior_bearing_accuracy"] > 0.95
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_e2_medium_row_always_drains(seed):
+    result = X.run_e2_table2(
+        users=12, simulated_days=20, population_size=80, seed=seed
+    )
+    assert result["medium_after"] < result["medium_before"]

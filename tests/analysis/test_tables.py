@@ -1,0 +1,49 @@
+"""Table rendering."""
+
+from repro.analysis import format_score, render_table, render_taxonomy_matrix
+from repro.core.taxonomy import ConsentLevel
+
+
+def test_format_score():
+    assert format_score(None) == "-"
+    assert format_score(7.251) == "7.25"
+
+
+def test_render_table_aligns_columns():
+    rendered = render_table(
+        ["name", "score"],
+        [["kazaa", 4.0], ["a-much-longer-name", 9]],
+        title="demo",
+    )
+    lines = rendered.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "score" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    # all data lines have equal width
+    widths = {len(line) for line in lines[3:]}
+    assert len(widths) == 1
+
+
+def test_render_taxonomy_matrix_full():
+    counts = {number: number * 10 for number in range(1, 10)}
+    rendered = render_taxonomy_matrix(counts, title="Table 1")
+    assert "Legitimate software [10]" in rendered
+    assert "Parasites [90]" in rendered
+    assert "Medium consent" in rendered
+
+
+def test_render_taxonomy_matrix_table2_shape():
+    counts = {number: 1 for number in range(1, 10)}
+    rendered = render_taxonomy_matrix(
+        counts,
+        title="Table 2",
+        consent_rows=(ConsentLevel.HIGH, ConsentLevel.LOW),
+    )
+    assert "Medium consent" not in rendered
+    assert "High consent" in rendered
+    assert "Low consent" in rendered
+
+
+def test_missing_cells_render_as_zero():
+    rendered = render_taxonomy_matrix({1: 5}, title="t")
+    assert "Trojans [0]" in rendered

@@ -1,0 +1,77 @@
+"""The runtime-analysis sandbox (Sec. 5 future work)."""
+
+import pytest
+
+from repro.analyzer import Sandbox
+from repro.winsim import Behavior, build_executable
+
+
+@pytest.fixture
+def sandbox():
+    return Sandbox(runs=3)
+
+
+class TestObservation:
+    def test_clean_sample(self, sandbox):
+        report = sandbox.analyze(build_executable("clean.exe"))
+        assert report.observed_behaviors == frozenset()
+        assert report.dropped_payload_ids == ()
+        assert report.has_uninstaller
+        assert not report.is_suspicious
+
+    def test_behaviors_observed(self, sandbox):
+        executable = build_executable(
+            "ad.exe", behaviors={Behavior.DISPLAYS_ADS, Behavior.TRACKS_BROWSING}
+        )
+        report = sandbox.analyze(executable)
+        assert report.observed_behaviors == frozenset(
+            {Behavior.DISPLAYS_ADS, Behavior.TRACKS_BROWSING}
+        )
+        assert report.is_suspicious
+
+    def test_missing_uninstaller_detected(self, sandbox):
+        """The paper's canonical discouraging fact: no working uninstall."""
+        executable = build_executable(
+            "sticky.exe", behaviors={Behavior.NO_UNINSTALLER}
+        )
+        report = sandbox.analyze(executable)
+        assert not report.has_uninstaller
+        assert report.is_suspicious
+
+    def test_dropped_payloads_detected(self, sandbox):
+        payload = build_executable(
+            "payload.exe", behaviors={Behavior.TRACKS_BROWSING}
+        )
+        carrier = build_executable("carrier.exe", bundled=(payload,))
+        report = sandbox.analyze(carrier)
+        assert report.dropped_payload_ids == (payload.software_id,)
+        assert report.is_suspicious
+
+    def test_startup_registration_flagged(self, sandbox):
+        executable = build_executable(
+            "autostart.exe", behaviors={Behavior.REGISTERS_STARTUP}
+        )
+        report = sandbox.analyze(executable)
+        assert report.registers_startup
+
+    def test_report_identifies_sample(self, sandbox):
+        executable = build_executable("x.exe")
+        report = sandbox.analyze(executable)
+        assert report.software_id == executable.software_id
+        assert report.file_name == "x.exe"
+        assert report.runs_observed == 3
+
+
+class TestIsolation:
+    def test_each_detonation_is_isolated(self, sandbox):
+        """A dropper analyzed first must not contaminate the next sample."""
+        payload = build_executable("p.exe", behaviors={Behavior.KEYLOGGING})
+        dropper = build_executable("dropper.exe", bundled=(payload,))
+        sandbox.analyze(dropper)
+        clean_report = sandbox.analyze(build_executable("clean.exe"))
+        assert clean_report.dropped_payload_ids == ()
+        assert sandbox.detonations == 2
+
+    def test_runs_validation(self):
+        with pytest.raises(ValueError):
+            Sandbox(runs=0)

@@ -1,0 +1,313 @@
+"""The reputation client: hook flow, lists, policy, prompts, voting."""
+
+import pytest
+
+from repro.client import (
+    ClientConfig,
+    PrompterConfig,
+    ReputationClient,
+    always_allow,
+    always_deny,
+    honest_rater,
+    score_threshold_responder,
+)
+from repro.client.ui import RatingAnswer, UserAnswer
+from repro.clock import days
+from repro.core.policy import Policy, PolicyVerdict, MinimumRatingRule
+from repro.errors import ClientError
+from repro.winsim import (
+    Behavior,
+    ExecutionOutcome,
+    Machine,
+    build_executable,
+)
+from tests.conftest import make_client
+
+
+@pytest.fixture
+def rig(wired_server):
+    server, network = wired_server
+    return server, network
+
+
+class TestAccountFlow:
+    def test_sign_up_logs_in(self, rig):
+        server, network = rig
+        client, __ = make_client(server, network)
+        assert client.is_logged_in
+        assert server.accounts.exists("alice")
+
+    def test_use_circuit_requires_anonymity_network(self, rig, clock):
+        server, network = rig
+        machine = Machine("pc", clock=server.clock)
+        with pytest.raises(ClientError):
+            ReputationClient(
+                ClientConfig(
+                    address="a",
+                    server_address="server",
+                    username="u",
+                    password="pass",
+                    email="u@x.org",
+                    use_circuit=True,
+                ),
+                machine,
+                network,
+            )
+
+
+class TestLocalLists:
+    def test_whitelist_short_circuits_dialog(self, rig):
+        server, network = rig
+        client, machine = make_client(
+            server, network, responder=always_deny()
+        )
+        executable = build_executable("fav.exe")
+        sid = machine.install(executable)
+        client.whitelist.add(sid)
+        record = machine.run(sid)
+        assert record.outcome is ExecutionOutcome.RAN
+        assert client.stats.dialogs_shown == 0
+        assert client.stats.auto_allowed_whitelist == 1
+
+    def test_blacklist_short_circuits_dialog(self, rig):
+        server, network = rig
+        client, machine = make_client(
+            server, network, responder=always_allow()
+        )
+        executable = build_executable("banned.exe")
+        sid = machine.install(executable)
+        client.blacklist.add(sid)
+        record = machine.run(sid)
+        assert record.outcome is ExecutionOutcome.BLOCKED
+        assert client.stats.auto_denied_blacklist == 1
+
+    def test_remembered_answer_populates_lists(self, rig):
+        server, network = rig
+
+        def responder(context):
+            return UserAnswer(allow=False, remember=True)
+
+        client, machine = make_client(server, network, responder=responder)
+        executable = build_executable("bad.exe")
+        sid = machine.install(executable)
+        machine.run(sid)
+        assert sid in client.blacklist
+        # Second run never reaches the dialog.
+        machine.run(sid)
+        assert client.stats.dialogs_shown == 1
+
+
+class TestServerDrivenDecisions:
+    def test_community_score_blocks_pis(self, rig):
+        server, network = rig
+        client, machine = make_client(
+            server,
+            network,
+            responder=score_threshold_responder(threshold=5.0),
+        )
+        executable = build_executable(
+            "spy.exe", behaviors={Behavior.TRACKS_BROWSING}
+        )
+        sid = machine.install(executable)
+        assert machine.run(sid).outcome is ExecutionOutcome.RAN  # unrated yet
+        server.engine.enroll_user("seed")
+        server.engine.cast_vote("seed", sid, 2)
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+        assert machine.run(sid).outcome is ExecutionOutcome.BLOCKED
+
+    def test_query_registers_software_server_side(self, rig):
+        server, network = rig
+        client, machine = make_client(server, network)
+        executable = build_executable("new.exe", vendor="NewCo")
+        sid = machine.install(executable)
+        machine.run(sid)
+        record = server.engine.vendors.get(sid)
+        assert record.vendor == "NewCo"
+
+    def test_offline_falls_back_to_blind_dialog(self, rig):
+        server, network = rig
+        client, machine = make_client(server, network)
+        network.unregister("server")
+        executable = build_executable("p.exe")
+        sid = machine.install(executable)
+        record = machine.run(sid)
+        assert record.outcome is ExecutionOutcome.RAN  # default allows
+        assert client.stats.offline_dialogs == 1
+
+
+class TestSignatureLayer:
+    @pytest.fixture
+    def signed_rig(self, rig):
+        from repro.crypto import CertificateAuthority, SignatureVerifier
+
+        server, network = rig
+        ca = CertificateAuthority("Root", b"k")
+        cert = ca.issue_certificate("Microsoft")
+        content = b"signed binary"
+        executable = build_executable(
+            "office.exe",
+            vendor="Microsoft",
+            content=content,
+            signature=ca.sign(cert, content),
+        )
+        return server, network, SignatureVerifier([ca]), executable
+
+    def test_trusted_signer_auto_allows(self, signed_rig):
+        server, network, verifier, executable = signed_rig
+        client, machine = make_client(
+            server,
+            network,
+            responder=always_deny(),
+            signature_verifier=verifier,
+        )
+        client.signers.trust_vendor("Microsoft")
+        sid = machine.install(executable)
+        assert machine.run(sid).outcome is ExecutionOutcome.RAN
+        assert client.stats.auto_allowed_signature == 1
+        assert client.stats.dialogs_shown == 0
+
+    def test_blocked_signer_auto_denies(self, signed_rig):
+        server, network, verifier, executable = signed_rig
+        client, machine = make_client(
+            server,
+            network,
+            responder=always_allow(),
+            signature_verifier=verifier,
+        )
+        client.signers.block_vendor("Microsoft")
+        sid = machine.install(executable)
+        assert machine.run(sid).outcome is ExecutionOutcome.BLOCKED
+        assert client.stats.auto_denied_signature == 1
+
+    def test_auto_allow_config_flag(self, signed_rig, clock):
+        server, network, verifier, executable = signed_rig
+        machine = Machine("pc-auto", clock=server.clock)
+        config = ClientConfig(
+            address="10.9.9.9",
+            server_address="server",
+            username="autouser",
+            password="password",
+            email="autouser@x.org",
+            auto_allow_valid_signatures=True,
+        )
+        client = ReputationClient(
+            config,
+            machine,
+            network,
+            responder=always_deny(),
+            signature_verifier=verifier,
+        )
+        client.sign_up()
+        client.install_hook()
+        sid = machine.install(executable)
+        assert machine.run(sid).outcome is ExecutionOutcome.RAN
+
+    def test_tampered_signature_falls_through_to_dialog(self, signed_rig):
+        server, network, verifier, executable = signed_rig
+        from dataclasses import replace
+
+        tampered = replace(executable, content=executable.content + b"!")
+        client, machine = make_client(
+            server,
+            network,
+            responder=always_deny(),
+            signature_verifier=verifier,
+        )
+        client.signers.trust_vendor("Microsoft")
+        sid = machine.install(tampered)
+        assert machine.run(sid).outcome is ExecutionOutcome.BLOCKED
+        assert client.stats.dialogs_shown == 1
+
+
+class TestPolicyIntegration:
+    def test_policy_allow_skips_dialog(self, rig):
+        server, network = rig
+        policy = Policy(
+            [MinimumRatingRule(threshold=5.0)], default=PolicyVerdict.ASK
+        )
+        client, machine = make_client(
+            server, network, responder=always_deny(), policy=policy
+        )
+        executable = build_executable("good.exe")
+        sid = machine.install(executable)
+        server.engine.enroll_user("seed")
+        server.engine.cast_vote("seed", sid, 9)
+        server.engine.register_software(sid, "good.exe", executable.file_size)
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+        assert machine.run(sid).outcome is ExecutionOutcome.RAN
+        assert client.stats.policy_allowed == 1
+        assert client.stats.dialogs_shown == 0
+
+    def test_policy_deny_default(self, rig):
+        server, network = rig
+        policy = Policy([], default=PolicyVerdict.DENY)
+        client, machine = make_client(
+            server, network, responder=always_allow(), policy=policy
+        )
+        sid = machine.install(build_executable("anything.exe"))
+        assert machine.run(sid).outcome is ExecutionOutcome.BLOCKED
+        assert client.stats.policy_denied == 1
+
+
+class TestRatingPrompts:
+    def _client_with_prompter(self, rig, rating_responder, threshold=3):
+        server, network = rig
+        return make_client(
+            rig[0],
+            rig[1],
+            rating_responder=rating_responder,
+            prompter_config=PrompterConfig(
+                execution_threshold=threshold, max_prompts_per_week=2
+            ),
+        )
+
+    def test_vote_submitted_after_threshold(self, rig):
+        server, network = rig
+        client, machine = self._client_with_prompter(
+            rig, honest_rater(lambda sid: 4), threshold=3
+        )
+        sid = machine.install(build_executable("daily.exe"))
+        for __ in range(4):
+            machine.run(sid)
+        assert client.stats.rating_prompts == 1
+        assert client.stats.votes_submitted == 1
+        assert server.engine.ratings.vote_count(sid) == 1
+        assert client.prompter.has_rated(sid)
+
+    def test_decline_suppresses_future_prompts(self, rig):
+        client, machine = self._client_with_prompter(
+            rig, lambda context: None, threshold=2
+        )
+        sid = machine.install(build_executable("meh.exe"))
+        for __ in range(6):
+            machine.run(sid)
+        assert client.stats.rating_prompts == 1
+        assert client.stats.votes_submitted == 0
+
+    def test_comment_travels_with_vote(self, rig):
+        server, network = rig
+
+        def rater(context):
+            return RatingAnswer(score=2, comment="constant popups")
+
+        client, machine = self._client_with_prompter(rig, rater, threshold=1)
+        sid = machine.install(build_executable("popup.exe"))
+        machine.run(sid)
+        machine.run(sid)
+        assert client.stats.comments_submitted == 1
+        comments = server.engine.comments.comments_for(sid)
+        assert [c.text for c in comments] == ["constant popups"]
+
+    def test_whitelisted_software_still_prompts(self, rig):
+        """Favourites are exactly the programs hitting 50 runs."""
+        server, network = rig
+        client, machine = self._client_with_prompter(
+            rig, honest_rater(lambda sid: 8), threshold=2
+        )
+        sid = machine.install(build_executable("fav.exe"))
+        client.whitelist.add(sid)
+        for __ in range(3):
+            machine.run(sid)
+        assert client.stats.votes_submitted == 1

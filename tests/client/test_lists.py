@@ -1,0 +1,69 @@
+"""White/black lists and signer lists."""
+
+from repro.client import SignerList, SoftwareList
+
+
+class TestSoftwareList:
+    def test_add_contains_remove(self):
+        wl = SoftwareList("whitelist")
+        wl.add("sid1", note="trusted editor")
+        assert "sid1" in wl
+        assert wl.note_for("sid1") == "trusted editor"
+        wl.remove("sid1")
+        assert "sid1" not in wl
+
+    def test_initial_entries(self):
+        wl = SoftwareList("whitelist", entries=["a", "b"])
+        assert len(wl) == 2
+
+    def test_remove_absent_is_noop(self):
+        wl = SoftwareList("whitelist")
+        wl.remove("ghost")
+
+    def test_re_add_updates_note(self):
+        wl = SoftwareList("w")
+        wl.add("sid", note="old")
+        wl.add("sid", note="new")
+        assert len(wl) == 1
+        assert wl.note_for("sid") == "new"
+
+    def test_clear(self):
+        wl = SoftwareList("w", entries=["a", "b"])
+        wl.clear()
+        assert len(wl) == 0
+
+    def test_software_ids(self):
+        wl = SoftwareList("w", entries=["a", "b"])
+        assert set(wl.software_ids()) == {"a", "b"}
+
+
+class TestSignerList:
+    def test_trust_and_block_are_exclusive(self):
+        signers = SignerList()
+        signers.trust_vendor("Microsoft")
+        assert signers.is_trusted("Microsoft")
+        signers.block_vendor("Microsoft")
+        assert signers.is_blocked("Microsoft")
+        assert not signers.is_trusted("Microsoft")
+        signers.trust_vendor("Microsoft")
+        assert not signers.is_blocked("Microsoft")
+
+    def test_forget(self):
+        signers = SignerList()
+        signers.trust_vendor("Adobe")
+        signers.forget_vendor("Adobe")
+        assert not signers.is_trusted("Adobe")
+        assert not signers.is_blocked("Adobe")
+
+    def test_subject_listings_sorted(self):
+        signers = SignerList()
+        signers.trust_vendor("B")
+        signers.trust_vendor("A")
+        signers.block_vendor("Z")
+        assert signers.trusted_subjects == ("A", "B")
+        assert signers.blocked_subjects == ("Z",)
+
+    def test_unknown_subject(self):
+        signers = SignerList()
+        assert not signers.is_trusted("X")
+        assert not signers.is_blocked("X")

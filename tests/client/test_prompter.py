@@ -1,0 +1,66 @@
+"""The rating prompt scheduler (Sec. 3.1: 50 executions, 2/week)."""
+
+import pytest
+
+from repro.clock import days, weeks
+from repro.client import PrompterConfig, RatingPrompter
+
+
+@pytest.fixture
+def prompter():
+    return RatingPrompter(PrompterConfig(execution_threshold=50, max_prompts_per_week=2))
+
+
+class TestThreshold:
+    def test_no_prompt_before_threshold(self, prompter):
+        assert not prompter.should_prompt("sid", execution_count=49, now=0)
+
+    def test_prompt_at_threshold(self, prompter):
+        """Paper: after 50 executions, asked the next time it starts."""
+        assert prompter.should_prompt("sid", execution_count=50, now=0)
+
+    def test_prompt_beyond_threshold(self, prompter):
+        assert prompter.should_prompt("sid", execution_count=200, now=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PrompterConfig(execution_threshold=0)
+        with pytest.raises(ValueError):
+            PrompterConfig(max_prompts_per_week=-1)
+
+
+class TestWeeklyCap:
+    def test_two_prompts_per_week_max(self, prompter):
+        for sid in ("a", "b"):
+            assert prompter.should_prompt(sid, 50, now=0)
+            prompter.record_prompt(sid, now=0)
+        assert not prompter.should_prompt("c", 50, now=0)
+
+    def test_cap_resets_next_week(self, prompter):
+        for sid in ("a", "b"):
+            prompter.record_prompt(sid, now=0)
+        assert not prompter.should_prompt("c", 50, now=days(6))
+        assert prompter.should_prompt("c", 50, now=weeks(1))
+
+    def test_prompts_in_week_counter(self, prompter):
+        prompter.record_prompt("a", now=0)
+        prompter.record_prompt("b", now=weeks(1))
+        assert prompter.prompts_in_week(0) == 1
+        assert prompter.prompts_in_week(1) == 1
+        assert prompter.total_prompts == 2
+
+
+class TestRatedAndDeclined:
+    def test_rated_software_never_prompts_again(self, prompter):
+        prompter.mark_rated("sid")
+        assert not prompter.should_prompt("sid", 500, now=0)
+        assert prompter.has_rated("sid")
+
+    def test_declined_software_never_prompts_again(self, prompter):
+        prompter.mark_declined("sid")
+        assert not prompter.should_prompt("sid", 500, now=0)
+        assert not prompter.has_rated("sid")
+
+    def test_other_software_still_prompts(self, prompter):
+        prompter.mark_rated("sid")
+        assert prompter.should_prompt("other", 50, now=0)

@@ -1,0 +1,69 @@
+"""Property tests: the prompter's weekly cap holds under any trace."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import SECONDS_PER_WEEK, days
+from repro.client import PrompterConfig, RatingPrompter
+
+traces = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),      # software index
+        st.integers(min_value=0, max_value=300),    # execution count
+        st.integers(min_value=0, max_value=days(120)),  # timestamp
+        st.sampled_from(["rate", "decline", "ignore"]),
+    ),
+    max_size=120,
+)
+
+
+@given(trace=traces, cap=st.integers(min_value=0, max_value=4))
+@settings(max_examples=80, deadline=None)
+def test_weekly_cap_never_exceeded(trace, cap):
+    config = PrompterConfig(execution_threshold=50, max_prompts_per_week=cap)
+    prompter = RatingPrompter(config)
+    prompts_by_week = {}
+    for software_index, count, now, reaction in sorted(
+        trace, key=lambda event: event[2]
+    ):
+        software_id = f"s{software_index}"
+        if prompter.should_prompt(software_id, count, now):
+            prompter.record_prompt(software_id, now)
+            week = now // SECONDS_PER_WEEK
+            prompts_by_week[week] = prompts_by_week.get(week, 0) + 1
+            if reaction == "rate":
+                prompter.mark_rated(software_id)
+            elif reaction == "decline":
+                prompter.mark_declined(software_id)
+    for week, issued in prompts_by_week.items():
+        assert issued <= cap
+        assert prompter.prompts_in_week(week) == issued
+    assert prompter.total_prompts == sum(prompts_by_week.values())
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_below_threshold_never_prompts(trace):
+    config = PrompterConfig(execution_threshold=50, max_prompts_per_week=100)
+    prompter = RatingPrompter(config)
+    for software_index, count, now, __ in trace:
+        if count < 50:
+            assert not prompter.should_prompt(f"s{software_index}", count, now)
+
+
+@given(trace=traces)
+@settings(max_examples=60, deadline=None)
+def test_rated_software_never_prompts_again(trace):
+    config = PrompterConfig(execution_threshold=1, max_prompts_per_week=1000)
+    prompter = RatingPrompter(config)
+    rated = set()
+    for software_index, count, now, reaction in sorted(
+        trace, key=lambda event: event[2]
+    ):
+        software_id = f"s{software_index}"
+        if software_id in rated:
+            assert not prompter.should_prompt(software_id, count, now)
+            continue
+        if prompter.should_prompt(software_id, count, now):
+            prompter.record_prompt(software_id, now)
+            prompter.mark_rated(software_id)
+            rated.add(software_id)

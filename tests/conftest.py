@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core import ReputationEngine
+from repro.net import Network
+from repro.server import ReputationServer
+from repro.storage import Column, ColumnType, Database, Schema
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def users_schema():
+    return Schema(
+        name="people",
+        columns=[
+            Column("name", ColumnType.TEXT),
+            Column("age", ColumnType.INT, check=lambda v: v >= 0),
+            Column("email", ColumnType.TEXT, nullable=True, unique=True),
+            Column("active", ColumnType.BOOL),
+        ],
+        primary_key="name",
+    )
+
+
+@pytest.fixture
+def people(db, users_schema):
+    table = db.create_table(users_schema)
+    table.insert({"name": "alice", "age": 30, "email": "a@x.org", "active": True})
+    table.insert({"name": "bob", "age": 25, "email": "b@x.org", "active": False})
+    table.insert({"name": "carol", "age": 35, "email": None, "active": True})
+    return table
+
+
+@pytest.fixture
+def engine(clock):
+    return ReputationEngine(clock=clock)
+
+
+@pytest.fixture
+def server(clock):
+    return ReputationServer(clock=clock, puzzle_difficulty=2, rng=random.Random(0))
+
+
+@pytest.fixture
+def wired_server(server):
+    """A server registered on a network, plus the network."""
+    network = Network(clock=None, rng=random.Random(1))
+    network.register("server", server.handle_bytes)
+    return server, network
+
+
+def make_client(server, network, username="alice", **overrides):
+    """Build, sign up, and hook a client on a fresh machine."""
+    from repro.client import ClientConfig, ReputationClient
+    from repro.winsim import Machine
+
+    machine = Machine(f"pc-{username}", clock=server.clock)
+    config = ClientConfig(
+        address=f"10.1.0.{abs(hash(username)) % 250}",
+        server_address="server",
+        username=username,
+        password=f"pw-{username}",
+        email=f"{username}@example.org",
+    )
+    client = ReputationClient(config, machine, network, **overrides)
+    client.sign_up()
+    client.install_hook()
+    return client, machine

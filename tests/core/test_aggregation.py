@@ -1,0 +1,160 @@
+"""The daily trust-weighted aggregation batch."""
+
+import pytest
+
+from repro.clock import days
+from repro.core.aggregation import Aggregator, unweighted_mean
+from repro.core.ratings import RatingBook
+from repro.core.trust import TrustLedger
+from repro.storage import Database
+
+
+@pytest.fixture
+def rig(db):
+    trust = TrustLedger(db)
+    ratings = RatingBook(db)
+    aggregator = Aggregator(db, ratings, trust)
+    return trust, ratings, aggregator
+
+
+class TestWeightedScore:
+    def test_equal_trust_is_plain_mean(self, rig):
+        trust, ratings, aggregator = rig
+        for user, score in [("a", 2), ("b", 4), ("c", 6)]:
+            trust.enroll(user, 0)
+            ratings.cast(user, "sid", score, now=0)
+        aggregator.run(now=0)
+        assert aggregator.score_of("sid").score == pytest.approx(4.0)
+
+    def test_trust_weights_votes(self, rig):
+        """Sec. 2.1: experienced users' opinions carry higher weight."""
+        trust, ratings, aggregator = rig
+        trust.enroll("expert", 0)
+        trust.force_set("expert", 9.0)
+        trust.enroll("novice", 0)
+        ratings.cast("expert", "sid", 9, now=0)
+        ratings.cast("novice", "sid", 1, now=0)
+        aggregator.run(now=0)
+        # (9*9 + 1*1) / 10 = 8.2 — the expert dominates
+        assert aggregator.score_of("sid").score == pytest.approx(8.2)
+
+    def test_unknown_voter_weighs_minimum(self, rig):
+        __, ratings, aggregator = rig
+        ratings.cast("ghost", "sid", 10, now=0)
+        aggregator.run(now=0)
+        score = aggregator.score_of("sid")
+        assert score.total_weight == pytest.approx(1.0)
+
+    def test_unrated_software_has_no_score(self, rig):
+        __, __, aggregator = rig
+        aggregator.run(now=0)
+        assert aggregator.score_of("nothing") is None
+
+    def test_score_metadata(self, rig):
+        trust, ratings, aggregator = rig
+        trust.enroll("a", 0)
+        ratings.cast("a", "sid", 5, now=0)
+        aggregator.run(now=77)
+        score = aggregator.score_of("sid")
+        assert score.vote_count == 1
+        assert score.computed_at == 77
+
+
+class TestBatchBehaviour:
+    def test_scores_fixed_between_batches(self, rig):
+        """Sec. 3.2: ratings are calculated at fixed points in time."""
+        trust, ratings, aggregator = rig
+        trust.enroll("a", 0)
+        ratings.cast("a", "sid", 2, now=0)
+        aggregator.run(now=0)
+        trust.enroll("b", 0)
+        ratings.cast("b", "sid", 10, now=1)
+        # No batch yet: the published score is unchanged.
+        assert aggregator.score_of("sid").score == pytest.approx(2.0)
+        aggregator.run(now=days(1))
+        assert aggregator.score_of("sid").score == pytest.approx(6.0)
+
+    def test_is_due_honours_period(self, rig):
+        __, __, aggregator = rig
+        assert aggregator.is_due(0)
+        aggregator.run(now=0)
+        assert not aggregator.is_due(days(1) - 1)
+        assert aggregator.is_due(days(1))
+
+    def test_incremental_only_touches_dirty(self, rig):
+        trust, ratings, aggregator = rig
+        trust.enroll("a", 0)
+        ratings.cast("a", "s1", 5, now=0)
+        ratings.cast("a", "s2", 5, now=0)
+        aggregator.run(now=0)
+        ratings.cast("a", "s3", 9, now=1)
+        report = aggregator.run(now=days(1), incremental=True)
+        assert report.software_recomputed == 1
+        assert aggregator.score_of("s3").score == pytest.approx(9.0)
+        # s1/s2 still published from the first run
+        assert aggregator.score_of("s1") is not None
+
+    def test_incremental_equals_full_results(self, rig):
+        trust, ratings, aggregator = rig
+        for user in ("a", "b"):
+            trust.enroll(user, 0)
+        ratings.cast("a", "s1", 4, now=0)
+        ratings.cast("b", "s1", 8, now=0)
+        aggregator.run(now=0, incremental=True)
+        incremental_score = aggregator.score_of("s1").score
+        aggregator.run(now=days(1))
+        assert aggregator.score_of("s1").score == pytest.approx(incremental_score)
+
+    def test_full_run_drains_dirty(self, rig):
+        __, ratings, aggregator = rig
+        ratings.cast("a", "s1", 5, now=0)
+        aggregator.run(now=0)
+        report = aggregator.run(now=days(1), incremental=True)
+        assert report.software_recomputed == 0
+
+    def test_report_counts(self, rig):
+        trust, ratings, aggregator = rig
+        trust.enroll("a", 0)
+        trust.enroll("b", 0)
+        ratings.cast("a", "s1", 5, now=0)
+        ratings.cast("b", "s1", 7, now=0)
+        ratings.cast("a", "s2", 3, now=0)
+        report = aggregator.run(now=0)
+        assert report.software_recomputed == 2
+        assert report.votes_considered == 3
+        assert report.mode == "full"
+
+    def test_all_scores_and_count(self, rig):
+        __, ratings, aggregator = rig
+        ratings.cast("a", "s1", 5, now=0)
+        ratings.cast("a", "s2", 5, now=0)
+        aggregator.run(now=0)
+        assert aggregator.scored_count() == 2
+        assert {s.software_id for s in aggregator.all_scores()} == {"s1", "s2"}
+
+    def test_top_and_bottom_scores(self, rig):
+        __, ratings, aggregator = rig
+        for index, score in enumerate((9, 2, 6, 4)):
+            ratings.cast("a", f"s{index}", score, now=0)
+        aggregator.run(now=0)
+        top = aggregator.top_scores(limit=2)
+        assert [s.software_id for s in top] == ["s0", "s2"]
+        bottom = aggregator.bottom_scores(limit=2)
+        assert [s.software_id for s in bottom] == ["s1", "s3"]
+
+    def test_rankings_respect_min_votes(self, rig):
+        __, ratings, aggregator = rig
+        ratings.cast("a", "thin", 10, now=0)
+        ratings.cast("a", "thick", 5, now=0)
+        ratings.cast("b", "thick", 5, now=0)
+        aggregator.run(now=0)
+        top = aggregator.top_scores(limit=5, min_votes=2)
+        assert [s.software_id for s in top] == ["thick"]
+
+
+def test_unweighted_mean():
+    from repro.core.ratings import Vote
+
+    votes = [Vote("a", "s", 2, 0), Vote("b", "s", 4, 0)]
+    assert unweighted_mean(votes) == pytest.approx(3.0)
+    assert unweighted_mean([]) is None

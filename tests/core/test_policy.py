@@ -1,0 +1,195 @@
+"""The policy module (Sec. 4.2)."""
+
+import pytest
+
+from repro.core.policy import (
+    ForbiddenBehaviorRule,
+    MaximumRatingDenyRule,
+    MinimumRatingRule,
+    Policy,
+    PolicyVerdict,
+    SoftwareFacts,
+    TrustedSignerRule,
+    UnsignedUnknownRule,
+    VendorRatingRule,
+)
+from repro.crypto.signatures import VerificationResult
+from repro.errors import PolicyError
+from repro.winsim import Behavior
+
+
+def _facts(**overrides):
+    spec = dict(software_id="sid", file_name="p.exe")
+    spec.update(overrides)
+    return SoftwareFacts(**spec)
+
+
+class TestRules:
+    def test_trusted_signer_allows_valid(self):
+        rule = TrustedSignerRule()
+        assert (
+            rule.evaluate(_facts(signature_status=VerificationResult.VALID))
+            is PolicyVerdict.ALLOW
+        )
+
+    def test_trusted_signer_abstains_otherwise(self):
+        rule = TrustedSignerRule()
+        for status in (
+            VerificationResult.UNSIGNED,
+            VerificationResult.BAD_DIGEST,
+            VerificationResult.REVOKED,
+        ):
+            assert rule.evaluate(_facts(signature_status=status)) is None
+
+    def test_minimum_rating_allows_above_threshold(self):
+        rule = MinimumRatingRule(threshold=7.5)
+        assert (
+            rule.evaluate(_facts(score=8.0, vote_count=5)) is PolicyVerdict.ALLOW
+        )
+
+    def test_minimum_rating_threshold_is_strict(self):
+        """The paper says 'a rating over 7.5/10' — exactly 7.5 is not over."""
+        rule = MinimumRatingRule(threshold=7.5)
+        assert rule.evaluate(_facts(score=7.5, vote_count=5)) is None
+
+    def test_minimum_rating_needs_votes(self):
+        rule = MinimumRatingRule(threshold=7.5, min_votes=3)
+        assert rule.evaluate(_facts(score=9.0, vote_count=2)) is None
+
+    def test_minimum_rating_abstains_unrated(self):
+        rule = MinimumRatingRule()
+        assert rule.evaluate(_facts(score=None)) is None
+
+    def test_minimum_rating_validates_threshold(self):
+        with pytest.raises(PolicyError):
+            MinimumRatingRule(threshold=11)
+        with pytest.raises(PolicyError):
+            MinimumRatingRule(min_votes=0)
+
+    def test_low_rating_deny(self):
+        rule = MaximumRatingDenyRule(threshold=3.0, min_votes=2)
+        assert (
+            rule.evaluate(_facts(score=2.0, vote_count=5)) is PolicyVerdict.DENY
+        )
+        assert rule.evaluate(_facts(score=3.5, vote_count=5)) is None
+        assert rule.evaluate(_facts(score=2.0, vote_count=1)) is None
+
+    def test_forbidden_behavior(self):
+        rule = ForbiddenBehaviorRule(
+            forbidden=frozenset({Behavior.DISPLAYS_ADS})
+        )
+        assert (
+            rule.evaluate(
+                _facts(reported_behaviors=frozenset({Behavior.DISPLAYS_ADS}))
+            )
+            is PolicyVerdict.DENY
+        )
+        assert (
+            rule.evaluate(
+                _facts(reported_behaviors=frozenset({Behavior.KEYLOGGING}))
+            )
+            is None
+        )
+
+    def test_forbidden_behavior_needs_entries(self):
+        with pytest.raises(PolicyError):
+            ForbiddenBehaviorRule(forbidden=frozenset())
+
+    def test_vendor_rating(self):
+        rule = VendorRatingRule(threshold=7.5)
+        assert rule.evaluate(_facts(vendor_score=8.0)) is PolicyVerdict.ALLOW
+        assert rule.evaluate(_facts(vendor_score=7.0)) is None
+        assert rule.evaluate(_facts(vendor_score=None)) is None
+
+    def test_unsigned_unknown(self):
+        rule = UnsignedUnknownRule()
+        assert (
+            rule.evaluate(_facts(vendor=None, score=None)) is PolicyVerdict.DENY
+        )
+        assert rule.evaluate(_facts(vendor="V", score=None)) is None
+        assert rule.evaluate(_facts(vendor=None, score=5.0)) is None
+        assert (
+            rule.evaluate(
+                _facts(
+                    vendor=None,
+                    score=None,
+                    signature_status=VerificationResult.VALID,
+                )
+            )
+            is None
+        )
+
+
+class TestPolicyEvaluation:
+    def test_first_match_wins(self):
+        policy = Policy(
+            [
+                ForbiddenBehaviorRule(forbidden=frozenset({Behavior.DISPLAYS_ADS})),
+                MinimumRatingRule(threshold=5.0),
+            ]
+        )
+        decision = policy.evaluate(
+            _facts(
+                score=9.0,
+                vote_count=5,
+                reported_behaviors=frozenset({Behavior.DISPLAYS_ADS}),
+            )
+        )
+        assert decision.verdict is PolicyVerdict.DENY
+        assert decision.rule_name == "forbidden-behavior"
+
+    def test_default_when_nothing_matches(self):
+        policy = Policy([MinimumRatingRule()], default=PolicyVerdict.ASK)
+        decision = policy.evaluate(_facts())
+        assert decision.verdict is PolicyVerdict.ASK
+        assert decision.rule_name is None
+
+    def test_deny_default(self):
+        policy = Policy([], default=PolicyVerdict.DENY)
+        assert policy.evaluate(_facts()).verdict is PolicyVerdict.DENY
+
+    def test_describe_lists_rules(self):
+        policy = Policy([TrustedSignerRule(), MinimumRatingRule()])
+        description = policy.describe()
+        assert len(description) == 2
+        assert "trusted vendor" in description[0]
+
+
+class TestPaperExample:
+    """Sec. 4.2: trusted vendors allowed; others need >7.5 and no ads."""
+
+    @pytest.fixture
+    def policy(self):
+        return Policy.paper_example(
+            forbidden_behaviors=frozenset({Behavior.DISPLAYS_ADS})
+        )
+
+    def test_signed_software_allowed(self, policy):
+        decision = policy.evaluate(
+            _facts(signature_status=VerificationResult.VALID)
+        )
+        assert decision.verdict is PolicyVerdict.ALLOW
+        assert decision.rule_name == "trusted-signer"
+
+    def test_high_rated_clean_software_allowed(self, policy):
+        decision = policy.evaluate(_facts(score=8.0, vote_count=3))
+        assert decision.verdict is PolicyVerdict.ALLOW
+
+    def test_high_rated_but_shows_ads_denied(self, policy):
+        decision = policy.evaluate(
+            _facts(
+                score=8.0,
+                vote_count=3,
+                reported_behaviors=frozenset({Behavior.DISPLAYS_ADS}),
+            )
+        )
+        assert decision.verdict is PolicyVerdict.DENY
+
+    def test_unrated_falls_back_to_ask(self, policy):
+        assert policy.evaluate(_facts()).verdict is PolicyVerdict.ASK
+
+    def test_low_rated_falls_back_to_ask(self, policy):
+        assert (
+            policy.evaluate(_facts(score=4.0, vote_count=9)).verdict
+            is PolicyVerdict.ASK
+        )

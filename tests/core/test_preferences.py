@@ -1,0 +1,123 @@
+"""The preference module: declarative knobs compiled to policies."""
+
+import pytest
+
+from repro.core.policy import PolicyVerdict, SoftwareFacts
+from repro.core.preferences import UserPreferences
+from repro.crypto.signatures import VerificationResult
+from repro.errors import PolicyError
+from repro.winsim import Behavior
+
+
+def _facts(**overrides):
+    spec = dict(software_id="sid", file_name="p.exe")
+    spec.update(overrides)
+    return SoftwareFacts(**spec)
+
+
+class TestValidation:
+    def test_threshold_bounds(self):
+        with pytest.raises(PolicyError):
+            UserPreferences(minimum_rating=11.0)
+        with pytest.raises(PolicyError):
+            UserPreferences(block_rating_below=0.5)
+
+    def test_block_must_stay_under_allow(self):
+        with pytest.raises(PolicyError):
+            UserPreferences(minimum_rating=5.0, block_rating_below=6.0)
+
+    def test_allow_default_forbidden(self):
+        with pytest.raises(PolicyError):
+            UserPreferences(default=PolicyVerdict.ALLOW)
+
+
+class TestCompilation:
+    def test_default_preferences_match_paper_shape(self):
+        policy = UserPreferences().compile()
+        names = [rule.name for rule in policy.rules]
+        assert names == ["trusted-signer", "minimum-rating"]
+        assert policy.default is PolicyVerdict.ASK
+
+    def test_deny_rules_run_before_allows(self):
+        """A signed program with a forbidden behaviour must still be
+        denied — harm evidence outranks vendor trust."""
+        preferences = UserPreferences(
+            forbidden_behaviors=frozenset({Behavior.DISPLAYS_ADS}),
+            block_rating_below=3.0,
+        )
+        policy = preferences.compile()
+        decision = policy.evaluate(
+            _facts(
+                signature_status=VerificationResult.VALID,
+                reported_behaviors=frozenset({Behavior.DISPLAYS_ADS}),
+            )
+        )
+        assert decision.verdict is PolicyVerdict.DENY
+        assert decision.rule_name == "forbidden-behavior"
+
+    def test_disabled_knobs_produce_no_rules(self):
+        preferences = UserPreferences(
+            trust_signed_vendors=False, minimum_rating=None
+        )
+        assert preferences.compile().rules == []
+
+    def test_vendor_ratings_opt_in(self):
+        preferences = UserPreferences(use_vendor_ratings=True)
+        names = [rule.name for rule in preferences.compile().rules]
+        assert "vendor-rating" in names
+        decision = preferences.compile().evaluate(_facts(vendor_score=9.0))
+        assert decision.verdict is PolicyVerdict.ALLOW
+
+
+class TestProfiles:
+    def test_paper_example_profile(self):
+        policy = UserPreferences.paper_example(
+            frozenset({Behavior.DISPLAYS_ADS})
+        ).compile()
+        # signed -> allow
+        assert (
+            policy.evaluate(
+                _facts(signature_status=VerificationResult.VALID)
+            ).verdict
+            is PolicyVerdict.ALLOW
+        )
+        # >7.5 and clean -> allow
+        assert (
+            policy.evaluate(_facts(score=8.0, vote_count=1)).verdict
+            is PolicyVerdict.ALLOW
+        )
+        # >7.5 but shows ads -> deny
+        assert (
+            policy.evaluate(
+                _facts(
+                    score=8.0,
+                    vote_count=1,
+                    reported_behaviors=frozenset({Behavior.DISPLAYS_ADS}),
+                )
+            ).verdict
+            is PolicyVerdict.DENY
+        )
+        # everything else -> ask
+        assert policy.evaluate(_facts()).verdict is PolicyVerdict.ASK
+
+    def test_locked_down_profile_never_asks(self):
+        policy = UserPreferences.locked_down().compile()
+        for facts in (
+            _facts(),
+            _facts(score=6.0, vote_count=10),
+            _facts(vendor=None),
+        ):
+            assert policy.evaluate(facts).verdict is not PolicyVerdict.ASK
+
+    def test_locked_down_allows_good_software(self):
+        policy = UserPreferences.locked_down().compile()
+        assert (
+            policy.evaluate(_facts(score=9.0, vote_count=5)).verdict
+            is PolicyVerdict.ALLOW
+        )
+        assert (
+            policy.evaluate(
+                _facts(signature_status=VerificationResult.VALID)
+            ).verdict
+            is PolicyVerdict.ALLOW
+        )

@@ -1,0 +1,105 @@
+"""Expert-group feeds and subscriptions (Sec. 4.2)."""
+
+import pytest
+
+from repro.core import FeedEntry, FeedPublisher
+from repro.core.subscriptions import SubscriptionManager
+from repro.winsim import Behavior
+
+
+@pytest.fixture
+def publisher():
+    publisher = FeedPublisher("AV-experts")
+    publisher.publish(
+        FeedEntry(
+            software_id="sid1",
+            score=2.0,
+            comment="tracks browsing",
+            reported_behaviors=frozenset({Behavior.TRACKS_BROWSING}),
+        )
+    )
+    return publisher
+
+
+class TestPublisher:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            FeedPublisher("")
+
+    def test_publish_and_lookup(self, publisher):
+        entry = publisher.entry_for("sid1")
+        assert entry.score == 2.0
+        assert publisher.entry_for("other") is None
+
+    def test_republish_replaces(self, publisher):
+        publisher.publish(FeedEntry(software_id="sid1", score=5.0))
+        assert publisher.entry_for("sid1").score == 5.0
+        assert len(publisher) == 1
+
+    def test_retract(self, publisher):
+        publisher.retract("sid1")
+        assert publisher.entry_for("sid1") is None
+        publisher.retract("sid1")  # idempotent
+
+    def test_catalogue(self, publisher):
+        publisher.publish(FeedEntry(software_id="sid2", score=9.0))
+        assert len(publisher.catalogue()) == 2
+
+
+class TestSubscriptions:
+    def test_subscribe_unsubscribe(self, publisher):
+        manager = SubscriptionManager()
+        manager.subscribe(publisher)
+        assert manager.is_subscribed("AV-experts")
+        assert manager.subscription_names == ("AV-experts",)
+        manager.unsubscribe("AV-experts")
+        assert not manager.is_subscribed("AV-experts")
+
+    def test_feed_overrides_community(self, publisher):
+        """Subscribers trust their feed over the noisy crowd."""
+        manager = SubscriptionManager()
+        manager.subscribe(publisher)
+        opinion = manager.opinion("sid1", community_score=9.0)
+        assert opinion.score == 2.0
+        assert opinion.source == "feeds"
+        assert Behavior.TRACKS_BROWSING in opinion.reported_behaviors
+
+    def test_multiple_feeds_averaged(self, publisher):
+        other = FeedPublisher("Lab-2")
+        other.publish(FeedEntry(software_id="sid1", score=4.0))
+        manager = SubscriptionManager()
+        manager.subscribe(publisher)
+        manager.subscribe(other)
+        opinion = manager.opinion("sid1")
+        assert opinion.score == pytest.approx(3.0)
+        assert opinion.feed_count == 2
+
+    def test_community_fallback(self, publisher):
+        manager = SubscriptionManager()
+        manager.subscribe(publisher)
+        opinion = manager.opinion("unlisted", community_score=6.5)
+        assert opinion.score == 6.5
+        assert opinion.source == "community"
+
+    def test_no_information_at_all(self):
+        manager = SubscriptionManager()
+        opinion = manager.opinion("sid", community_score=None)
+        assert opinion.score is None
+        assert opinion.source == "none"
+
+    def test_behaviors_unioned_across_feeds(self, publisher):
+        other = FeedPublisher("Lab-2")
+        other.publish(
+            FeedEntry(
+                software_id="sid1",
+                score=3.0,
+                reported_behaviors=frozenset({Behavior.DISPLAYS_ADS}),
+            )
+        )
+        manager = SubscriptionManager()
+        manager.subscribe(publisher)
+        manager.subscribe(other)
+        opinion = manager.opinion("sid1")
+        assert opinion.reported_behaviors == frozenset(
+            {Behavior.TRACKS_BROWSING, Behavior.DISPLAYS_ADS}
+        )

@@ -1,0 +1,128 @@
+"""Table 1 classification and the Table 2 transformation."""
+
+import pytest
+
+from repro.core import (
+    ConsentLevel,
+    Consequence,
+    TABLE1_CELLS,
+    TABLE2_CELLS,
+    classify,
+    transform_with_reputation,
+)
+from repro.core.taxonomy import cell_by_number, malware_cells, spyware_cells
+
+
+class TestTable1:
+    def test_nine_cells(self):
+        assert len(TABLE1_CELLS) == 9
+        assert sorted(cell.number for cell in TABLE1_CELLS.values()) == list(
+            range(1, 10)
+        )
+
+    def test_paper_cell_names(self):
+        """The exact species names of Table 1 (p. 144)."""
+        names = {cell.number: cell.name for cell in TABLE1_CELLS.values()}
+        assert names == {
+            1: "Legitimate software",
+            2: "Adverse software",
+            3: "Double agents",
+            4: "Semi-transparent software",
+            5: "Unsolicited software",
+            6: "Semi-parasites",
+            7: "Covert software",
+            8: "Trojans",
+            9: "Parasites",
+        }
+
+    def test_classify(self):
+        cell = classify(ConsentLevel.MEDIUM, Consequence.MODERATE)
+        assert cell.number == 5
+
+    def test_cell_by_number(self):
+        assert cell_by_number(9).name == "Parasites"
+        with pytest.raises(KeyError):
+            cell_by_number(10)
+
+
+class TestRegions:
+    def test_only_cell_1_is_legitimate(self):
+        legit = [c for c in TABLE1_CELLS.values() if c.is_legitimate]
+        assert [c.number for c in legit] == [1]
+
+    def test_malware_is_low_consent_or_severe(self):
+        """Sec. 1.1: low consent OR severe consequences = malware."""
+        assert sorted(c.number for c in malware_cells()) == [3, 6, 7, 8, 9]
+
+    def test_spyware_is_the_remainder(self):
+        assert sorted(c.number for c in spyware_cells()) == [2, 4, 5]
+
+    def test_regions_partition_the_grid(self):
+        for cell in TABLE1_CELLS.values():
+            flags = [cell.is_legitimate, cell.is_spyware, cell.is_malware]
+            assert flags.count(True) == 1
+
+
+class TestTable2:
+    def test_six_cells_no_medium_row(self):
+        assert len(TABLE2_CELLS) == 6
+        assert all(
+            cell.consent is not ConsentLevel.MEDIUM
+            for cell in TABLE2_CELLS.values()
+        )
+
+    def test_informed_medium_becomes_high(self):
+        cell = classify(ConsentLevel.MEDIUM, Consequence.MODERATE)
+        transformed = transform_with_reputation(
+            cell, reputation_informs_user=True, deceitful=False
+        )
+        assert transformed.consent is ConsentLevel.HIGH
+        assert transformed.consequence is Consequence.MODERATE
+        assert transformed.number == 2
+
+    def test_deceitful_medium_becomes_low(self):
+        cell = classify(ConsentLevel.MEDIUM, Consequence.SEVERE)
+        transformed = transform_with_reputation(
+            cell, reputation_informs_user=True, deceitful=True
+        )
+        assert transformed.consent is ConsentLevel.LOW
+        assert transformed.number == 9
+
+    def test_uninformed_medium_unchanged(self):
+        cell = classify(ConsentLevel.MEDIUM, Consequence.TOLERABLE)
+        transformed = transform_with_reputation(
+            cell, reputation_informs_user=False, deceitful=False
+        )
+        assert transformed == cell
+
+    def test_high_and_low_rows_untouched(self):
+        for consent in (ConsentLevel.HIGH, ConsentLevel.LOW):
+            for consequence in Consequence:
+                cell = classify(consent, consequence)
+                assert (
+                    transform_with_reputation(cell, True, False) == cell
+                )
+                assert (
+                    transform_with_reputation(cell, True, True) == cell
+                )
+
+    def test_transformed_results_always_in_table2(self):
+        for cell in TABLE1_CELLS.values():
+            for informed in (True, False):
+                for deceitful in (True, False):
+                    result = transform_with_reputation(cell, informed, deceitful)
+                    if cell.consent is ConsentLevel.MEDIUM and not informed and not deceitful:
+                        continue  # unresolved stays medium by design
+                    assert result.consent is not ConsentLevel.MEDIUM or (
+                        cell.consent is ConsentLevel.MEDIUM
+                        and not informed
+                        and not deceitful
+                    )
+
+
+class TestOrdering:
+    def test_consent_ordering(self):
+        assert ConsentLevel.LOW < ConsentLevel.MEDIUM < ConsentLevel.HIGH
+
+    def test_consequence_ordering(self):
+        assert Consequence.TOLERABLE < Consequence.MODERATE < Consequence.SEVERE

@@ -1,0 +1,80 @@
+"""Adaptive puzzle difficulty (variable hash guessing, Sec. 5 / Aura)."""
+
+import random
+
+import pytest
+
+from repro.crypto.puzzles import AdaptivePuzzleIssuer, solve_puzzle
+
+
+@pytest.fixture
+def issuer():
+    return AdaptivePuzzleIssuer(
+        base_difficulty=4,
+        max_difficulty=10,
+        window_seconds=3600,
+        rng=random.Random(0),
+    )
+
+
+class TestEscalation:
+    def test_repeat_requests_escalate(self, issuer):
+        difficulties = [
+            issuer.issue(origin="farm", now=0).difficulty for __ in range(8)
+        ]
+        assert difficulties == [4, 5, 6, 7, 8, 9, 10, 10]  # capped at max
+
+    def test_fresh_origin_pays_base(self, issuer):
+        for __ in range(5):
+            issuer.issue(origin="farm", now=0)
+        assert issuer.issue(origin="newcomer", now=0).difficulty == 4
+
+    def test_window_expiry_resets(self, issuer):
+        for __ in range(5):
+            issuer.issue(origin="farm", now=0)
+        assert issuer.issue(origin="farm", now=3600).difficulty == 4
+
+    def test_partial_window(self, issuer):
+        issuer.issue(origin="farm", now=0)
+        issuer.issue(origin="farm", now=1800)
+        # the now=0 request is still in the window at t=1900
+        assert issuer.difficulty_for("farm", now=1900) == 6
+        # ...but gone at t=3700, leaving only the t=1800 one
+        assert issuer.difficulty_for("farm", now=3700) == 5
+
+    def test_anonymous_requests_pay_base(self, issuer):
+        for __ in range(5):
+            issuer.issue(origin=None, now=0)
+        assert issuer.issue(origin=None, now=0).difficulty == 4
+
+    def test_escalated_puzzles_still_solvable_and_redeemable(self, issuer):
+        issuer.issue(origin="farm", now=0)
+        puzzle = issuer.issue(origin="farm", now=0)
+        assert puzzle.difficulty == 5
+        assert issuer.redeem(puzzle.nonce, solve_puzzle(puzzle))
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AdaptivePuzzleIssuer(base_difficulty=10, max_difficulty=5)
+
+
+class TestServerIntegration:
+    def test_account_farm_faces_rising_difficulty(self, clock):
+        from repro.protocol import PuzzleRequest, decode, encode
+        from repro.server import ReputationServer
+
+        server = ReputationServer(
+            clock=clock,
+            puzzle_difficulty=2,
+            rng=random.Random(0),
+            adaptive_puzzles=True,
+        )
+        difficulties = []
+        for __ in range(4):
+            response = decode(
+                server.handle_bytes("bot-farm", encode(PuzzleRequest()))
+            )
+            difficulties.append(response.difficulty)
+        assert difficulties == [2, 3, 4, 5]
+        fresh = decode(server.handle_bytes("honest", encode(PuzzleRequest())))
+        assert fresh.difficulty == 2

@@ -1,0 +1,49 @@
+"""Software fingerprints (SHA-1 over file content)."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import DIGEST_BYTES, software_id, software_id_hex
+from repro.crypto.digests import is_software_id_hex
+
+
+def test_digest_matches_sha1():
+    content = b"MZ\x90\x00 fake executable"
+    assert software_id(content) == hashlib.sha1(content).digest()
+
+
+def test_digest_length():
+    assert len(software_id(b"x")) == DIGEST_BYTES
+
+
+def test_hex_form():
+    assert software_id_hex(b"x") == software_id(b"x").hex()
+    assert len(software_id_hex(b"x")) == 40
+
+
+def test_single_byte_change_changes_id():
+    """Sec. 3.3: impossible to change behaviour and keep the ID."""
+    base = b"program bytes"
+    assert software_id_hex(base) != software_id_hex(base + b"\x00")
+
+
+def test_same_content_same_id():
+    assert software_id_hex(b"abc") == software_id_hex(b"abc")
+
+
+def test_rejects_non_bytes():
+    with pytest.raises(TypeError):
+        software_id("not bytes")
+
+
+def test_accepts_bytearray_and_memoryview():
+    assert software_id(bytearray(b"x")) == software_id(b"x")
+    assert software_id(memoryview(b"x")) == software_id(b"x")
+
+
+def test_is_software_id_hex():
+    assert is_software_id_hex(software_id_hex(b"x"))
+    assert not is_software_id_hex("short")
+    assert not is_software_id_hex("z" * 40)
+    assert not is_software_id_hex(12345)

@@ -1,0 +1,103 @@
+"""Client puzzles: the anti-automation registration gate."""
+
+import random
+
+import pytest
+
+from repro.crypto import Puzzle, PuzzleIssuer, solve_puzzle
+from repro.crypto.puzzles import _leading_zero_bits
+
+
+class TestLeadingZeroBits:
+    def test_all_zero(self):
+        assert _leading_zero_bits(b"\x00\x00") == 16
+
+    def test_high_bit_set(self):
+        assert _leading_zero_bits(b"\x80") == 0
+
+    def test_partial_byte(self):
+        assert _leading_zero_bits(b"\x01") == 7
+        assert _leading_zero_bits(b"\x10") == 3
+
+    def test_crosses_byte_boundary(self):
+        assert _leading_zero_bits(b"\x00\x40") == 9
+
+
+class TestPuzzle:
+    def test_zero_difficulty_accepts_anything(self):
+        puzzle = Puzzle(nonce=b"n", difficulty=0)
+        assert puzzle.check(b"whatever")
+
+    def test_solution_verifies(self):
+        puzzle = Puzzle(nonce=b"nonce", difficulty=8)
+        suffix = solve_puzzle(puzzle)
+        assert puzzle.check(suffix)
+
+    def test_wrong_suffix_usually_fails(self):
+        puzzle = Puzzle(nonce=b"nonce", difficulty=16)
+        assert not puzzle.check(b"\x00" * 8) or puzzle.check(b"\x00" * 8)
+        # deterministic variant: the solver's answer differs from a bogus one
+        suffix = solve_puzzle(puzzle)
+        assert suffix != b"bogus!!!"
+
+    def test_solver_gives_up(self):
+        puzzle = Puzzle(nonce=b"n", difficulty=30)
+        with pytest.raises(ValueError):
+            solve_puzzle(puzzle, max_attempts=10)
+
+    def test_difficulty_raises_expected_work(self):
+        """Average attempts roughly double per difficulty bit."""
+        rng = random.Random(0)
+        attempts = {}
+        for difficulty in (4, 8):
+            total = 0
+            for trial in range(10):
+                nonce = rng.getrandbits(64).to_bytes(8, "big")
+                puzzle = Puzzle(nonce=nonce, difficulty=difficulty)
+                suffix = solve_puzzle(puzzle)
+                total += int.from_bytes(suffix, "big") + 1
+            attempts[difficulty] = total / 10
+        assert attempts[8] > attempts[4]
+
+
+class TestIssuer:
+    def test_issue_and_redeem(self):
+        issuer = PuzzleIssuer(difficulty=4)
+        puzzle = issuer.issue()
+        suffix = solve_puzzle(puzzle)
+        assert issuer.redeem(puzzle.nonce, suffix)
+
+    def test_redeem_is_single_use(self):
+        issuer = PuzzleIssuer(difficulty=4)
+        puzzle = issuer.issue()
+        suffix = solve_puzzle(puzzle)
+        assert issuer.redeem(puzzle.nonce, suffix)
+        assert not issuer.redeem(puzzle.nonce, suffix)
+
+    def test_redeem_unknown_nonce_fails(self):
+        issuer = PuzzleIssuer(difficulty=4)
+        assert not issuer.redeem(b"made-up", b"x")
+
+    def test_redeem_wrong_solution_consumes_puzzle(self):
+        issuer = PuzzleIssuer(difficulty=12)
+        puzzle = issuer.issue()
+        assert not issuer.redeem(puzzle.nonce, b"wrong")
+        # the nonce is burned either way
+        assert not issuer.redeem(puzzle.nonce, solve_puzzle(puzzle))
+
+    def test_outstanding_count(self):
+        issuer = PuzzleIssuer(difficulty=0)
+        issuer.issue()
+        issuer.issue()
+        assert issuer.outstanding_count == 2
+
+    def test_nonces_are_unique(self):
+        issuer = PuzzleIssuer(difficulty=0)
+        nonces = {issuer.issue().nonce for __ in range(50)}
+        assert len(nonces) == 50
+
+    def test_difficulty_bounds(self):
+        with pytest.raises(ValueError):
+            PuzzleIssuer(difficulty=-1)
+        with pytest.raises(ValueError):
+            PuzzleIssuer(difficulty=33)

@@ -1,0 +1,74 @@
+"""Salted e-mail hashes and password hashing (Sec. 2.2)."""
+
+import pytest
+
+from repro.crypto import (
+    SecretPepper,
+    constant_time_equals,
+    hash_email,
+    hash_password,
+    verify_password,
+)
+from repro.crypto.secrets import normalize_email
+
+
+@pytest.fixture
+def pepper():
+    return SecretPepper(b"server-secret")
+
+
+class TestPepper:
+    def test_empty_pepper_rejected(self):
+        with pytest.raises(ValueError):
+            SecretPepper(b"")
+
+    def test_repr_never_leaks(self, pepper):
+        assert b"server-secret".decode() not in repr(pepper)
+
+
+class TestEmailHash:
+    def test_equal_addresses_equal_hashes(self, pepper):
+        assert hash_email("a@x.org", pepper) == hash_email("a@x.org", pepper)
+
+    def test_different_addresses_different_hashes(self, pepper):
+        assert hash_email("a@x.org", pepper) != hash_email("b@x.org", pepper)
+
+    def test_case_and_whitespace_normalised(self, pepper):
+        assert hash_email("  A@X.ORG ", pepper) == hash_email("a@x.org", pepper)
+
+    def test_pepper_changes_hash(self, pepper):
+        other = SecretPepper(b"different")
+        assert hash_email("a@x.org", pepper) != hash_email("a@x.org", other)
+
+    def test_hash_does_not_contain_address(self, pepper):
+        digest = hash_email("a@x.org", pepper)
+        assert "a@x.org" not in digest
+        assert len(digest) == 64  # sha256 hex
+
+    def test_normalize(self):
+        assert normalize_email(" A@B.C ") == "a@b.c"
+
+
+class TestPasswordHash:
+    def test_verify_accepts_correct_password(self):
+        salt = b"0123456789abcdef"
+        stored = hash_password("hunter2", salt)
+        assert verify_password("hunter2", salt, stored)
+
+    def test_verify_rejects_wrong_password(self):
+        salt = b"0123456789abcdef"
+        stored = hash_password("hunter2", salt)
+        assert not verify_password("hunter3", salt, stored)
+
+    def test_salt_changes_hash(self):
+        assert hash_password("pw", b"salt-one") != hash_password("pw", b"salt-two")
+
+    def test_empty_salt_rejected(self):
+        with pytest.raises(ValueError):
+            hash_password("pw", b"")
+
+
+def test_constant_time_equals():
+    assert constant_time_equals(b"abc", b"abc")
+    assert not constant_time_equals(b"abc", b"abd")
+    assert not constant_time_equals(b"abc", b"abcd")

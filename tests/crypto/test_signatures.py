@@ -1,0 +1,103 @@
+"""The simulated code-signing PKI (Sec. 4.2 enhanced white listing)."""
+
+import pytest
+
+from repro.crypto import (
+    CertificateAuthority,
+    SignatureVerifier,
+    VerificationResult,
+)
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("Trusted CA", key=b"ca-key")
+
+
+@pytest.fixture
+def verifier(ca):
+    return SignatureVerifier([ca])
+
+
+@pytest.fixture
+def signed(ca):
+    cert = ca.issue_certificate("Microsoft")
+    content = b"signed program"
+    return content, ca.sign(cert, content), cert
+
+
+class TestIssuance:
+    def test_serials_increment(self, ca):
+        a = ca.issue_certificate("A")
+        b = ca.issue_certificate("B")
+        assert b.serial == a.serial + 1
+        assert a.fingerprint != b.fingerprint
+
+    def test_sign_requires_own_certificate(self, ca):
+        other = CertificateAuthority("Other", key=b"x")
+        cert = other.issue_certificate("V")
+        with pytest.raises(ValueError):
+            ca.sign(cert, b"content")
+
+
+class TestVerification:
+    def test_valid_signature(self, verifier, signed):
+        content, signature, __ = signed
+        assert verifier.verify(content, signature) is VerificationResult.VALID
+        assert verifier.verify(content, signature).is_trusted
+
+    def test_unsigned(self, verifier):
+        result = verifier.verify(b"x", None)
+        assert result is VerificationResult.UNSIGNED
+        assert not result.is_trusted
+
+    def test_tampered_content(self, verifier, signed):
+        __, signature, __ = signed
+        assert (
+            verifier.verify(b"tampered", signature)
+            is VerificationResult.BAD_DIGEST
+        )
+
+    def test_untrusted_issuer(self, signed):
+        content, signature, __ = signed
+        empty_verifier = SignatureVerifier()
+        assert (
+            empty_verifier.verify(content, signature)
+            is VerificationResult.UNTRUSTED_ISSUER
+        )
+
+    def test_forged_mac_rejected(self, verifier, ca, signed):
+        content, signature, cert = signed
+        from repro.crypto.signatures import CodeSignature
+
+        forged = CodeSignature(
+            certificate=cert, digest=signature.digest, mac=b"\x00" * 32
+        )
+        assert (
+            verifier.verify(content, forged)
+            is VerificationResult.UNTRUSTED_ISSUER
+        )
+
+    def test_revocation(self, verifier, ca, signed):
+        content, signature, cert = signed
+        ca.revoke(cert)
+        assert verifier.verify(content, signature) is VerificationResult.REVOKED
+
+    def test_expiry(self, ca):
+        cert = ca.issue_certificate("V", not_after=1000)
+        content = b"c"
+        signature = ca.sign(cert, content)
+        verifier = SignatureVerifier([ca])
+        assert verifier.verify(content, signature, at_time=999).is_trusted
+        assert (
+            verifier.verify(content, signature, at_time=1001)
+            is VerificationResult.EXPIRED
+        )
+
+    def test_distrust(self, verifier, ca, signed):
+        content, signature, __ = signed
+        verifier.distrust(ca.name)
+        assert (
+            verifier.verify(content, signature)
+            is VerificationResult.UNTRUSTED_ISSUER
+        )

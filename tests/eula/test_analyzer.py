@@ -1,0 +1,113 @@
+"""EULA analysis: recovering the consent axis from text."""
+
+import pytest
+
+from repro.core.taxonomy import ConsentLevel
+from repro.eula import DisclosureStyle, EulaAnalyzer, generate_eula
+from repro.winsim import Behavior, build_executable
+
+
+@pytest.fixture
+def analyzer():
+    return EulaAnalyzer()
+
+
+def _exe(consent, behaviors=frozenset()):
+    return build_executable("sample.exe", consent=consent, behaviors=behaviors)
+
+
+class TestDerivation:
+    def test_high_consent_recovered(self, analyzer):
+        executable = _exe(ConsentLevel.HIGH, frozenset({Behavior.DISPLAYS_ADS}))
+        document = generate_eula(executable)
+        report = analyzer.analyze(document.text, executable.behaviors)
+        assert report.derived_consent is ConsentLevel.HIGH
+        assert not report.unreadable_length
+
+    def test_medium_consent_recovered(self, analyzer):
+        executable = _exe(
+            ConsentLevel.MEDIUM, frozenset({Behavior.TRACKS_BROWSING})
+        )
+        document = generate_eula(executable)
+        report = analyzer.analyze(document.text, executable.behaviors)
+        assert report.derived_consent is ConsentLevel.MEDIUM
+        assert report.unreadable_length
+
+    def test_low_consent_recovered(self, analyzer):
+        executable = _exe(ConsentLevel.LOW, frozenset({Behavior.KEYLOGGING}))
+        document = generate_eula(executable)
+        report = analyzer.analyze(document.text, executable.behaviors)
+        assert report.derived_consent is ConsentLevel.LOW
+        assert report.undisclosed_behaviors == frozenset({Behavior.KEYLOGGING})
+
+    def test_partial_disclosure_is_low_consent(self, analyzer):
+        """Admitting the ads but hiding the keylogger is still deceit."""
+        executable = _exe(
+            ConsentLevel.HIGH, frozenset({Behavior.DISPLAYS_ADS})
+        )
+        document = generate_eula(executable)
+        report = analyzer.analyze(
+            document.text,
+            {Behavior.DISPLAYS_ADS, Behavior.KEYLOGGING},
+        )
+        assert report.derived_consent is ConsentLevel.LOW
+        assert Behavior.KEYLOGGING in report.undisclosed_behaviors
+
+    def test_clean_software_is_high_consent(self, analyzer):
+        executable = _exe(ConsentLevel.HIGH)
+        document = generate_eula(executable)
+        report = analyzer.analyze(document.text, frozenset())
+        assert report.derived_consent is ConsentLevel.HIGH
+
+
+class TestDisclosureDetail:
+    def test_styles_identified(self, analyzer):
+        plain = generate_eula(
+            _exe(ConsentLevel.HIGH, frozenset({Behavior.DISPLAYS_ADS}))
+        )
+        report = analyzer.analyze(plain.text, {Behavior.DISPLAYS_ADS})
+        assert (
+            report.disclosure_for(Behavior.DISPLAYS_ADS).style
+            is DisclosureStyle.PLAIN
+        )
+        legalese = generate_eula(
+            _exe(ConsentLevel.MEDIUM, frozenset({Behavior.DISPLAYS_ADS}))
+        )
+        report = analyzer.analyze(legalese.text, {Behavior.DISPLAYS_ADS})
+        assert (
+            report.disclosure_for(Behavior.DISPLAYS_ADS).style
+            is DisclosureStyle.LEGALESE
+        )
+
+    def test_positions_reported(self, analyzer):
+        document = generate_eula(
+            _exe(ConsentLevel.MEDIUM, frozenset({Behavior.TRACKS_BROWSING}))
+        )
+        report = analyzer.analyze(document.text, {Behavior.TRACKS_BROWSING})
+        disclosure = report.disclosure_for(Behavior.TRACKS_BROWSING)
+        assert disclosure.position_words is not None
+        assert disclosure.position_words > 1000  # deeply buried
+
+    def test_word_count_reported(self, analyzer):
+        document = generate_eula(
+            _exe(ConsentLevel.MEDIUM, frozenset({Behavior.DISPLAYS_ADS}))
+        )
+        report = analyzer.analyze(document.text, {Behavior.DISPLAYS_ADS})
+        assert report.word_count == document.word_count
+
+
+class TestAccuracyOverPopulation:
+    def test_behavior_bearing_accuracy_is_high(self):
+        from repro.analysis.ablations import run_a6_eula_analysis
+
+        result = run_a6_eula_analysis(population_size=120, seed=3)
+        assert result["behavior_bearing_accuracy"] > 0.95
+        assert result["accuracy"] > 0.8
+
+    def test_confusion_never_upgrades_low_to_medium(self):
+        """Hiding behaviour is never mistaken for mere legalese."""
+        from repro.analysis.ablations import run_a6_eula_analysis
+        from repro.core.taxonomy import ConsentLevel
+
+        result = run_a6_eula_analysis(population_size=120, seed=3)
+        assert result["confusion"][(ConsentLevel.LOW, ConsentLevel.MEDIUM)] == 0

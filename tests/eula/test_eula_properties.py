@@ -1,0 +1,69 @@
+"""Property tests: the EULA generate/analyze round trip."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.taxonomy import ConsentLevel
+from repro.eula import EulaAnalyzer, generate_eula
+from repro.winsim import Behavior, build_executable
+
+behavior_sets = st.frozensets(
+    st.sampled_from(list(Behavior)), min_size=1, max_size=4
+)
+consents = st.sampled_from(list(ConsentLevel))
+
+
+@given(behaviors=behavior_sets, consent=consents, salt=st.integers(0, 10 ** 6))
+@settings(max_examples=100, deadline=None)
+def test_consent_recoverable_for_behavior_bearing_software(
+    behaviors, consent, salt
+):
+    """Whatever the behaviours, the analyzer recovers the consent style."""
+    executable = build_executable(
+        "prop.exe",
+        consent=consent,
+        behaviors=behaviors,
+        content=f"prop|{salt}".encode(),
+    )
+    document = generate_eula(executable)
+    report = EulaAnalyzer().analyze(document.text, behaviors)
+    assert report.derived_consent is consent
+
+
+@given(behaviors=behavior_sets, salt=st.integers(0, 10 ** 6))
+@settings(max_examples=60, deadline=None)
+def test_low_consent_documents_never_leak_disclosures(behaviors, salt):
+    executable = build_executable(
+        "hide.exe",
+        consent=ConsentLevel.LOW,
+        behaviors=behaviors,
+        content=f"hide|{salt}".encode(),
+    )
+    document = generate_eula(executable)
+    report = EulaAnalyzer().analyze(document.text, behaviors)
+    assert report.disclosed_behaviors == frozenset()
+    assert report.undisclosed_behaviors == behaviors
+
+
+@given(behaviors=behavior_sets, salt=st.integers(0, 10 ** 6))
+@settings(max_examples=60, deadline=None)
+def test_medium_documents_are_always_unreadably_long(behaviors, salt):
+    executable = build_executable(
+        "grey.exe",
+        consent=ConsentLevel.MEDIUM,
+        behaviors=behaviors,
+        content=f"grey|{salt}".encode(),
+    )
+    document = generate_eula(executable)
+    assert document.word_count > EulaAnalyzer.readable_word_limit
+
+
+@given(behaviors=behavior_sets, consent=consents, salt=st.integers(0, 10 ** 6))
+@settings(max_examples=60, deadline=None)
+def test_generation_is_pure(behaviors, consent, salt):
+    executable = build_executable(
+        "pure.exe",
+        consent=consent,
+        behaviors=behaviors,
+        content=f"pure|{salt}".encode(),
+    )
+    assert generate_eula(executable).text == generate_eula(executable).text

@@ -1,0 +1,137 @@
+"""Client resilience on a degraded network."""
+
+import random
+
+import pytest
+
+from repro.client import ClientConfig, ReputationClient, score_threshold_responder
+from repro.errors import NetworkError
+from repro.net import Network
+from repro.server import ReputationServer
+from repro.winsim import ExecutionOutcome, Machine, build_executable
+
+
+@pytest.fixture
+def lossy_rig(clock):
+    """Server reachable through a 40 %-loss network."""
+    network = Network(loss_probability=0.4, rng=random.Random(7))
+    server = ReputationServer(
+        clock=clock, puzzle_difficulty=0, rng=random.Random(0)
+    )
+    network.register("server", server.handle_bytes)
+    return server, network
+
+
+def _client(server, network, **overrides):
+    machine = Machine("flaky-pc", clock=server.clock)
+    client = ReputationClient(
+        ClientConfig(
+            address="10.5.0.1",
+            server_address="server",
+            username="flaky",
+            password="password",
+            email="flaky@x.org",
+            score_cache_ttl=0,  # force a network round trip per launch
+        ),
+        machine,
+        network,
+        **overrides,
+    )
+    return client, machine
+
+
+class TestDegradedNetwork:
+    def test_queries_fall_back_to_blind_dialog(self, lossy_rig):
+        """Dropped lookups must not block execution decisions."""
+        server, network = lossy_rig
+        client, machine = _client(
+            server, network, responder=score_threshold_responder(5.0)
+        )
+        self._sign_up_with_retries(client)
+        client.install_hook()
+        sid = machine.install(build_executable("p.exe"))
+        outcomes = []
+        for __ in range(30):
+            outcomes.append(machine.run(sid).outcome)
+        # every launch got a decision...
+        assert len(outcomes) == 30
+        # ...some of them offline (the 40 % loss showed up)...
+        assert client.stats.offline_dialogs > 0
+        # ...and some online (the link is not dead).
+        assert client.stats.server_queries > 0
+
+    def test_lost_votes_are_retried_on_a_later_prompt(self, lossy_rig):
+        from repro.client import PrompterConfig, honest_rater
+
+        server, network = lossy_rig
+        client, machine = _client(
+            server,
+            network,
+            rating_responder=honest_rater(lambda sid: 7),
+            prompter_config=PrompterConfig(
+                execution_threshold=2, max_prompts_per_week=1000
+            ),
+        )
+        self._sign_up_with_retries(client)
+        client.install_hook()
+        sid = machine.install(build_executable("fav.exe"))
+        for __ in range(40):
+            machine.run(sid)
+        # the vote eventually lands despite losses
+        assert server.engine.ratings.vote_count(sid) == 1
+        assert client.prompter.has_rated(sid)
+
+    @staticmethod
+    def _sign_up_with_retries(client, attempts=100):
+        """Drive the signup flow step-by-step, retrying each dropped RPC.
+
+        Unlike :meth:`ReputationClient.sign_up`, this keeps the
+        activation token across retries — the realistic recovery
+        behaviour when the activation request is the one that drops.
+        """
+        from repro.crypto.puzzles import Puzzle, solve_puzzle
+        from repro.protocol import (
+            ActivateRequest,
+            LoginRequest,
+            LoginResponse,
+            PuzzleRequest,
+            PuzzleResponse,
+            RegisterRequest,
+            RegisterResponse,
+        )
+
+        def rpc_with_retries(message):
+            for __ in range(attempts):
+                try:
+                    return client._rpc(message)
+                except NetworkError:
+                    continue
+            raise AssertionError("network never delivered the request")
+
+        puzzle_response = rpc_with_retries(PuzzleRequest())
+        assert isinstance(puzzle_response, PuzzleResponse)
+        puzzle = Puzzle(puzzle_response.nonce, puzzle_response.difficulty)
+        register_response = rpc_with_retries(
+            RegisterRequest(
+                username=client.config.username,
+                password=client.config.password,
+                email=client.config.email,
+                puzzle_nonce=puzzle.nonce,
+                puzzle_solution=solve_puzzle(puzzle),
+            )
+        )
+        assert isinstance(register_response, RegisterResponse)
+        rpc_with_retries(
+            ActivateRequest(
+                username=client.config.username,
+                token=register_response.activation_token,
+            )
+        )
+        login_response = rpc_with_retries(
+            LoginRequest(
+                username=client.config.username,
+                password=client.config.password,
+            )
+        )
+        assert isinstance(login_response, LoginResponse)
+        client._session = login_response.session

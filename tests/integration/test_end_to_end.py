@@ -1,0 +1,199 @@
+"""Full-stack scenarios exercising every layer together."""
+
+import pytest
+
+from repro.clock import days
+from repro.client import (
+    honest_rater,
+    score_threshold_responder,
+)
+from repro.client.prompter import PrompterConfig
+from repro.sim.population import true_quality_score
+from repro.winsim import Behavior, ExecutionOutcome, build_executable
+from tests.conftest import make_client
+
+
+class TestKnowledgeTransfer:
+    """The paper's core story: one user's experience protects the next."""
+
+    def test_early_victims_ratings_protect_later_users(self, wired_server):
+        server, network = wired_server
+        spyware = build_executable(
+            "freegame.exe",
+            vendor="BonziSoft",
+            behaviors={Behavior.TRACKS_BROWSING, Behavior.DISPLAYS_ADS},
+        )
+        truth = true_quality_score(spyware)
+        # Three early adopters run it enough to get prompted and rate it
+        # honestly (low), like the paper's experienced users.
+        for index in range(3):
+            client, machine = make_client(
+                server,
+                network,
+                username=f"victim{index}",
+                rating_responder=honest_rater(lambda sid: truth),
+                prompter_config=PrompterConfig(
+                    execution_threshold=3, max_prompts_per_week=5
+                ),
+            )
+            machine.install(spyware)
+            for __ in range(5):
+                machine.run(spyware.software_id)
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+        # A later, score-following user is protected at first contact.
+        late_client, late_machine = make_client(
+            server,
+            network,
+            username="latecomer",
+            responder=score_threshold_responder(threshold=5.0),
+        )
+        late_machine.install(spyware)
+        record = late_machine.run(spyware.software_id)
+        assert record.outcome is ExecutionOutcome.BLOCKED
+        assert not late_machine.is_infected()
+
+    def test_good_software_flows_freely(self, wired_server):
+        server, network = wired_server
+        editor = build_executable("editor.exe", vendor="Honest Inc")
+        for index in range(3):
+            client, machine = make_client(
+                server,
+                network,
+                username=f"fan{index}",
+                rating_responder=honest_rater(lambda sid: 9),
+                prompter_config=PrompterConfig(
+                    execution_threshold=2, max_prompts_per_week=5
+                ),
+            )
+            machine.install(editor)
+            for __ in range(4):
+                machine.run(editor.software_id)
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+        late_client, late_machine = make_client(
+            server,
+            network,
+            username="newbie",
+            responder=score_threshold_responder(
+                threshold=5.0, allow_unrated=False
+            ),
+        )
+        late_machine.install(editor)
+        assert (
+            late_machine.run(editor.software_id).outcome is ExecutionOutcome.RAN
+        )
+
+
+class TestVersionSeparation:
+    def test_new_version_starts_unrated(self, wired_server):
+        """Sec. 3.3: a fixed v2 is not tarred by v1's ratings."""
+        server, network = wired_server
+        v1 = build_executable(
+            "player.exe",
+            vendor="RealMedia",
+            behaviors={Behavior.DISPLAYS_ADS, Behavior.DEGRADES_PERFORMANCE},
+            content=b"player-v1",
+        )
+        v2 = v1.with_new_version("2.0", b"-fixed")
+        assert v2.software_id != v1.software_id
+        server.engine.enroll_user("seed")
+        server.engine.cast_vote("seed", v1.software_id, 2)
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+        client, machine = make_client(
+            server,
+            network,
+            username="upgrader",
+            responder=score_threshold_responder(
+                threshold=5.0, allow_unrated=True
+            ),
+        )
+        machine.install(v1)
+        machine.install(v2)
+        assert machine.run(v1.software_id).outcome is ExecutionOutcome.BLOCKED
+        assert machine.run(v2.software_id).outcome is ExecutionOutcome.RAN
+
+
+class TestSubscriptionsEndToEnd:
+    def test_expert_feed_overrides_shilled_community_score(self, wired_server):
+        from repro.core import FeedEntry, FeedPublisher
+
+        server, network = wired_server
+        pis = build_executable(
+            "shiny.exe", behaviors={Behavior.TRACKS_BROWSING}
+        )
+        # Shills pushed the community score up.
+        for index in range(5):
+            server.engine.enroll_user(f"shill{index}")
+            server.engine.cast_vote(f"shill{index}", pis.software_id, 10)
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+        lab = FeedPublisher("Honest Lab")
+        lab.publish(FeedEntry(software_id=pis.software_id, score=2.0))
+        client, machine = make_client(
+            server,
+            network,
+            username="subscriber",
+            responder=score_threshold_responder(threshold=5.0),
+        )
+        client.subscriptions.subscribe(lab)
+        machine.install(pis)
+        record = machine.run(pis.software_id)
+        assert record.outcome is ExecutionOutcome.BLOCKED
+
+    def test_unsubscribed_user_follows_the_crowd(self, wired_server):
+        server, network = wired_server
+        pis = build_executable(
+            "shiny2.exe", behaviors={Behavior.TRACKS_BROWSING}
+        )
+        for index in range(5):
+            server.engine.enroll_user(f"booster{index}")
+            server.engine.cast_vote(f"booster{index}", pis.software_id, 10)
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+        client, machine = make_client(
+            server,
+            network,
+            username="crowdfollower",
+            responder=score_threshold_responder(threshold=5.0),
+        )
+        machine.install(pis)
+        assert machine.run(pis.software_id).outcome is ExecutionOutcome.RAN
+
+
+class TestDurableServer:
+    def test_server_database_survives_restart(self, tmp_path, clock):
+        """The engine's state round-trips through WAL + recovery."""
+        from repro.core import ReputationEngine
+        from repro.storage import Database
+
+        database = Database(directory=str(tmp_path))
+        engine = ReputationEngine(database=database, clock=clock)
+        engine.enroll_user("alice")
+        engine.register_software("sid", "p.exe", 10, vendor="V")
+        engine.cast_vote("alice", "sid", 7)
+        engine.run_daily_aggregation()
+        # "Restart": a fresh engine over a fresh Database on the same dir.
+        database2 = Database(directory=str(tmp_path))
+        engine2 = ReputationEngine(database=database2, clock=clock)
+        database2.recover()
+        assert engine2.trust.get("alice") == 1.0
+        assert engine2.ratings.vote_count("sid") == 1
+        assert engine2.software_reputation("sid").score == pytest.approx(7.0)
+        assert engine2.vendors.get("sid").vendor == "V"
+
+    def test_recovered_db_still_enforces_one_vote(self, tmp_path, clock):
+        from repro.core import ReputationEngine
+        from repro.errors import DuplicateVoteError
+        from repro.storage import Database
+
+        database = Database(directory=str(tmp_path))
+        engine = ReputationEngine(database=database, clock=clock)
+        engine.enroll_user("alice")
+        engine.cast_vote("alice", "sid", 7)
+        database2 = Database(directory=str(tmp_path))
+        engine2 = ReputationEngine(database=database2, clock=clock)
+        database2.recover()
+        with pytest.raises(DuplicateVoteError):
+            engine2.cast_vote("alice", "sid", 3)

@@ -1,0 +1,91 @@
+"""Tor-like circuits: origin unlinkability."""
+
+import random
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.net import AnonymityNetwork, Circuit, Network
+
+
+@pytest.fixture
+def rig():
+    network = Network()
+    anonymity = AnonymityNetwork(network, rng=random.Random(0))
+    for index in range(5):
+        anonymity.add_relay(f"relay-{index}")
+    seen_sources = []
+
+    def handler(source, payload):
+        seen_sources.append(source)
+        return b"ok"
+
+    network.register("server", handler)
+    return network, anonymity, seen_sources
+
+
+class TestCircuitConstruction:
+    def test_build_distinct_relays(self, rig):
+        __, anonymity, __ = rig
+        circuit = anonymity.build_circuit(3)
+        assert circuit.length == 3
+        assert len(set(circuit.relays)) == 3
+
+    def test_not_enough_relays(self, rig):
+        __, anonymity, __ = rig
+        with pytest.raises(CircuitError):
+            anonymity.build_circuit(6)
+
+    def test_zero_length_rejected(self, rig):
+        __, anonymity, __ = rig
+        with pytest.raises(CircuitError):
+            anonymity.build_circuit(0)
+
+    def test_duplicate_relays_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(relays=("a", "a"))
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(relays=())
+
+    def test_duplicate_relay_registration(self, rig):
+        __, anonymity, __ = rig
+        with pytest.raises(CircuitError):
+            anonymity.add_relay("relay-0")
+
+
+class TestRouting:
+    def test_server_sees_exit_not_client(self, rig):
+        network, anonymity, seen = rig
+        circuit = anonymity.build_circuit(3)
+        response = anonymity.request(circuit, "victim-pc", "server", b"hi")
+        assert response == b"ok"
+        assert seen == [circuit.exit_relay]
+        assert "victim-pc" not in seen
+
+    def test_each_hop_pays_latency(self, rig):
+        network, anonymity, __ = rig
+        direct_requests_before = network.stats.requests
+        circuit = anonymity.build_circuit(3)
+        anonymity.request(circuit, "client", "server", b"x")
+        # 3 relay hops + 1 final delivery
+        assert network.stats.requests - direct_requests_before == 4
+
+    def test_single_relay_circuit(self, rig):
+        network, anonymity, seen = rig
+        circuit = anonymity.build_circuit(1)
+        anonymity.request(circuit, "client", "server", b"x")
+        assert seen == [circuit.relays[0]]
+
+    def test_departed_relay_detected(self, rig):
+        network, anonymity, __ = rig
+        circuit = anonymity.build_circuit(3)
+        network.unregister(circuit.relays[1])
+        with pytest.raises(CircuitError, match="left the network"):
+            anonymity.request(circuit, "client", "server", b"x")
+
+    def test_circuits_vary(self, rig):
+        __, anonymity, __ = rig
+        circuits = {anonymity.build_circuit(3).relays for __ in range(20)}
+        assert len(circuits) > 1

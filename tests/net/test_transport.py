@@ -1,0 +1,111 @@
+"""Simulated network transport."""
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import EndpointUnreachableError, MessageDroppedError
+from repro.net import LatencyModel, Network
+
+
+def _echo(source, payload):
+    return b"from:" + source.encode() + b"|" + payload
+
+
+class TestDelivery:
+    def test_request_response(self):
+        network = Network()
+        network.register("srv", _echo)
+        response = network.request("client-1", "srv", b"hello")
+        assert response == b"from:client-1|hello"
+
+    def test_unknown_destination(self):
+        network = Network()
+        with pytest.raises(EndpointUnreachableError):
+            network.request("c", "nowhere", b"x")
+
+    def test_duplicate_registration_rejected(self):
+        network = Network()
+        network.register("srv", _echo)
+        with pytest.raises(ValueError):
+            network.register("srv", _echo)
+
+    def test_unregister(self):
+        network = Network()
+        network.register("srv", _echo)
+        network.unregister("srv")
+        assert not network.is_registered("srv")
+        with pytest.raises(EndpointUnreachableError):
+            network.request("c", "srv", b"x")
+
+    def test_addresses_sorted(self):
+        network = Network()
+        network.register("b", _echo)
+        network.register("a", _echo)
+        assert network.addresses == ("a", "b")
+
+
+class TestLoss:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Network(loss_probability=1.0)
+
+    def test_loss_raises_and_counts(self):
+        network = Network(
+            loss_probability=0.5, rng=random.Random(3)
+        )
+        network.register("srv", _echo)
+        outcomes = []
+        for __ in range(100):
+            try:
+                network.request("c", "srv", b"x")
+                outcomes.append("ok")
+            except MessageDroppedError:
+                outcomes.append("drop")
+        assert outcomes.count("drop") == network.stats.dropped
+        assert 20 < outcomes.count("drop") < 80
+
+    def test_no_loss_by_default(self):
+        network = Network()
+        network.register("srv", _echo)
+        for __ in range(50):
+            network.request("c", "srv", b"x")
+        assert network.stats.dropped == 0
+
+
+class TestStatsAndClock:
+    def test_byte_counters(self):
+        network = Network()
+        network.register("srv", _echo)
+        network.request("c", "srv", b"12345")
+        assert network.stats.bytes_sent == 5
+        assert network.stats.bytes_received == len(b"from:c|12345")
+
+    def test_latency_accumulates(self):
+        network = Network(latency=LatencyModel(base_ms=10, jitter_ms=0))
+        network.register("srv", _echo)
+        for __ in range(3):
+            network.request("c", "srv", b"x")
+        assert network.stats.total_latency_ms == pytest.approx(30)
+        assert network.stats.mean_latency_ms == pytest.approx(10)
+
+    def test_mean_latency_empty(self):
+        network = Network()
+        assert network.stats.mean_latency_ms == 0.0
+
+    def test_clock_advances_by_whole_seconds(self):
+        clock = SimClock()
+        network = Network(
+            clock=clock, latency=LatencyModel(base_ms=2500, jitter_ms=0)
+        )
+        network.register("srv", _echo)
+        network.request("c", "srv", b"x")
+        assert clock.now() == 2
+
+    def test_latency_model_jitter_bounds(self):
+        model = LatencyModel(base_ms=10, jitter_ms=5)
+        rng = random.Random(0)
+        for __ in range(100):
+            sample = model.sample(rng)
+            assert 10 <= sample <= 15

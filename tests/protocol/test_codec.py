@@ -1,0 +1,239 @@
+"""XML codec: round trips and hostile input."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import MalformedMessageError, ProtocolError, UnknownMessageError
+from repro.protocol import (
+    ActivateRequest,
+    CommentInfo,
+    CommentRequest,
+    ErrorResponse,
+    LoginRequest,
+    LoginResponse,
+    OkResponse,
+    PuzzleRequest,
+    PuzzleResponse,
+    QuerySoftwareRequest,
+    RegisterRequest,
+    RegisterResponse,
+    RemarkRequest,
+    SearchRequest,
+    SearchResponse,
+    SoftwareInfoResponse,
+    SoftwareSummary,
+    StatsRequest,
+    StatsResponse,
+    VendorQueryRequest,
+    VendorInfoResponse,
+    VoteRequest,
+    decode,
+    encode,
+    registered_tags,
+)
+
+ROUND_TRIP_SAMPLES = [
+    PuzzleRequest(),
+    PuzzleResponse(nonce=b"\x00\x01\xff", difficulty=8),
+    RegisterRequest(
+        username="alice",
+        password="pw",
+        email="a@x.org",
+        puzzle_nonce=b"\xaa",
+        puzzle_solution=b"\xbb",
+    ),
+    RegisterResponse(activation_token="tok"),
+    ActivateRequest(username="alice", token="tok"),
+    LoginRequest(username="alice", password="pw"),
+    LoginResponse(session="s3ss10n"),
+    QuerySoftwareRequest(
+        session="s",
+        software_id="ab" * 20,
+        file_name="kazaa.exe",
+        file_size=12345,
+        vendor=None,
+        version="2.6",
+    ),
+    SoftwareInfoResponse(
+        software_id="ab" * 20,
+        known=True,
+        score=7.25,
+        vote_count=12,
+        vendor="Sharman",
+        vendor_score=None,
+        comments=(
+            CommentInfo(
+                comment_id=1,
+                username="bob",
+                text="shows ads & tracks <browsing>",
+                positive_remarks=3,
+                negative_remarks=1,
+            ),
+        ),
+    ),
+    VoteRequest(session="s", software_id="ab" * 20, score=7),
+    CommentRequest(session="s", software_id="ab" * 20, text="unicode: åäö 中文"),
+    RemarkRequest(session="s", comment_id=7, positive=False),
+    SearchRequest(session="s", needle="kazaa"),
+    SearchResponse(
+        results=(
+            SoftwareSummary(
+                software_id="cd" * 20,
+                file_name="a.exe",
+                vendor=None,
+                score=None,
+                vote_count=0,
+            ),
+            SoftwareSummary(
+                software_id="ef" * 20,
+                file_name="b.exe",
+                vendor="V",
+                score=9.5,
+                vote_count=3,
+            ),
+        )
+    ),
+    VendorQueryRequest(session="s", vendor="Claria"),
+    VendorInfoResponse(
+        vendor="Claria", known=True, score=2.5, software_count=4, rated_software_count=2
+    ),
+    StatsRequest(session="s"),
+    StatsResponse(
+        registered_software=2000,
+        rated_software=1500,
+        total_votes=9000,
+        total_comments=400,
+        members=800,
+    ),
+    OkResponse(detail="fine"),
+    ErrorResponse(code="rate-limited", detail="slow down"),
+]
+
+
+@pytest.mark.parametrize(
+    "message", ROUND_TRIP_SAMPLES, ids=lambda m: type(m).__name__
+)
+def test_round_trip(message):
+    assert decode(encode(message)) == message
+
+
+def test_encoding_is_xml(capsys):
+    payload = encode(VoteRequest(session="s", software_id="x", score=5))
+    assert payload.startswith(b"<message")
+    assert b'tag="vote-request"' in payload
+
+
+def test_float_precision_survives():
+    message = SoftwareInfoResponse(software_id="x", known=True, score=1 / 3)
+    assert decode(encode(message)).score == 1 / 3
+
+
+def test_registered_tags_cover_all_samples():
+    tags = registered_tags()
+    assert "vote-request" in tags
+    assert len(tags) >= 20
+
+
+class TestHostileInput:
+    def test_garbage_bytes(self):
+        with pytest.raises(MalformedMessageError):
+            decode(b"this is not xml")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(MalformedMessageError):
+            decode(b"<banana/>")
+
+    def test_unknown_tag(self):
+        with pytest.raises(UnknownMessageError):
+            decode(b'<message tag="launch-missiles"/>')
+
+    def test_missing_required_field(self):
+        with pytest.raises(MalformedMessageError, match="missing"):
+            decode(b'<message tag="login-request"><field name="username" type="str">a</field></message>')
+
+    def test_unknown_field_rejected(self):
+        payload = (
+            b'<message tag="puzzle-request">'
+            b'<field name="ip_address" type="str">1.2.3.4</field>'
+            b"</message>"
+        )
+        with pytest.raises(MalformedMessageError, match="unknown fields"):
+            decode(payload)
+
+    def test_bad_int_value(self):
+        payload = (
+            b'<message tag="remark-request">'
+            b'<field name="session" type="str">s</field>'
+            b'<field name="comment_id" type="int">seven</field>'
+            b'<field name="positive" type="bool">true</field>'
+            b"</message>"
+        )
+        with pytest.raises(MalformedMessageError):
+            decode(payload)
+
+    def test_bad_bool_value(self):
+        payload = (
+            b'<message tag="remark-request">'
+            b'<field name="session" type="str">s</field>'
+            b'<field name="comment_id" type="int">7</field>'
+            b'<field name="positive" type="bool">yes</field>'
+            b"</message>"
+        )
+        with pytest.raises(MalformedMessageError):
+            decode(payload)
+
+    def test_bad_hex_bytes(self):
+        payload = (
+            b'<message tag="puzzle-response">'
+            b'<field name="nonce" type="bytes">zz</field>'
+            b'<field name="difficulty" type="int">1</field>'
+            b"</message>"
+        )
+        with pytest.raises(MalformedMessageError):
+            decode(payload)
+
+    def test_unknown_type_label(self):
+        payload = (
+            b'<message tag="ok-response">'
+            b'<field name="detail" type="pickle">x</field>'
+            b"</message>"
+        )
+        with pytest.raises(MalformedMessageError, match="unknown field type"):
+            decode(payload)
+
+    def test_field_without_name(self):
+        payload = (
+            b'<message tag="ok-response">'
+            b'<field type="str">x</field>'
+            b"</message>"
+        )
+        with pytest.raises(MalformedMessageError, match="without a name"):
+            decode(payload)
+
+
+class TestRegistryRules:
+    def test_encode_unregistered_class_rejected(self):
+        @dataclasses.dataclass
+        class NotRegistered:
+            x: int = 1
+
+        with pytest.raises(ProtocolError):
+            encode(NotRegistered())
+
+    def test_duplicate_tag_rejected(self):
+        from repro.protocol.xml_codec import message
+
+        with pytest.raises(ProtocolError):
+            @message("vote-request")
+            @dataclasses.dataclass
+            class Clash:
+                pass
+
+    def test_non_dataclass_rejected(self):
+        from repro.protocol.xml_codec import message
+
+        with pytest.raises(ProtocolError):
+            @message("fresh-tag-for-test")
+            class NotADataclass:
+                pass

@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for the XML codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol import (
+    CommentInfo,
+    CommentRequest,
+    PuzzleResponse,
+    SoftwareInfoResponse,
+    VoteRequest,
+    decode,
+    encode,
+)
+
+# XML 1.0 cannot carry control characters or surrogates; the protocol
+# only ever sends human-entered text, so restrict to that.
+text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    max_size=200,
+)
+
+
+@given(session=text, software_id=text, score=st.integers(-10 ** 9, 10 ** 9))
+@settings(max_examples=100, deadline=None)
+def test_vote_request_roundtrip(session, software_id, score):
+    message = VoteRequest(session=session, software_id=software_id, score=score)
+    assert decode(encode(message)) == message
+
+
+@given(session=text, software_id=text, comment=text)
+@settings(max_examples=100, deadline=None)
+def test_comment_request_roundtrip(session, software_id, comment):
+    message = CommentRequest(
+        session=session, software_id=software_id, text=comment
+    )
+    assert decode(encode(message)) == message
+
+
+@given(nonce=st.binary(max_size=64), difficulty=st.integers(0, 32))
+@settings(max_examples=100, deadline=None)
+def test_puzzle_response_roundtrip(nonce, difficulty):
+    message = PuzzleResponse(nonce=nonce, difficulty=difficulty)
+    assert decode(encode(message)) == message
+
+
+@given(
+    score=st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+    vote_count=st.integers(0, 10 ** 6),
+    comments=st.lists(
+        st.tuples(st.integers(0, 10 ** 6), text, text, st.integers(0, 100)),
+        max_size=5,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_software_info_roundtrip(score, vote_count, comments):
+    message = SoftwareInfoResponse(
+        software_id="ab" * 20,
+        known=True,
+        score=score,
+        vote_count=vote_count,
+        comments=tuple(
+            CommentInfo(
+                comment_id=cid,
+                username=user,
+                text=body,
+                positive_remarks=pos,
+                negative_remarks=0,
+            )
+            for cid, user, body, pos in comments
+        ),
+    )
+    assert decode(encode(message)) == message

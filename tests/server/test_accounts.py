@@ -1,0 +1,143 @@
+"""Account lifecycle: registration, activation, login, sessions."""
+
+import pytest
+
+from repro.errors import (
+    AccountNotActiveError,
+    ActivationError,
+    AuthenticationError,
+    DuplicateAccountError,
+    RegistrationError,
+)
+
+
+@pytest.fixture
+def accounts(server):
+    return server.accounts
+
+
+def _register(accounts, username="alice", email=None):
+    return accounts.register(
+        username, f"pw-{username}", email or f"{username}@example.org"
+    )
+
+
+class TestRegistration:
+    def test_register_returns_token(self, accounts):
+        token = _register(accounts)
+        assert token
+        assert accounts.exists("alice")
+        assert not accounts.get("alice").active
+
+    def test_username_rules(self, accounts):
+        with pytest.raises(RegistrationError):
+            accounts.register("", "password", "a@x.org")
+        with pytest.raises(RegistrationError):
+            accounts.register("x" * 65, "password", "a@x.org")
+
+    def test_password_rules(self, accounts):
+        with pytest.raises(RegistrationError):
+            accounts.register("alice", "ab", "a@x.org")
+
+    def test_email_rules(self, accounts):
+        for bad in ("noat", "@x.org", "a@"):
+            with pytest.raises(RegistrationError):
+                accounts.register("alice", "password", bad)
+
+    def test_duplicate_username(self, accounts):
+        _register(accounts)
+        with pytest.raises(DuplicateAccountError, match="taken"):
+            accounts.register("alice", "password", "other@x.org")
+
+    def test_duplicate_email(self, accounts):
+        """Sec. 3.2: it is possible to sign up only once per e-mail."""
+        _register(accounts, email="same@x.org")
+        with pytest.raises(DuplicateAccountError, match="e-mail"):
+            accounts.register("bob", "password", "same@x.org")
+
+    def test_email_uniqueness_survives_case_changes(self, accounts):
+        _register(accounts, email="same@x.org")
+        with pytest.raises(DuplicateAccountError):
+            accounts.register("bob", "password", "SAME@X.ORG")
+
+    def test_email_in_use(self, accounts):
+        _register(accounts, email="a@x.org")
+        assert accounts.email_in_use("a@x.org")
+        assert not accounts.email_in_use("b@x.org")
+
+
+class TestActivation:
+    def test_activate_with_token(self, accounts):
+        token = _register(accounts)
+        accounts.activate("alice", token)
+        assert accounts.get("alice").active
+
+    def test_bad_token_rejected(self, accounts):
+        _register(accounts)
+        with pytest.raises(ActivationError, match="bad activation token"):
+            accounts.activate("alice", "wrong")
+
+    def test_unknown_user(self, accounts):
+        with pytest.raises(ActivationError):
+            accounts.activate("nobody", "token")
+
+    def test_double_activation_rejected(self, accounts):
+        token = _register(accounts)
+        accounts.activate("alice", token)
+        with pytest.raises(ActivationError, match="already active"):
+            accounts.activate("alice", token)
+
+
+class TestLogin:
+    def _activated(self, accounts):
+        token = _register(accounts)
+        accounts.activate("alice", token)
+
+    def test_login_returns_session(self, accounts):
+        self._activated(accounts)
+        session = accounts.login("alice", "pw-alice")
+        assert accounts.authenticate_session(session) == "alice"
+
+    def test_wrong_password(self, accounts):
+        self._activated(accounts)
+        with pytest.raises(AuthenticationError):
+            accounts.login("alice", "wrong")
+
+    def test_unknown_user_same_error_as_bad_password(self, accounts):
+        """Login errors must not reveal which usernames exist."""
+        self._activated(accounts)
+        try:
+            accounts.login("nobody", "x")
+        except AuthenticationError as unknown_user_error:
+            try:
+                accounts.login("alice", "wrong")
+            except AuthenticationError as bad_password_error:
+                assert str(unknown_user_error) == str(bad_password_error)
+
+    def test_inactive_account_cannot_login(self, accounts):
+        _register(accounts)
+        with pytest.raises(AccountNotActiveError):
+            accounts.login("alice", "pw-alice")
+
+    def test_login_updates_timestamp(self, accounts, server):
+        self._activated(accounts)
+        server.clock.advance(500)
+        accounts.login("alice", "pw-alice")
+        assert accounts.get("alice").last_login_ts == 500
+
+    def test_logout_invalidates_session(self, accounts):
+        self._activated(accounts)
+        session = accounts.login("alice", "pw-alice")
+        accounts.logout(session)
+        with pytest.raises(AuthenticationError):
+            accounts.authenticate_session(session)
+
+    def test_bad_session_rejected(self, accounts):
+        with pytest.raises(AuthenticationError):
+            accounts.authenticate_session("made-up")
+
+    def test_sessions_are_unique(self, accounts):
+        self._activated(accounts)
+        first = accounts.login("alice", "pw-alice")
+        second = accounts.login("alice", "pw-alice")
+        assert first != second

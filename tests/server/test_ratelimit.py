@@ -1,0 +1,83 @@
+"""Token buckets and the rate-limiter family."""
+
+import pytest
+
+from repro.errors import RateLimitExceededError
+from repro.server.ratelimit import RateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_up_to_capacity(self):
+        bucket = TokenBucket(capacity=3, refill_per_second=0)
+        assert bucket.try_consume(0)
+        assert bucket.try_consume(0)
+        assert bucket.try_consume(0)
+        assert not bucket.try_consume(0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(capacity=2, refill_per_second=1.0)
+        bucket.try_consume(0)
+        bucket.try_consume(0)
+        assert not bucket.try_consume(0)
+        assert bucket.try_consume(1)  # one second refilled one token
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(capacity=2, refill_per_second=1.0)
+        bucket.try_consume(0)
+        assert bucket.try_consume(1000)
+        assert bucket.try_consume(1000)
+        assert not bucket.try_consume(1000)
+
+    def test_fractional_consumption(self):
+        bucket = TokenBucket(capacity=1, refill_per_second=0)
+        assert bucket.try_consume(0, amount=0.5)
+        assert bucket.try_consume(0, amount=0.5)
+        assert not bucket.try_consume(0, amount=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0, refill_per_second=1)
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=1, refill_per_second=-1)
+
+    def test_time_does_not_go_backwards(self):
+        bucket = TokenBucket(capacity=1, refill_per_second=1.0)
+        bucket.try_consume(100)
+        # An earlier timestamp must not mint tokens.
+        assert not bucket.try_consume(50)
+
+
+class TestRateLimiter:
+    def test_keys_are_isolated(self):
+        limiter = RateLimiter(capacity=1, refill_per_second=0)
+        limiter.check("a", now=0)
+        limiter.check("b", now=0)
+        with pytest.raises(RateLimitExceededError):
+            limiter.check("a", now=0)
+
+    def test_rejections_counted(self):
+        limiter = RateLimiter(capacity=1, refill_per_second=0)
+        limiter.check("a", now=0)
+        for __ in range(3):
+            with pytest.raises(RateLimitExceededError):
+                limiter.check("a", now=0)
+        assert limiter.rejections == 3
+
+    def test_allowed_variant(self):
+        limiter = RateLimiter(capacity=1, refill_per_second=0)
+        assert limiter.allowed("a", now=0)
+        assert not limiter.allowed("a", now=0)
+
+    def test_tracked_keys(self):
+        limiter = RateLimiter(capacity=1, refill_per_second=0)
+        limiter.allowed("a", now=0)
+        limiter.allowed("b", now=0)
+        assert limiter.tracked_keys() == 2
+
+    def test_sustained_rate_honoured(self):
+        """A patient caller gets roughly refill_rate actions per second."""
+        limiter = RateLimiter(capacity=1, refill_per_second=0.1)
+        accepted = sum(
+            1 for second in range(0, 100) if limiter.allowed("a", now=second)
+        )
+        assert 9 <= accepted <= 11

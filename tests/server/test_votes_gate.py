@@ -1,0 +1,55 @@
+"""The vote gate: flood control over engine feedback paths."""
+
+import pytest
+
+from repro.errors import DuplicateVoteError, RateLimitExceededError
+from repro.server.votes import VoteGate
+
+
+@pytest.fixture
+def gate(engine):
+    engine.enroll_user("alice")
+    engine.enroll_user("bob")
+    return VoteGate(engine, burst=3, refill_per_second=0)
+
+
+class TestVoteGate:
+    def test_votes_flow_through(self, gate, engine):
+        gate.cast_vote("alice", "s1", 7)
+        assert engine.ratings.vote_count("s1") == 1
+
+    def test_burst_limit_enforced(self, gate):
+        for index in range(3):
+            gate.cast_vote("alice", f"s{index}", 5)
+        with pytest.raises(RateLimitExceededError):
+            gate.cast_vote("alice", "s99", 5)
+        assert gate.rejection_count == 1
+
+    def test_limits_are_per_user(self, gate):
+        for index in range(3):
+            gate.cast_vote("alice", f"s{index}", 5)
+        gate.cast_vote("bob", "s0", 5)  # bob has his own bucket
+
+    def test_duplicate_vote_still_detected(self, gate):
+        gate.cast_vote("alice", "s1", 5)
+        with pytest.raises(DuplicateVoteError):
+            gate.cast_vote("alice", "s1", 9)
+
+    def test_comments_and_remarks_limited_separately(self, gate, engine):
+        comment = gate.add_comment("alice", "s1", "report")
+        gate.add_remark("bob", comment.comment_id, True)
+        assert engine.comments.total_comments() == 1
+        assert engine.trust.get("alice") > 1.0
+
+    def test_unenrolled_user_is_enrolled_on_first_action(self, gate, engine):
+        gate.cast_vote("charlie", "s1", 5)
+        assert engine.trust.is_enrolled("charlie")
+
+    def test_refill_allows_later_votes(self, engine):
+        engine.enroll_user("alice")
+        gate = VoteGate(engine, burst=1, refill_per_second=1.0)
+        gate.cast_vote("alice", "s1", 5)
+        with pytest.raises(RateLimitExceededError):
+            gate.cast_vote("alice", "s2", 5)
+        engine.clock.advance(2)
+        gate.cast_vote("alice", "s2", 5)

@@ -1,0 +1,230 @@
+"""The Sec. 2.1 attack suite against a defended server."""
+
+import random
+
+import pytest
+
+from repro.clock import SimClock, days
+from repro.core.taxonomy import ConsentLevel
+from repro.server import ReputationServer
+from repro.sim.attacks import (
+    run_defamation,
+    run_polymorphic_vendor,
+    run_self_promotion,
+    run_sybil_attack,
+    run_vote_flood,
+)
+from repro.winsim import Behavior, build_executable
+
+
+@pytest.fixture
+def rigged_server():
+    """A server with one well-rated target and established honest voters."""
+    server = ReputationServer(
+        clock=SimClock(), puzzle_difficulty=2, rng=random.Random(0)
+    )
+    engine = server.engine
+    target = build_executable("target.exe", vendor="Honest", content=b"target")
+    engine.register_software(
+        target.software_id, target.file_name, target.file_size, "Honest", "1.0"
+    )
+    for index in range(10):
+        username = f"honest_{index}"
+        engine.enroll_user(username)
+        engine.trust.force_set(username, 20.0)
+        engine.cast_vote(username, target.software_id, 9)
+    server.clock.advance(days(1))
+    engine.run_daily_aggregation()
+    return server, target
+
+
+class TestVoteFlood:
+    def test_only_one_vote_lands(self, rigged_server):
+        server, target = rigged_server
+        report = run_vote_flood(server, target.software_id, votes=100, score=1)
+        assert report.votes_accepted == 1
+        assert report.votes_attempted == 100
+        assert "duplicate-vote" in report.rejections or "rate-limited" in report.rejections
+
+    def test_displacement_negligible(self, rigged_server):
+        server, target = rigged_server
+        report = run_vote_flood(server, target.software_id, votes=100, score=1)
+        assert abs(report.score_displacement) < 0.25
+
+
+class TestSybil:
+    def test_single_origin_is_rate_limited(self, rigged_server):
+        server, target = rigged_server
+        report = run_sybil_attack(
+            server, target.software_id, accounts=30, origins=1, score=1
+        )
+        assert report.accounts_created <= 3  # the origin burst
+        assert report.rejections.get("rate-limited", 0) > 0
+
+    def test_botnet_creates_more_accounts_but_trust_absorbs(self, rigged_server):
+        server, target = rigged_server
+        report = run_sybil_attack(
+            server, target.software_id, accounts=30, origins=30, score=1
+        )
+        assert report.accounts_created == 30
+        # 10 honest voters at trust 20 (weight 200) vs 30 sybils at 1.
+        assert abs(report.score_displacement) < 1.5
+
+    def test_shared_email_blocks_reuse(self, rigged_server):
+        server, target = rigged_server
+        report = run_sybil_attack(
+            server,
+            target.software_id,
+            accounts=10,
+            origins=10,
+            reuse_email=True,
+        )
+        assert report.accounts_created == 1
+        assert report.rejections.get("duplicate-account", 0) == 9
+
+    def test_patient_attacker_gets_more_accounts(self, rigged_server):
+        server, target = rigged_server
+        impatient = run_sybil_attack(
+            server,
+            target.software_id,
+            accounts=12,
+            origins=1,
+            patient_days=0,
+            username_prefix="rush",
+        )
+        patient = run_sybil_attack(
+            server,
+            target.software_id,
+            accounts=12,
+            origins=1,
+            patient_days=6,
+            username_prefix="slow",
+        )
+        assert patient.accounts_created > impatient.accounts_created
+
+    def test_puzzle_work_scales_with_accounts(self, rigged_server):
+        server, target = rigged_server
+        report = run_sybil_attack(
+            server, target.software_id, accounts=5, origins=5
+        )
+        assert report.puzzle_hash_work == report.accounts_attempted * 2 ** 2
+
+
+class TestDiscrimination:
+    def test_defamation_lowers_but_bounded(self, rigged_server):
+        server, target = rigged_server
+        before = server.engine.software_reputation(target.software_id).score
+        report = run_defamation(
+            server, target.software_id, accounts=20, origins=20, patient_days=0
+        )
+        assert report.target_score_before == pytest.approx(before)
+        assert report.score_displacement < 0  # it does drag the score down...
+        assert report.score_displacement > -2.0  # ...but cannot capture it
+
+    def test_self_promotion_bounded(self, rigged_server):
+        server, __ = rigged_server
+        engine = server.engine
+        pis = build_executable(
+            "shilled.exe",
+            vendor="Claria",
+            content=b"shilled",
+            behaviors=frozenset({Behavior.TRACKS_BROWSING}),
+            consent=ConsentLevel.MEDIUM,
+        )
+        engine.register_software(
+            pis.software_id, pis.file_name, pis.file_size, "Claria", "1.0"
+        )
+        for index in range(10):
+            username = f"victim_{index}"
+            engine.enroll_user(username)
+            engine.trust.force_set(username, 20.0)
+            engine.cast_vote(username, pis.software_id, 2)
+        server.clock.advance(days(1))
+        engine.run_daily_aggregation()
+        report = run_self_promotion(
+            server, pis.software_id, accounts=20, origins=20, patient_days=0
+        )
+        assert 0 < report.score_displacement < 2.0
+
+
+class TestVendorRebrand:
+    def _rigged(self):
+        from repro.sim.attacks import run_vendor_rebrand
+
+        server = ReputationServer(clock=SimClock(), rng=random.Random(0))
+        engine = server.engine
+        catalogue = [
+            build_executable(
+                f"tool_{i}.exe",
+                vendor="Disreputable Inc",
+                content=f"tool-{i}".encode(),
+                behaviors=frozenset({Behavior.TRACKS_BROWSING}),
+                consent=ConsentLevel.MEDIUM,
+            )
+            for i in range(4)
+        ]
+        engine.enroll_user("rater")
+        for executable in catalogue:
+            engine.register_software(
+                executable.software_id,
+                executable.file_name,
+                executable.file_size,
+                executable.vendor,
+                executable.version,
+            )
+            engine.cast_vote("rater", executable.software_id, 2)
+        server.clock.advance(days(1))
+        engine.run_daily_aggregation()
+        return server, catalogue, run_vendor_rebrand
+
+    def test_rebrand_wipes_vendor_score(self):
+        server, catalogue, run_vendor_rebrand = self._rigged()
+        report = run_vendor_rebrand(
+            server, catalogue, new_vendor="Fresh Start Software"
+        )
+        assert report.old_vendor_score == pytest.approx(2.0)
+        # the new identity has no rated software yet
+        assert report.new_vendor_score is None
+
+    def test_going_nameless_raises_the_pis_signal(self):
+        """Sec. 3.3: a missing company name is itself a signal."""
+        server, catalogue, run_vendor_rebrand = self._rigged()
+        report = run_vendor_rebrand(server, catalogue, new_vendor=None)
+        assert report.rebranded_nameless
+        assert report.nameless_software_count == len(catalogue)
+        # the UnsignedUnknownRule denies exactly this shape
+        from repro.core.policy import SoftwareFacts, UnsignedUnknownRule
+        from repro.core.policy import PolicyVerdict
+
+        nameless = server.engine.vendors.software_without_vendor()[0]
+        facts = SoftwareFacts(
+            software_id=nameless.software_id,
+            file_name=nameless.file_name,
+            vendor=None,
+        )
+        assert (
+            UnsignedUnknownRule().evaluate(facts) is PolicyVerdict.DENY
+        )
+
+    def test_old_catalogue_reputation_survives(self):
+        server, catalogue, run_vendor_rebrand = self._rigged()
+        run_vendor_rebrand(server, catalogue, new_vendor="Fresh Start")
+        old = server.engine.vendor_reputation("Disreputable Inc")
+        assert old.score == pytest.approx(2.0)
+
+
+class TestPolymorphism:
+    def test_per_file_ratings_scatter_but_vendor_converges(self):
+        server = ReputationServer(clock=SimClock(), rng=random.Random(0))
+        base = build_executable(
+            "churn.exe",
+            vendor="Polymorphic Inc",
+            content=b"churn-base",
+            behaviors=frozenset({Behavior.TRACKS_BROWSING}),
+            consent=ConsentLevel.MEDIUM,
+        )
+        report = run_polymorphic_vendor(server, base, victims=25, voter_score=2)
+        assert report.distinct_software_ids == 25
+        assert report.max_votes_on_one_variant == 1
+        assert report.vendor_score == pytest.approx(2.0)
+        assert report.vendor_rated_software == 25

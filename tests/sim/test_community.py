@@ -1,0 +1,185 @@
+"""The end-to-end community simulation (slower tests, small configs)."""
+
+import pytest
+
+from repro.sim import CommunityConfig, CommunitySimulation
+from repro.sim.population import PopulationConfig
+
+
+def _run(**overrides):
+    spec = dict(users=8, simulated_days=12, seed=5)
+    spec.update(overrides)
+    return CommunitySimulation(CommunityConfig(**spec)).run()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return CommunitySimulation(
+        CommunityConfig(users=10, simulated_days=15, seed=5)
+    ).run()
+
+
+class TestBasicRun:
+    def test_time_series_lengths(self, result):
+        days = result.config.simulated_days
+        assert len(result.infection_by_day) == days
+        assert len(result.active_infection_by_day) == days
+        assert len(result.votes_by_day) == days
+        assert len(result.rated_software_by_day) == days
+
+    def test_votes_monotone(self, result):
+        votes = result.votes_by_day
+        assert all(b >= a for a, b in zip(votes, votes[1:]))
+
+    def test_votes_flow(self, result):
+        assert result.votes_by_day[-1] > 0
+
+    def test_all_users_registered(self, result):
+        assert result.server.accounts.account_count() == 10
+
+    def test_stats_shape(self, result):
+        stats = result.stats()
+        assert stats["members"] == 10
+        assert 0.0 <= stats["final_infection_rate"] <= 1.0
+        assert 0.0 <= stats["final_coverage"] <= 1.0
+
+    def test_machines_exposed(self, result):
+        assert len(result.machines) == 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = _run(seed=9)
+        b = _run(seed=9)
+        assert a.votes_by_day == b.votes_by_day
+        assert a.infection_by_day == b.infection_by_day
+        assert a.final_coverage == b.final_coverage
+
+    def test_different_seed_differs(self):
+        a = _run(seed=9)
+        b = _run(seed=10)
+        assert (
+            a.votes_by_day != b.votes_by_day
+            or a.infection_by_day != b.infection_by_day
+        )
+
+
+class TestProtectionModes:
+    def test_none_mode_runs_without_clients(self):
+        result = _run(protection=("none",))
+        assert all(user.client is None for user in result.users)
+        assert result.server.engine.ratings.total_votes() == 0
+
+    def test_reputation_beats_none_on_active_infection(self):
+        population = PopulationConfig(size=120, seed=77)
+        unprotected = _run(
+            users=12, simulated_days=25, protection=("none",), population=population
+        )
+        protected = _run(
+            users=12,
+            simulated_days=25,
+            protection=("reputation",),
+            population=population,
+        )
+        assert (
+            protected.final_active_infection_rate
+            <= unprotected.final_active_infection_rate
+        )
+
+    def test_scanner_modes_install_hooks(self):
+        result = _run(protection=("antivirus", "antispyware"))
+        for user in result.users:
+            names = user.machine.hooks.hook_names
+            assert "antivirus" in names
+            assert "antispyware" in names
+
+    def test_layered_protection(self):
+        result = _run(protection=("antivirus", "reputation"))
+        for user in result.users:
+            names = user.machine.hooks.hook_names
+            assert "antivirus" in names
+            assert "reputation-client" in names
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(protection=("tin-foil",))
+
+
+class TestModeratedCommunity:
+    def test_moderation_flag_reaches_the_engine(self):
+        result = _run(seed=31, moderated_comments=True)
+        assert result.engine.moderation is not None
+
+    def test_comments_become_visible_through_the_daily_shift(self):
+        result = _run(
+            seed=31, simulated_days=20, moderated_comments=True
+        )
+        engine = result.engine
+        if engine.comments.total_comments() == 0:
+            pytest.skip("no comments posted at this scale/seed")
+        visible = sum(
+            len(engine.comments.comments_for(sid))
+            for sid in engine.ratings.rated_software_ids()
+        )
+        assert visible > 0
+        # nothing lingers unreviewed beyond one day
+        assert engine.moderation.backlog_size() == 0
+
+
+class TestVersionChurn:
+    def test_churn_produces_new_versions(self):
+        stable = _run(seed=21)
+        churned = _run(seed=21, version_churn_per_day=0.2)
+        assert len(churned.executables_by_id) > len(stable.executables_by_id)
+        changed = sum(
+            1
+            for base_id, current in churned.current_versions.items()
+            if current.software_id != base_id
+        )
+        assert changed > 0
+
+    def test_users_hold_only_current_versions(self):
+        result = _run(seed=22, version_churn_per_day=0.2)
+        current_ids = {
+            current.software_id
+            for current in result.current_versions.values()
+        }
+        # Bundled payloads install outside the churn loop; ignore them.
+        payload_ids = {
+            payload.software_id
+            for executable in result.executables_by_id.values()
+            for payload in executable.bundled
+        }
+        for user in result.users:
+            for executable in user.machine.installed_software():
+                if executable.software_id in payload_ids:
+                    continue
+                assert executable.software_id in current_ids
+
+    def test_churn_is_deterministic(self):
+        a = _run(seed=23, version_churn_per_day=0.15)
+        b = _run(seed=23, version_churn_per_day=0.15)
+        assert {e.software_id for e in a.current_executables} == {
+            e.software_id for e in b.current_executables
+        }
+
+
+class TestBootstrapIntegration:
+    def test_bootstrap_raises_early_coverage(self):
+        from repro.analysis.experiments import _bootstrap_from_population
+
+        population = PopulationConfig(size=100, seed=31)
+        cold = _run(users=10, simulated_days=10, population=population)
+        warm = _run(
+            users=10,
+            simulated_days=10,
+            population=population,
+            bootstrap=_bootstrap_from_population(population, fraction=0.7),
+        )
+        assert warm.final_coverage > cold.final_coverage
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CommunityConfig(users=0)
+        with pytest.raises(ValueError):
+            CommunityConfig(simulated_days=0)

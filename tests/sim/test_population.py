@@ -1,0 +1,151 @@
+"""Software population generation."""
+
+import pytest
+
+from repro.core.taxonomy import ConsentLevel
+from repro.crypto.signatures import SignatureVerifier, VerificationResult
+from repro.sim.population import (
+    PopulationConfig,
+    generate_population,
+    true_quality_score,
+)
+from repro.winsim import Behavior, build_executable
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(PopulationConfig(size=300, seed=7))
+
+
+class TestGeneration:
+    def test_size(self, population):
+        assert len(population) == 300
+
+    def test_deterministic_and_reproducible(self):
+        """Two populations from the same config are byte-identical —
+        required for bootstrap corpora to match community software IDs."""
+        a = generate_population(PopulationConfig(size=50, seed=3))
+        b = generate_population(PopulationConfig(size=50, seed=3))
+        assert [e.software_id for e in a.executables] == [
+            e.software_id for e in b.executables
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_population(PopulationConfig(size=50, seed=3))
+        b = generate_population(PopulationConfig(size=50, seed=4))
+        assert [e.software_id for e in a.executables] != [
+            e.software_id for e in b.executables
+        ]
+
+    def test_unique_software_ids(self, population):
+        ids = [e.software_id for e in population.executables]
+        assert len(set(ids)) == len(ids)
+
+    def test_all_nine_cells_present(self, population):
+        cells = {e.taxonomy_cell.number for e in population.executables}
+        assert cells == set(range(1, 10))
+
+    def test_regions_partition(self, population):
+        total = (
+            len(population.legitimate())
+            + len(population.spyware())
+            + len(population.malware())
+        )
+        assert total == len(population)
+
+    def test_legitimate_majority(self, population):
+        assert len(population.legitimate()) > len(population.malware())
+
+    def test_by_cell_grouping(self, population):
+        groups = population.by_cell()
+        assert sum(len(group) for group in groups.values()) == len(population)
+
+
+class TestCellFidelity:
+    def test_behaviors_match_declared_consequence(self, population):
+        for executable in population.executables:
+            cell = executable.taxonomy_cell
+            assert executable.consequence is cell.consequence
+
+    def test_some_legitimate_software_is_signed(self, population):
+        verifier = SignatureVerifier([population.authority])
+        signed = [
+            e
+            for e in population.legitimate()
+            if verifier.verify(e.content, e.signature) is VerificationResult.VALID
+        ]
+        assert signed
+
+    def test_no_pis_is_signed(self, population):
+        for executable in population.executables:
+            if not executable.taxonomy_cell.is_legitimate:
+                assert executable.signature is None
+
+    def test_some_greyware_strips_vendor(self, population):
+        grey = population.spyware() + population.malware()
+        assert any(e.vendor is None for e in grey)
+
+    def test_legitimate_software_keeps_vendor(self, population):
+        assert all(e.vendor is not None for e in population.legitimate())
+
+    def test_bundlers_exist_in_cell_5(self, population):
+        bundlers = [e for e in population.executables if e.bundled]
+        assert bundlers
+        for bundler in bundlers:
+            assert bundler.taxonomy_cell.number == 5
+            for payload in bundler.bundled:
+                assert Behavior.REGISTERS_STARTUP in payload.behaviors
+
+    def test_grey_eulas_are_long(self, population):
+        """The paper: grey-zone EULAs span thousands of words."""
+        grey = [
+            e
+            for e in population.executables
+            if e.consent is ConsentLevel.MEDIUM
+        ]
+        assert grey
+        assert all(e.eula_word_count >= 3000 for e in grey)
+
+
+class TestGroundTruthScore:
+    def test_clean_software_scores_high(self):
+        executable = build_executable("clean.exe")
+        assert true_quality_score(executable) == 9
+
+    def test_scores_clamped_to_scale(self):
+        nasty = build_executable(
+            "nasty.exe",
+            behaviors=frozenset(
+                {
+                    Behavior.KEYLOGGING,
+                    Behavior.STEALS_CREDENTIALS,
+                    Behavior.TRACKS_BROWSING,
+                }
+            ),
+            consent=ConsentLevel.LOW,
+        )
+        assert true_quality_score(nasty) == 1
+
+    def test_worse_behavior_scores_lower(self):
+        mild = build_executable("a.exe", behaviors={Behavior.DISPLAYS_ADS})
+        bad = build_executable("b.exe", behaviors={Behavior.KEYLOGGING})
+        assert true_quality_score(mild) > true_quality_score(bad)
+
+    def test_deceit_costs_points(self):
+        open_software = build_executable(
+            "a.exe", behaviors={Behavior.TRACKS_BROWSING}, consent=ConsentLevel.HIGH
+        )
+        hidden = build_executable(
+            "b.exe", behaviors={Behavior.TRACKS_BROWSING}, consent=ConsentLevel.LOW
+        )
+        assert true_quality_score(open_software) > true_quality_score(hidden)
+
+    def test_population_scores_in_scale(self, population):
+        for executable in population.executables:
+            assert 1 <= true_quality_score(executable) <= 10
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(size=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(cell_weights={})

@@ -1,0 +1,23 @@
+"""Scenario records."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.sim import Scenario
+
+
+def test_describe_with_parameters():
+    scenario = Scenario("E5", "attack matrix", {"accounts": 40, "origins": 2})
+    assert scenario.describe() == "[E5] attack matrix (accounts=40, origins=2)"
+
+
+def test_describe_without_parameters():
+    scenario = Scenario("E1", "table 1")
+    assert scenario.describe() == "[E1] table 1"
+
+
+def test_validation():
+    with pytest.raises(ScenarioError):
+        Scenario("", "x")
+    with pytest.raises(ScenarioError):
+        Scenario("E1", "")

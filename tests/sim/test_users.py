@@ -1,0 +1,123 @@
+"""User archetypes and rating-error models."""
+
+import random
+
+import pytest
+
+from repro.client.ui import DialogContext
+from repro.sim.population import true_quality_score
+from repro.sim.users import (
+    ALL_ARCHETYPES,
+    AVERAGE,
+    EXPERT,
+    FREE_RIDER,
+    NOVICE,
+    make_rating_responder,
+    noisy_score,
+)
+from repro.winsim import Behavior, build_executable
+
+
+def _context(software_id):
+    return DialogContext(
+        software_id=software_id,
+        file_name="p.exe",
+        vendor=None,
+        info=None,
+        execution_count=60,
+        timestamp=0,
+    )
+
+
+class TestArchetypes:
+    def test_shares_sum_to_one(self):
+        assert sum(a.share for a in ALL_ARCHETYPES) == pytest.approx(1.0)
+
+    def test_expert_is_most_accurate(self):
+        assert EXPERT.rating_noise < AVERAGE.rating_noise < NOVICE.rating_noise
+
+    def test_novice_overrates(self):
+        assert NOVICE.rating_bias > EXPERT.rating_bias
+
+    def test_free_rider_never_rates(self):
+        assert FREE_RIDER.rates_probability == 0.0
+
+    def test_responders_build(self):
+        for archetype in ALL_ARCHETYPES:
+            responder = archetype.build_responder()
+            assert callable(responder)
+
+
+class TestNoisyScore:
+    def test_expert_close_to_truth(self):
+        rng = random.Random(0)
+        executable = build_executable("p.exe", behaviors={Behavior.TRACKS_BROWSING})
+        truth = true_quality_score(executable)
+        scores = [noisy_score(executable, EXPERT, rng) for __ in range(200)]
+        mean = sum(scores) / len(scores)
+        assert abs(mean - truth) < 0.75
+
+    def test_novice_bias_shows(self):
+        rng = random.Random(0)
+        executable = build_executable("p.exe", behaviors={Behavior.TRACKS_BROWSING})
+        truth = true_quality_score(executable)
+        scores = [noisy_score(executable, NOVICE, rng) for __ in range(300)]
+        mean = sum(scores) / len(scores)
+        assert mean > truth + 0.5
+
+    def test_scores_stay_in_scale(self):
+        rng = random.Random(0)
+        executable = build_executable(
+            "p.exe", behaviors={Behavior.KEYLOGGING, Behavior.STEALS_CREDENTIALS}
+        )
+        for __ in range(200):
+            assert 1 <= noisy_score(executable, NOVICE, rng) <= 10
+
+
+class TestRatingResponder:
+    def test_rates_owned_software(self):
+        rng = random.Random(0)
+        executable = build_executable("p.exe")
+        responder = make_rating_responder(
+            EXPERT, {executable.software_id: executable}, rng
+        )
+        answers = [
+            responder(_context(executable.software_id)) for __ in range(50)
+        ]
+        rated = [a for a in answers if a is not None]
+        assert rated  # expert almost always answers
+        assert all(1 <= a.score <= 10 for a in rated)
+
+    def test_declines_unknown_software(self):
+        rng = random.Random(0)
+        responder = make_rating_responder(EXPERT, {}, rng)
+        assert responder(_context("ghost")) is None
+
+    def test_free_rider_always_declines(self):
+        rng = random.Random(0)
+        executable = build_executable("p.exe")
+        responder = make_rating_responder(
+            FREE_RIDER, {executable.software_id: executable}, rng
+        )
+        assert all(
+            responder(_context(executable.software_id)) is None
+            for __ in range(20)
+        )
+
+    def test_comments_mention_behaviors(self):
+        rng = random.Random(1)
+        executable = build_executable(
+            "p.exe", behaviors={Behavior.DISPLAYS_ADS}
+        )
+        responder = make_rating_responder(
+            EXPERT, {executable.software_id: executable}, rng
+        )
+        comments = [
+            answer.comment
+            for answer in (
+                responder(_context(executable.software_id)) for __ in range(80)
+            )
+            if answer is not None and answer.comment
+        ]
+        assert comments
+        assert any("displays-ads" in comment for comment in comments)

@@ -1,0 +1,148 @@
+"""Database engine: table management, durability, recovery."""
+
+import pytest
+
+from repro.errors import StorageError, TableExistsError, TableNotFoundError
+from repro.storage import Column, ColumnType, Database, Schema
+
+
+def _schema(name="t"):
+    return Schema(
+        name=name,
+        columns=[
+            Column("k", ColumnType.TEXT),
+            Column("v", ColumnType.INT),
+            Column("blob", ColumnType.BYTES, nullable=True),
+        ],
+        primary_key="k",
+    )
+
+
+class TestTableManagement:
+    def test_create_and_lookup(self, db):
+        table = db.create_table(_schema())
+        assert db.table("t") is table
+        assert db.has_table("t")
+        assert db.table_names == ("t",)
+
+    def test_duplicate_create_rejected(self, db):
+        db.create_table(_schema())
+        with pytest.raises(TableExistsError):
+            db.create_table(_schema())
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(TableNotFoundError):
+            db.table("nope")
+
+    def test_drop_table(self, db):
+        db.create_table(_schema())
+        db.drop_table("t")
+        assert not db.has_table("t")
+        with pytest.raises(TableNotFoundError):
+            db.drop_table("t")
+
+    def test_total_rows(self, db):
+        t1 = db.create_table(_schema("a"))
+        t2 = db.create_table(_schema("b"))
+        t1.insert({"k": "x", "v": 1, "blob": None})
+        t2.insert({"k": "y", "v": 2, "blob": None})
+        t2.insert({"k": "z", "v": 3, "blob": None})
+        assert db.total_rows() == 3
+
+
+class TestDurability:
+    def _reopen(self, directory):
+        db = Database(directory=str(directory))
+        table = db.create_table(_schema())
+        replayed = db.recover()
+        return db, table, replayed
+
+    def test_mutations_survive_reopen(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1, "blob": b"\x01\x02"})
+        table.insert({"k": "b", "v": 2, "blob": None})
+        table.update("a", {"v": 10})
+        table.delete("b")
+        __, table2, replayed = self._reopen(tmp_path)
+        assert replayed == 4
+        assert table2.get("a") == {"k": "a", "v": 10, "blob": b"\x01\x02"}
+        assert "b" not in table2
+
+    def test_transaction_commit_survives(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        with db.transaction():
+            table.insert({"k": "a", "v": 1, "blob": None})
+            table.insert({"k": "b", "v": 2, "blob": None})
+        __, table2, __ = self._reopen(tmp_path)
+        assert len(table2) == 2
+
+    def test_rolled_back_transaction_leaves_no_trace(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1, "blob": None})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                table.insert({"k": "b", "v": 2, "blob": None})
+                raise RuntimeError("boom")
+        __, table2, replayed = self._reopen(tmp_path)
+        assert replayed == 1
+        assert "b" not in table2
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        for index in range(5):
+            table.insert({"k": f"k{index}", "v": index, "blob": None})
+        db.checkpoint()
+        assert db._wal.size_bytes() == 0
+        __, table2, replayed = self._reopen(tmp_path)
+        assert replayed == 5  # from the snapshot
+        assert len(table2) == 5
+
+    def test_writes_after_checkpoint_also_recovered(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1, "blob": None})
+        db.checkpoint()
+        table.insert({"k": "b", "v": 2, "blob": None})
+        __, table2, __ = self._reopen(tmp_path)
+        assert len(table2) == 2
+
+    def test_recover_requires_durable_db(self):
+        with pytest.raises(StorageError):
+            Database().recover()
+
+    def test_checkpoint_requires_durable_db(self):
+        with pytest.raises(StorageError):
+            Database().checkpoint()
+
+    def test_recover_unknown_table_in_wal(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1, "blob": None})
+        db2 = Database(directory=str(tmp_path))
+        # Schema for table "t" deliberately not declared.
+        with pytest.raises(StorageError, match="undeclared table"):
+            db2.recover()
+
+    def test_unique_constraints_hold_after_recovery(self, tmp_path):
+        schema = Schema(
+            name="u",
+            columns=[
+                Column("k", ColumnType.TEXT),
+                Column("mail", ColumnType.TEXT, unique=True),
+            ],
+            primary_key="k",
+        )
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(schema)
+        table.insert({"k": "a", "mail": "a@x"})
+        db2 = Database(directory=str(tmp_path))
+        table2 = db2.create_table(schema)
+        db2.recover()
+        from repro.errors import DuplicateKeyError
+
+        with pytest.raises(DuplicateKeyError):
+            table2.insert({"k": "b", "mail": "a@x"})

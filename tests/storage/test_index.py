@@ -1,0 +1,128 @@
+"""Hash and sorted index mechanics."""
+
+import pytest
+
+from repro.storage import HashIndex, SortedIndex
+from repro.storage.index import make_index
+
+
+class TestHashIndex:
+    def test_add_and_lookup(self):
+        index = HashIndex("c")
+        index.add("x", 1)
+        index.add("x", 2)
+        index.add("y", 3)
+        assert index.lookup("x") == {1, 2}
+        assert index.lookup("y") == {3}
+
+    def test_lookup_missing_is_empty(self):
+        index = HashIndex("c")
+        assert index.lookup("nope") == frozenset()
+
+    def test_remove(self):
+        index = HashIndex("c")
+        index.add("x", 1)
+        index.remove("x", 1)
+        assert index.lookup("x") == frozenset()
+
+    def test_remove_absent_is_noop(self):
+        index = HashIndex("c")
+        index.remove("x", 1)
+
+    def test_len_counts_entries(self):
+        index = HashIndex("c")
+        index.add("x", 1)
+        index.add("x", 2)
+        index.add("y", 3)
+        assert len(index) == 3
+
+    def test_distinct_values(self):
+        index = HashIndex("c")
+        index.add("x", 1)
+        index.add("y", 2)
+        assert set(index.distinct_values()) == {"x", "y"}
+
+    def test_cardinality(self):
+        index = HashIndex("c")
+        index.add("x", 1)
+        index.add("x", 2)
+        assert index.cardinality("x") == 2
+        assert index.cardinality("z") == 0
+
+
+class TestSortedIndex:
+    def _filled(self):
+        index = SortedIndex("c")
+        for value, pk in [(5, "e"), (1, "a"), (3, "c"), (2, "b"), (4, "d")]:
+            index.add(value, pk)
+        return index
+
+    def test_range_inclusive(self):
+        index = self._filled()
+        assert list(index.range(2, 4)) == ["b", "c", "d"]
+
+    def test_range_exclusive_bounds(self):
+        index = self._filled()
+        assert list(index.range(2, 4, inclusive=(False, False))) == ["c"]
+
+    def test_range_unbounded_low(self):
+        index = self._filled()
+        assert list(index.range(None, 2)) == ["a", "b"]
+
+    def test_range_unbounded_high(self):
+        index = self._filled()
+        assert list(index.range(4, None)) == ["d", "e"]
+
+    def test_range_fully_unbounded(self):
+        index = self._filled()
+        assert list(index.range()) == ["a", "b", "c", "d", "e"]
+
+    def test_none_values_not_indexed(self):
+        index = SortedIndex("c")
+        index.add(None, "x")
+        assert len(index) == 0
+        assert list(index.range()) == []
+
+    def test_remove(self):
+        index = self._filled()
+        index.remove(3, "c")
+        assert list(index.range(2, 4)) == ["b", "d"]
+
+    def test_remove_none_is_noop(self):
+        index = self._filled()
+        index.remove(None, "x")
+        assert len(index) == 5
+
+    def test_duplicate_values_both_returned(self):
+        index = SortedIndex("c")
+        index.add(1, "a")
+        index.add(1, "b")
+        assert set(index.range(1, 1)) == {"a", "b"}
+
+    def test_min_max(self):
+        index = self._filled()
+        assert index.min_value() == 1
+        assert index.max_value() == 5
+
+    def test_min_max_empty(self):
+        index = SortedIndex("c")
+        assert index.min_value() is None
+        assert index.max_value() is None
+
+    def test_mixed_pk_types_do_not_crash(self):
+        index = SortedIndex("c")
+        index.add(1, "str-pk")
+        index.add(1, 42)
+        assert set(index.range(1, 1)) == {"str-pk", 42}
+
+
+class TestFactory:
+    def test_make_hash(self):
+        assert isinstance(make_index("hash", "c"), HashIndex)
+
+    def test_make_sorted(self):
+        assert isinstance(make_index("sorted", "c"), SortedIndex)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_index("btree", "c")

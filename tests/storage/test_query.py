@@ -1,0 +1,77 @@
+"""Predicate combinators."""
+
+from repro.storage import (
+    and_,
+    between,
+    contains,
+    eq,
+    ge,
+    gt,
+    in_set,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+)
+
+ROW = {"name": "Kazaa", "score": 4.5, "vendor": None}
+
+
+def test_eq():
+    assert eq("name", "Kazaa")(ROW)
+    assert not eq("name", "WinZip")(ROW)
+
+
+def test_ne():
+    assert ne("name", "WinZip")(ROW)
+
+
+def test_ordering_predicates():
+    assert lt("score", 5)(ROW)
+    assert le("score", 4.5)(ROW)
+    assert gt("score", 4)(ROW)
+    assert ge("score", 4.5)(ROW)
+    assert not gt("score", 4.5)(ROW)
+
+
+def test_ordering_predicates_skip_nulls():
+    assert not lt("vendor", "Z")(ROW)
+    assert not ge("vendor", "A")(ROW)
+
+
+def test_between():
+    assert between("score", 4, 5)(ROW)
+    assert not between("score", 5, 6)(ROW)
+    assert not between("vendor", "A", "Z")(ROW)
+
+
+def test_contains_case_insensitive():
+    assert contains("name", "kaz")(ROW)
+    assert not contains("name", "zip")(ROW)
+
+
+def test_contains_null_never_matches():
+    assert not contains("vendor", "x")(ROW)
+
+
+def test_in_set():
+    assert in_set("name", ["Kazaa", "WinZip"])(ROW)
+    assert not in_set("name", ["WinZip"])(ROW)
+
+
+def test_and_or_not():
+    predicate = and_(eq("name", "Kazaa"), gt("score", 4))
+    assert predicate(ROW)
+    assert not and_(eq("name", "Kazaa"), gt("score", 9))(ROW)
+    assert or_(eq("name", "X"), gt("score", 4))(ROW)
+    assert not or_(eq("name", "X"), gt("score", 9))(ROW)
+    assert not_(eq("name", "X"))(ROW)
+
+
+def test_empty_and_matches_everything():
+    assert and_()(ROW)
+
+
+def test_empty_or_matches_nothing():
+    assert not or_()(ROW)

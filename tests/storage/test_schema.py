@@ -1,0 +1,167 @@
+"""Schema validation: column types, nullability, checks, structure."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import Column, ColumnType, Schema
+
+
+class TestColumnType:
+    def test_int_accepts_int(self):
+        assert ColumnType.INT.accepts(5)
+
+    def test_int_rejects_bool(self):
+        assert not ColumnType.INT.accepts(True)
+
+    def test_int_rejects_float(self):
+        assert not ColumnType.INT.accepts(5.0)
+
+    def test_float_accepts_int_and_float(self):
+        assert ColumnType.FLOAT.accepts(5)
+        assert ColumnType.FLOAT.accepts(5.5)
+
+    def test_float_rejects_bool(self):
+        assert not ColumnType.FLOAT.accepts(True)
+
+    def test_float_coerces_int_to_float(self):
+        assert ColumnType.FLOAT.coerce(5) == 5.0
+        assert isinstance(ColumnType.FLOAT.coerce(5), float)
+
+    def test_text_accepts_str_only(self):
+        assert ColumnType.TEXT.accepts("x")
+        assert not ColumnType.TEXT.accepts(b"x")
+        assert not ColumnType.TEXT.accepts(5)
+
+    def test_bytes_accepts_bytes_and_bytearray(self):
+        assert ColumnType.BYTES.accepts(b"x")
+        assert ColumnType.BYTES.accepts(bytearray(b"x"))
+
+    def test_bytes_coerces_bytearray(self):
+        value = ColumnType.BYTES.coerce(bytearray(b"ab"))
+        assert value == b"ab"
+        assert isinstance(value, bytes)
+
+    def test_bool_accepts_bool_only(self):
+        assert ColumnType.BOOL.accepts(True)
+        assert not ColumnType.BOOL.accepts(1)
+
+
+class TestColumn:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.INT)
+
+    def test_non_nullable_rejects_none(self):
+        column = Column("x", ColumnType.INT)
+        with pytest.raises(SchemaError, match="not nullable"):
+            column.validate(None)
+
+    def test_nullable_accepts_none(self):
+        column = Column("x", ColumnType.INT, nullable=True)
+        assert column.validate(None) is None
+
+    def test_wrong_type_rejected(self):
+        column = Column("x", ColumnType.INT)
+        with pytest.raises(SchemaError, match="expects int"):
+            column.validate("five")
+
+    def test_check_constraint_enforced(self):
+        column = Column("x", ColumnType.INT, check=lambda v: v > 0)
+        assert column.validate(1) == 1
+        with pytest.raises(SchemaError, match="check constraint"):
+            column.validate(0)
+
+    def test_check_skipped_for_null(self):
+        column = Column(
+            "x", ColumnType.INT, nullable=True, check=lambda v: v > 0
+        )
+        assert column.validate(None) is None
+
+
+class TestSchema:
+    def _schema(self, **overrides):
+        spec = dict(
+            name="t",
+            columns=[Column("a", ColumnType.INT), Column("b", ColumnType.TEXT)],
+            primary_key="a",
+        )
+        spec.update(overrides)
+        return Schema(**spec)
+
+    def test_valid_schema_builds(self):
+        schema = self._schema()
+        assert schema.column_names == ("a", "b")
+
+    def test_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            self._schema(name="bad name")
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema(columns=[])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            self._schema(
+                columns=[Column("a", ColumnType.INT), Column("a", ColumnType.INT)]
+            )
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema(primary_key="zzz")
+
+    def test_nullable_primary_key_rejected(self):
+        with pytest.raises(SchemaError, match="cannot be nullable"):
+            self._schema(
+                columns=[
+                    Column("a", ColumnType.INT, nullable=True),
+                    Column("b", ColumnType.TEXT),
+                ]
+            )
+
+    def test_unique_together_needs_two_columns(self):
+        with pytest.raises(SchemaError, match="at least two"):
+            self._schema(unique_together=(("a",),))
+
+    def test_unique_together_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self._schema(unique_together=(("a", "zzz"),))
+
+    def test_column_lookup(self):
+        schema = self._schema()
+        assert schema.column("a").type is ColumnType.INT
+        with pytest.raises(SchemaError):
+            schema.column("zzz")
+
+    def test_validate_row_fills_nullable_defaults(self):
+        schema = Schema(
+            name="t",
+            columns=[
+                Column("a", ColumnType.INT),
+                Column("b", ColumnType.TEXT, nullable=True),
+            ],
+            primary_key="a",
+        )
+        row = schema.validate_row({"a": 1})
+        assert row == {"a": 1, "b": None}
+
+    def test_validate_row_rejects_unknown_keys(self):
+        schema = self._schema()
+        with pytest.raises(SchemaError, match="no columns"):
+            schema.validate_row({"a": 1, "b": "x", "ip_address": "1.2.3.4"})
+
+    def test_validate_row_requires_non_nullable(self):
+        schema = self._schema()
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1})  # b missing and not nullable
+
+    def test_validate_row_returns_copy(self):
+        schema = self._schema()
+        original = {"a": 1, "b": "x"}
+        validated = schema.validate_row(original)
+        validated["b"] = "mutated"
+        assert original["b"] == "x"

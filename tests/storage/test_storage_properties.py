@@ -1,0 +1,186 @@
+"""Property-based tests of the storage engine (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DuplicateKeyError, RowNotFoundError
+from repro.storage import Column, ColumnType, Database, Schema, SortedIndex
+
+
+def _make_table():
+    db = Database()
+    schema = Schema(
+        name="t",
+        columns=[
+            Column("k", ColumnType.INT),
+            Column("v", ColumnType.INT),
+        ],
+        primary_key="k",
+    )
+    return db, db.create_table(schema)
+
+
+keys = st.integers(min_value=0, max_value=50)
+values = st.integers(min_value=-1000, max_value=1000)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, values),
+        st.tuples(st.just("update"), keys, values),
+        st.tuples(st.just("delete"), keys, values),
+    ),
+    max_size=60,
+)
+
+
+@given(operations)
+@settings(max_examples=80, deadline=None)
+def test_table_matches_model_dict(ops):
+    """The table behaves exactly like a plain dict under random CRUD."""
+    db, table = _make_table()
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            if key in model:
+                with pytest.raises(DuplicateKeyError):
+                    table.insert({"k": key, "v": value})
+            else:
+                table.insert({"k": key, "v": value})
+                model[key] = value
+        elif op == "update":
+            if key in model:
+                table.update(key, {"v": value})
+                model[key] = value
+            else:
+                with pytest.raises(RowNotFoundError):
+                    table.update(key, {"v": value})
+        else:  # delete
+            if key in model:
+                table.delete(key)
+                del model[key]
+            else:
+                with pytest.raises(RowNotFoundError):
+                    table.delete(key)
+    assert {row["k"]: row["v"] for row in table.all()} == model
+    assert len(table) == len(model)
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_secondary_index_stays_consistent(ops):
+    """Selecting via a hash index always equals a full scan."""
+    db, table = _make_table()
+    table.create_index("v", kind="hash")
+    for op, key, value in ops:
+        try:
+            if op == "insert":
+                table.insert({"k": key, "v": value})
+            elif op == "update":
+                table.update(key, {"v": value})
+            else:
+                table.delete(key)
+        except (DuplicateKeyError, RowNotFoundError):
+            pass
+    for row in table.all():
+        via_index = {r["k"] for r in table.select(v=row["v"])}
+        via_scan = {
+            r["k"] for r in table.all() if r["v"] == row["v"]
+        }
+        assert via_index == via_scan
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_rollback_restores_exact_state(ops):
+    """Any mutation sequence inside an aborted transaction is invisible."""
+    db, table = _make_table()
+    table.insert({"k": 0, "v": 0})
+    table.insert({"k": 1, "v": 1})
+    before = {row["k"]: row["v"] for row in table.all()}
+    with pytest.raises(ZeroDivisionError):
+        with db.transaction():
+            for op, key, value in ops:
+                try:
+                    if op == "insert":
+                        table.insert({"k": key, "v": value})
+                    elif op == "update":
+                        table.update(key, {"v": value})
+                    else:
+                        table.delete(key)
+                except (DuplicateKeyError, RowNotFoundError):
+                    pass
+            raise ZeroDivisionError
+    after = {row["k"]: row["v"] for row in table.all()}
+    assert after == before
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_wal_replay_reproduces_state(tmp_path_factory, ops):
+    """Recovery from the log always rebuilds the exact pre-crash state."""
+    directory = str(tmp_path_factory.mktemp("wal"))
+    db = Database(directory=directory)
+    schema = Schema(
+        name="t",
+        columns=[Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        primary_key="k",
+    )
+    table = db.create_table(schema)
+    for op, key, value in ops:
+        try:
+            if op == "insert":
+                table.insert({"k": key, "v": value})
+            elif op == "update":
+                table.update(key, {"v": value})
+            else:
+                table.delete(key)
+        except (DuplicateKeyError, RowNotFoundError):
+            pass
+    expected = {row["k"]: row["v"] for row in table.all()}
+    recovered_db = Database(directory=directory)
+    recovered = recovered_db.create_table(schema)
+    recovered_db.recover()
+    assert {row["k"]: row["v"] for row in recovered.all()} == expected
+
+
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(-50, 50)),
+        max_size=60,
+        unique_by=lambda pair: pair[0],
+    ),
+    descending=st.booleans(),
+    limit=st.one_of(st.none(), st.integers(0, 20)),
+)
+@settings(max_examples=80, deadline=None)
+def test_order_by_matches_sorted_builtin(rows, descending, limit):
+    """select(order_by=...) agrees with sorting the full scan."""
+    db, table = _make_table()
+    for key, value in rows:
+        table.insert({"k": key, "v": value})
+    got = [
+        row["v"]
+        for row in table.select(order_by="v", descending=descending, limit=limit)
+    ]
+    expected = sorted((value for __, value in rows), reverse=descending)
+    if limit is not None:
+        expected = expected[:limit]
+    assert got == expected
+
+
+@given(
+    st.lists(st.tuples(st.integers(-100, 100), st.integers(0, 1000)), max_size=80),
+    st.integers(-100, 100),
+    st.integers(-100, 100),
+)
+@settings(max_examples=80, deadline=None)
+def test_sorted_index_range_equals_filter(pairs, low, high):
+    """Range scans agree with a brute-force filter over the same pairs."""
+    if low > high:
+        low, high = high, low
+    index = SortedIndex("c")
+    for value, pk in pairs:
+        index.add(value, pk)
+    got = sorted(str(pk) for pk in index.range(low, high))
+    expected = sorted(str(pk) for value, pk in pairs if low <= value <= high)
+    assert got == expected

@@ -1,0 +1,107 @@
+"""Write-ahead log: durability, torn writes, corruption."""
+
+import json
+
+import pytest
+
+from repro.errors import WalCorruptionError
+from repro.storage import WriteAheadLog
+from repro.storage.wal import decode_row, decode_value, encode_row, encode_value
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return WriteAheadLog(str(tmp_path / "wal.jsonl"))
+
+
+def _mutation(n):
+    return {"op": "insert", "table": "t", "pk": n, "row": {"k": n}}
+
+
+class TestValueEncoding:
+    def test_bytes_roundtrip(self):
+        assert decode_value(encode_value(b"\x00\xff")) == b"\x00\xff"
+
+    def test_scalars_pass_through(self):
+        for value in (1, 1.5, "x", True, None):
+            assert decode_value(encode_value(value)) == value
+
+    def test_row_roundtrip(self):
+        row = {"a": 1, "b": b"xy", "c": None}
+        assert decode_row(encode_row(row)) == row
+
+    def test_none_row(self):
+        assert encode_row(None) is None
+        assert decode_row(None) is None
+
+
+class TestAppendReplay:
+    def test_roundtrip_single_unit(self, wal):
+        wal.append_commit_unit([_mutation(1), _mutation(2)])
+        units = list(wal.replay())
+        assert len(units) == 1
+        assert [m["pk"] for m in units[0]] == [1, 2]
+
+    def test_multiple_units_kept_separate(self, wal):
+        wal.append_commit_unit([_mutation(1)])
+        wal.append_commit_unit([_mutation(2), _mutation(3)])
+        units = list(wal.replay())
+        assert [len(unit) for unit in units] == [1, 2]
+
+    def test_empty_unit_writes_nothing(self, wal):
+        wal.append_commit_unit([])
+        assert list(wal.replay()) == []
+        assert wal.size_bytes() == 0
+
+    def test_replay_missing_file(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "never-written.jsonl"))
+        assert list(wal.replay()) == []
+
+    def test_truncate(self, wal):
+        wal.append_commit_unit([_mutation(1)])
+        wal.truncate()
+        assert list(wal.replay()) == []
+
+
+class TestCrashRecovery:
+    def test_uncommitted_tail_discarded(self, wal):
+        wal.append_commit_unit([_mutation(1)])
+        # Simulate a crash mid-write: a mutation without its commit record.
+        with open(wal.path, "a", encoding="utf-8") as f:
+            record = dict(_mutation(2))
+            record["kind"] = "mutation"
+            f.write(json.dumps(record) + "\n")
+        units = list(wal.replay())
+        assert len(units) == 1
+
+    def test_torn_final_line_discarded(self, wal):
+        wal.append_commit_unit([_mutation(1)])
+        with open(wal.path, "a", encoding="utf-8") as f:
+            f.write('{"kind": "mutation", "op": "ins')  # torn write
+        units = list(wal.replay())
+        assert len(units) == 1
+
+    def test_corruption_before_commit_raises(self, wal):
+        with open(wal.path, "w", encoding="utf-8") as f:
+            f.write("garbage that is not json\n")
+            record = dict(_mutation(1))
+            record["kind"] = "mutation"
+            f.write(json.dumps(record) + "\n")
+            f.write(json.dumps({"kind": "commit", "count": 1}) + "\n")
+        with pytest.raises(WalCorruptionError):
+            list(wal.replay())
+
+    def test_commit_count_mismatch_raises(self, wal):
+        with open(wal.path, "w", encoding="utf-8") as f:
+            record = dict(_mutation(1))
+            record["kind"] = "mutation"
+            f.write(json.dumps(record) + "\n")
+            f.write(json.dumps({"kind": "commit", "count": 5}) + "\n")
+        with pytest.raises(WalCorruptionError, match="covers 5"):
+            list(wal.replay())
+
+    def test_unknown_record_kind_raises(self, wal):
+        with open(wal.path, "w", encoding="utf-8") as f:
+            f.write(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(WalCorruptionError, match="unknown record kind"):
+            list(wal.replay())

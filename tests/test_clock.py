@@ -1,0 +1,84 @@
+"""Simulated time."""
+
+import pytest
+
+from repro.clock import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_WEEK,
+    SimClock,
+    days,
+    hours,
+    minutes,
+    weeks,
+)
+from repro.errors import ClockError
+
+
+class TestConversions:
+    def test_units(self):
+        assert minutes(2) == 120
+        assert hours(1) == 3600
+        assert days(1) == SECONDS_PER_DAY == 86400
+        assert weeks(1) == SECONDS_PER_WEEK == 7 * 86400
+
+    def test_fractional_units_truncate(self):
+        assert hours(1.5) == 5400
+        assert days(0.5) == 43200
+
+
+class TestSimClock:
+    def test_starts_at_epoch(self):
+        assert SimClock().now() == 0
+
+    def test_custom_start(self):
+        assert SimClock(start=100).now() == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(start=-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now() == 15
+
+    def test_advance_zero_is_fine(self):
+        clock = SimClock()
+        clock.advance(0)
+        assert clock.now() == 0
+
+    def test_time_never_goes_backwards(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-1)
+        clock.advance_to(100)
+        with pytest.raises(ClockError):
+            clock.advance_to(50)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(500)
+        assert clock.now() == 500
+        clock.advance_to(500)  # idempotent jump to the same instant
+        assert clock.now() == 500
+
+    def test_day_index(self):
+        clock = SimClock()
+        assert clock.day_index() == 0
+        clock.advance(days(1))
+        assert clock.day_index() == 1
+        assert clock.day_index(timestamp=days(3) + 5) == 3
+
+    def test_week_index(self):
+        clock = SimClock()
+        clock.advance(weeks(2) + days(3))
+        assert clock.week_index() == 2
+
+    def test_seconds_until_next_day(self):
+        clock = SimClock()
+        assert clock.seconds_until_next_day() == 0
+        clock.advance(100)
+        assert clock.seconds_until_next_day() == SECONDS_PER_DAY - 100
+        clock.advance(clock.seconds_until_next_day())
+        assert clock.now() % SECONDS_PER_DAY == 0

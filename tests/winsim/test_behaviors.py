@@ -1,0 +1,41 @@
+"""Behaviour flags and severity mapping."""
+
+from repro.core.taxonomy import Consequence
+from repro.winsim import BEHAVIOR_SEVERITY, Behavior, consequence_of
+from repro.winsim.behaviors import behaviors_at
+
+
+def test_every_behavior_has_severity():
+    for behavior in Behavior:
+        assert behavior in BEHAVIOR_SEVERITY
+
+
+def test_no_behaviors_is_tolerable():
+    assert consequence_of([]) is Consequence.TOLERABLE
+
+
+def test_single_tolerable():
+    assert consequence_of([Behavior.DISPLAYS_ADS]) is Consequence.TOLERABLE
+
+
+def test_worst_behavior_wins():
+    mixed = [Behavior.DISPLAYS_ADS, Behavior.TRACKS_BROWSING]
+    assert consequence_of(mixed) is Consequence.MODERATE
+    with_severe = mixed + [Behavior.KEYLOGGING]
+    assert consequence_of(with_severe) is Consequence.SEVERE
+
+
+def test_behaviors_at_partitions_all():
+    total = sum(
+        len(behaviors_at(level))
+        for level in (Consequence.TOLERABLE, Consequence.MODERATE, Consequence.SEVERE)
+    )
+    assert total == len(Behavior)
+
+
+def test_keylogging_is_severe():
+    assert BEHAVIOR_SEVERITY[Behavior.KEYLOGGING] is Consequence.SEVERE
+
+
+def test_ads_are_tolerable():
+    assert BEHAVIOR_SEVERITY[Behavior.DISPLAYS_ADS] is Consequence.TOLERABLE

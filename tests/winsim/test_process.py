@@ -1,0 +1,116 @@
+"""Hook chain: ordering, decisions, defaults."""
+
+import pytest
+
+from repro.winsim import (
+    ExecutionRequest,
+    HookChain,
+    HookDecision,
+    build_executable,
+)
+
+
+def _request(executable=None):
+    return ExecutionRequest(
+        executable=executable or build_executable("p.exe"),
+        machine_name="pc",
+        timestamp=0,
+        execution_count=0,
+    )
+
+
+class TestRegistration:
+    def test_register_and_names(self):
+        chain = HookChain()
+        chain.register("a", lambda r: HookDecision.PASS)
+        chain.register("b", lambda r: HookDecision.PASS)
+        assert chain.hook_names == ("a", "b")
+
+    def test_duplicate_name_rejected(self):
+        chain = HookChain()
+        chain.register("a", lambda r: HookDecision.PASS)
+        with pytest.raises(ValueError):
+            chain.register("a", lambda r: HookDecision.PASS)
+
+    def test_unregister(self):
+        chain = HookChain()
+        chain.register("a", lambda r: HookDecision.DENY)
+        chain.unregister("a")
+        assert chain.hook_names == ()
+        with pytest.raises(ValueError):
+            chain.unregister("a")
+
+    def test_priority_order(self):
+        chain = HookChain()
+        chain.register("late", lambda r: HookDecision.PASS, priority=90)
+        chain.register("early", lambda r: HookDecision.PASS, priority=10)
+        assert chain.hook_names == ("early", "late")
+
+
+class TestDecisions:
+    def test_default_allow_when_empty(self):
+        chain = HookChain()
+        decision, decider = chain.decide(_request())
+        assert decision is HookDecision.ALLOW
+        assert decider is None
+
+    def test_all_pass_defaults_to_allow(self):
+        chain = HookChain()
+        chain.register("a", lambda r: HookDecision.PASS)
+        decision, decider = chain.decide(_request())
+        assert decision is HookDecision.ALLOW
+        assert decider is None
+
+    def test_first_non_pass_wins(self):
+        chain = HookChain()
+        chain.register("passer", lambda r: HookDecision.PASS, priority=10)
+        chain.register("denier", lambda r: HookDecision.DENY, priority=20)
+        chain.register("allower", lambda r: HookDecision.ALLOW, priority=30)
+        decision, decider = chain.decide(_request())
+        assert decision is HookDecision.DENY
+        assert decider == "denier"
+
+    def test_priority_beats_registration_order(self):
+        chain = HookChain()
+        chain.register("second", lambda r: HookDecision.ALLOW, priority=50)
+        chain.register("first", lambda r: HookDecision.DENY, priority=10)
+        decision, decider = chain.decide(_request())
+        assert decision is HookDecision.DENY
+
+    def test_later_hooks_not_called_after_decision(self):
+        calls = []
+        chain = HookChain()
+
+        def early(request):
+            calls.append("early")
+            return HookDecision.ALLOW
+
+        def late(request):
+            calls.append("late")
+            return HookDecision.DENY
+
+        chain.register("early", early, priority=10)
+        chain.register("late", late, priority=20)
+        chain.decide(_request())
+        assert calls == ["early"]
+
+    def test_bad_return_type_raises(self):
+        chain = HookChain()
+        chain.register("broken", lambda r: "yes")
+        with pytest.raises(TypeError):
+            chain.decide(_request())
+
+    def test_request_carries_executable_metadata(self):
+        executable = build_executable("specific.exe", content=b"zz")
+        seen = {}
+
+        def inspector(request):
+            seen["id"] = request.software_id
+            seen["name"] = request.executable.file_name
+            return HookDecision.PASS
+
+        chain = HookChain()
+        chain.register("inspector", inspector)
+        chain.decide(_request(executable))
+        assert seen["id"] == executable.software_id
+        assert seen["name"] == "specific.exe"
