@@ -1,0 +1,111 @@
+"""Pipeline throughput: requests/sec in-process vs over TCP, 1 vs 8 threads.
+
+Measures the cost of each transport layer around the same middleware
+chain (instrumentation → codec → errors → auth → ratelimit → handlers):
+calling ``handle_bytes`` directly versus paying the length-prefixed TCP
+framing and a real socket round-trip, single-threaded and with eight
+concurrent clients.
+"""
+
+import random
+import threading
+import time
+
+from benchmarks.exhibits import record_exhibit, run_once
+from repro.analysis import render_table
+from repro.clock import SimClock
+from repro.net.tcp import TcpClient, TcpTransportServer
+from repro.protocol import QuerySoftwareRequest, encode
+from repro.server import ReputationServer
+
+REQUESTS_PER_WORKER = 250
+THREAD_COUNTS = (1, 8)
+
+
+def _make_server() -> ReputationServer:
+    server = ReputationServer(
+        clock=SimClock(), puzzle_difficulty=0, rng=random.Random(11)
+    )
+    token = server.accounts.register("bench", "password", "bench@x.org")
+    server.accounts.activate("bench", token)
+    server.engine.enroll_user("bench")
+    return server
+
+
+def _payload(session: str) -> bytes:
+    return encode(
+        QuerySoftwareRequest(
+            session=session,
+            software_id="ab" * 20,
+            file_name="bench.exe",
+            file_size=4096,
+            vendor="BenchCorp",
+            version="1.0",
+        )
+    )
+
+
+def _drive(workers: int, issue_requests) -> float:
+    """Run *workers* threads of REQUESTS_PER_WORKER requests; return req/s."""
+    barrier = threading.Barrier(workers + 1)
+
+    def worker() -> None:
+        barrier.wait()
+        issue_requests(REQUESTS_PER_WORKER)
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return (workers * REQUESTS_PER_WORKER) / elapsed
+
+
+def run_pipeline_throughput() -> dict:
+    server = _make_server()
+    session = server.accounts.login("bench", "password")
+    payload = _payload(session)
+    results = {}
+
+    for workers in THREAD_COUNTS:
+        def in_process(count):
+            for _ in range(count):
+                server.handle_bytes("bench-host", payload)
+
+        results[("in-process", workers)] = _drive(workers, in_process)
+
+    with TcpTransportServer(server.handle_bytes) as tcp:
+        host, port = tcp.address
+        for workers in THREAD_COUNTS:
+            def over_tcp(count):
+                with TcpClient(host, port) as client:
+                    for _ in range(count):
+                        client.request(payload)
+
+            results[("tcp", workers)] = _drive(workers, over_tcp)
+
+    rows = [
+        [transport, workers, f"{results[(transport, workers)]:,.0f}"]
+        for transport in ("in-process", "tcp")
+        for workers in THREAD_COUNTS
+    ]
+    rendered = render_table(
+        headers=["transport", "threads", "req/s"],
+        rows=rows,
+        title="Pipeline throughput (QuerySoftware round-trips)",
+    )
+    return {"rendered": rendered, "results": results}
+
+
+def test_pipeline_throughput(benchmark):
+    result = run_once(benchmark, run_pipeline_throughput)
+    record_exhibit("P1: pipeline throughput", result["rendered"])
+    for rate in result["results"].values():
+        assert rate > 0
+
+
+if __name__ == "__main__":
+    print(run_pipeline_throughput()["rendered"])

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..errors import RowNotFoundError
+from ..errors import DuplicateKeyError, RowNotFoundError
 from ..storage import Column, ColumnType, Database, Schema
 from .aggregation import Aggregator
 
@@ -96,16 +96,21 @@ class VendorBook:
         existing = self._software.get_or_none(software_id)
         if existing is not None:
             return self._row_to_record(existing)
-        self._software.insert(
-            {
-                "software_id": software_id,
-                "file_name": file_name,
-                "file_size": file_size,
-                "vendor": vendor,
-                "version": version,
-                "first_seen": now,
-            }
-        )
+        try:
+            self._software.insert(
+                {
+                    "software_id": software_id,
+                    "file_name": file_name,
+                    "file_size": file_size,
+                    "vendor": vendor,
+                    "version": version,
+                    "first_seen": now,
+                }
+            )
+        except DuplicateKeyError:
+            # A concurrent worker registered the same executable between
+            # our existence check and the insert; first writer wins.
+            pass
         return self.get(software_id)
 
     def get(self, software_id: str) -> SoftwareRecord:

@@ -85,6 +85,10 @@ class CircuitError(NetworkError):
     """An anonymity circuit could not be built or has collapsed."""
 
 
+class FrameError(NetworkError):
+    """A TCP frame was oversized or truncated mid-transfer."""
+
+
 # --------------------------------------------------------------------------
 # Server-side application errors
 # --------------------------------------------------------------------------

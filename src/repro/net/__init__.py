@@ -1,15 +1,24 @@
-"""Simulated network.
+"""Network transports.
 
 The paper's deployment is a client talking to a web server over the
 Internet, optionally through Tor (Sec. 2.2).  :class:`~repro.net.transport.Network`
-provides request/response delivery between named endpoints with pluggable
-latency and loss; :mod:`~repro.net.anonymity` builds Tor-like relay
-circuits so the server cannot see which client address originated a
-request.
+provides simulated request/response delivery between named endpoints with
+pluggable latency and loss; :mod:`~repro.net.anonymity` builds Tor-like
+relay circuits so the server cannot see which client address originated a
+request; :mod:`~repro.net.tcp` serves the same byte-level entry point over
+a real OS socket with length-prefixed frames and one thread per
+connection.
 """
 
 from .transport import Network, Endpoint, DeliveryStats, LatencyModel
 from .anonymity import AnonymityNetwork, Circuit
+from .tcp import (
+    MAX_FRAME_BYTES,
+    TcpClient,
+    TcpTransportServer,
+    read_frame,
+    write_frame,
+)
 
 __all__ = [
     "Network",
@@ -18,4 +27,9 @@ __all__ = [
     "LatencyModel",
     "AnonymityNetwork",
     "Circuit",
+    "TcpTransportServer",
+    "TcpClient",
+    "MAX_FRAME_BYTES",
+    "read_frame",
+    "write_frame",
 ]

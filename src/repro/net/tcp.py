@@ -1,0 +1,203 @@
+"""A real TCP transport for the reputation server.
+
+The simulated :class:`~repro.net.transport.Network` exercises the request
+path in-process; this module serves the *same* ``handle_bytes`` entry
+point over an actual OS socket, with one thread per connection
+(:class:`socketserver.ThreadingTCPServer`), proving the pipeline and the
+storage engine hold up under genuine kernel-scheduled concurrency.
+
+Framing is length-prefixed: every message (request or response) is a
+4-byte big-endian length followed by that many payload bytes.  XML is
+self-delimiting only with a parser in the loop, and the wire format must
+stay byte-identical to the simulated transport's payloads — a frame
+header keeps the socket layer codec-agnostic.
+
+The server sees the peer's host address (without the ephemeral port) as
+the request ``source``, matching the semantics of the simulated network:
+per-origin flood control keys on the host, and anonymising proxies would
+hide it, exactly as Sec. 2.2 describes.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Callable, Optional
+
+from ..errors import EndpointUnreachableError, FrameError
+
+#: Refuse frames above this size: nothing in the protocol comes close,
+#: and an unchecked length header is an easy memory-exhaustion vector.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: An endpoint handler, identical to the simulated network's signature:
+#: (source_address, request bytes) -> response bytes.
+Handler = Callable[[str, bytes], bytes]
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one length-prefixed frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def read_frame(sock: socket.socket) -> Optional[bytes]:
+    """Read one frame; ``None`` when the peer closed between frames."""
+    header = _read_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    body = _read_exact(sock, length, eof_ok=False)
+    assert body is not None
+    return body
+
+
+def _read_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> Optional[bytes]:
+    """Read exactly *count* bytes; EOF at a frame boundary may be OK."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            if eof_ok and not chunks:
+                return None
+            raise FrameError(
+                f"connection closed after {len(chunks)} of {count} bytes"
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Server side
+# ---------------------------------------------------------------------------
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One thread per connection: frame in, handler, frame out, repeat."""
+
+    def handle(self) -> None:
+        source = self.client_address[0]
+        while True:
+            try:
+                payload = read_frame(self.request)
+            except (FrameError, OSError):
+                return
+            if payload is None:
+                return
+            response = self.server.app_handler(source, payload)
+            try:
+                write_frame(self.request, response)
+            except OSError:
+                return
+
+
+class TcpTransportServer(socketserver.ThreadingTCPServer):
+    """Serve a ``(source, bytes) -> bytes`` handler over real TCP.
+
+    >>> server = TcpTransportServer(reputation_server.handle_bytes)
+    >>> server.start()
+    >>> host, port = server.address
+    >>> ...
+    >>> server.stop()
+
+    Also usable as a context manager (``with TcpTransportServer(h) as s:``).
+    Binding to port 0 (the default) picks a free ephemeral port.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _ConnectionHandler)
+        self.app_handler = handler
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` pair."""
+        return self.server_address[0], self.server_address[1]
+
+    def start(self) -> "TcpTransportServer":
+        """Serve connections on a background thread until :meth:`stop`."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="tcp-transport-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close the listening socket, join the thread."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join()
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "TcpTransportServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Client side
+# ---------------------------------------------------------------------------
+
+class TcpClient:
+    """A blocking request/response client over one persistent connection.
+
+    Not thread-safe: concurrent callers must each open their own client
+    (connections are cheap; the server spins one thread per connection).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        try:
+            self._sock: Optional[socket.socket] = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise EndpointUnreachableError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+
+    def request(self, payload: bytes) -> bytes:
+        """Send one framed request and block for the framed response."""
+        if self._sock is None:
+            raise EndpointUnreachableError("client connection is closed")
+        write_frame(self._sock, payload)
+        response = read_frame(self._sock)
+        if response is None:
+            raise EndpointUnreachableError("server closed the connection")
+        return response
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "TcpClient":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()

@@ -3,15 +3,28 @@
 * :mod:`~repro.server.accounts` — registration, e-mail activation, login.
 * :mod:`~repro.server.ratelimit` — token-bucket flood control.
 * :mod:`~repro.server.votes` — vote/comment/remark ingestion rules.
-* :mod:`~repro.server.app` — the protocol dispatcher bound to a network
-  endpoint.
+* :mod:`~repro.server.pipeline` — the layered request pipeline (context,
+  middleware chain, handler registry, metrics).
+* :mod:`~repro.server.app` — the server application bound to the pipeline.
 * :mod:`~repro.server.webview` — the web interface (HTML pages).
 """
 
 from .accounts import AccountManager, AccountRecord
 from .ratelimit import TokenBucket, RateLimiter
 from .votes import VoteGate
-from .app import ReputationServer
+from .pipeline import (
+    AuthMiddleware,
+    CodecMiddleware,
+    ErrorMiddleware,
+    HandlerRegistry,
+    InstrumentationMiddleware,
+    Middleware,
+    Pipeline,
+    PipelineMetrics,
+    RateLimitMiddleware,
+    RequestContext,
+)
+from .app import ReputationServer, PRE_AUTH_MESSAGES
 from .webview import WebView
 from .http import HttpGateway, http_get
 
@@ -22,6 +35,17 @@ __all__ = [
     "RateLimiter",
     "VoteGate",
     "ReputationServer",
+    "PRE_AUTH_MESSAGES",
+    "Pipeline",
+    "PipelineMetrics",
+    "RequestContext",
+    "HandlerRegistry",
+    "Middleware",
+    "AuthMiddleware",
+    "CodecMiddleware",
+    "ErrorMiddleware",
+    "InstrumentationMiddleware",
+    "RateLimitMiddleware",
     "WebView",
     "HttpGateway",
     "http_get",

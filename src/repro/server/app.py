@@ -1,11 +1,15 @@
 """The reputation server application.
 
 Binds everything together behind one wire entry point,
-:meth:`ReputationServer.handle_bytes`: decode the XML request, dispatch on
-message type, run the domain logic, encode the response.  All domain
+:meth:`ReputationServer.handle_bytes`, which simply runs the layered
+request pipeline (see :mod:`repro.server.pipeline`): instrumentation,
+XML codec, error-to-wire-code mapping, session authentication, and
+per-origin flood control are middleware stages; the handlers below are
+thin context-taking functions that only contain domain logic.  All domain
 errors are mapped to :class:`~repro.protocol.ErrorResponse` with stable
 codes so the client (and the attack simulations) can react to specific
-refusals.
+refusals — and unexpected exceptions become ``server-error`` refusals
+instead of escaping to the transport.
 
 Registration walks the full Sec. 2.1 gauntlet: an anti-automation puzzle,
 per-origin flood control, the unique hashed e-mail, then activation via
@@ -15,31 +19,18 @@ the e-mailed token.
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Optional
 
 from ..clock import SimClock
 from ..core.reputation import ReputationEngine
 from ..crypto.puzzles import PuzzleIssuer
 from ..crypto.secrets import SecretPepper
-from ..errors import (
-    AccountNotActiveError,
-    ActivationError,
-    AuthenticationError,
-    DuplicateAccountError,
-    DuplicateVoteError,
-    MalformedMessageError,
-    ProtocolError,
-    PuzzleError,
-    RateLimitExceededError,
-    RegistrationError,
-    ServerError,
-)
+from ..errors import PuzzleError
 from ..protocol import (
     ActivateRequest,
     CommentInfo,
     CommentRequest,
     CredentialRegisterRequest,
-    ErrorResponse,
     LoginRequest,
     LoginResponse,
     OkResponse,
@@ -58,28 +49,60 @@ from ..protocol import (
     VendorQueryRequest,
     VendorInfoResponse,
     VoteRequest,
-    decode,
-    encode,
 )
 from .accounts import AccountManager
+from .pipeline import (
+    E_ACTIVATION,
+    E_AUTH,
+    E_BAD_REQUEST,
+    E_DUPLICATE_ACCOUNT,
+    E_DUPLICATE_VOTE,
+    E_NOT_ACTIVE,
+    E_PUZZLE,
+    E_RATE_LIMITED,
+    E_REGISTRATION,
+    E_SERVER,
+    AuthMiddleware,
+    CodecMiddleware,
+    ErrorMiddleware,
+    HandlerRegistry,
+    InstrumentationMiddleware,
+    Pipeline,
+    PipelineMetrics,
+    RateLimitMiddleware,
+    RequestContext,
+)
 from .ratelimit import RateLimiter
 from .votes import VoteGate
 
-#: Error codes carried in ErrorResponse.code.
-E_BAD_REQUEST = "bad-request"
-E_PUZZLE = "puzzle-failed"
-E_REGISTRATION = "registration-rejected"
-E_DUPLICATE_ACCOUNT = "duplicate-account"
-E_ACTIVATION = "activation-failed"
-E_AUTH = "auth-failed"
-E_NOT_ACTIVE = "not-active"
-E_DUPLICATE_VOTE = "duplicate-vote"
-E_RATE_LIMITED = "rate-limited"
-E_SERVER = "server-error"
+__all__ = [
+    "ReputationServer",
+    "PRE_AUTH_MESSAGES",
+    "E_BAD_REQUEST",
+    "E_PUZZLE",
+    "E_REGISTRATION",
+    "E_DUPLICATE_ACCOUNT",
+    "E_ACTIVATION",
+    "E_AUTH",
+    "E_NOT_ACTIVE",
+    "E_DUPLICATE_VOTE",
+    "E_RATE_LIMITED",
+    "E_SERVER",
+]
+
+#: Message types a client may send before it has a session (the account
+#: lifecycle itself).  Everything else must authenticate.
+PRE_AUTH_MESSAGES = (
+    PuzzleRequest,
+    RegisterRequest,
+    CredentialRegisterRequest,
+    ActivateRequest,
+    LoginRequest,
+)
 
 
 class ReputationServer:
-    """The complete server: engine + accounts + protocol dispatch."""
+    """The complete server: engine + accounts + the request pipeline."""
 
     def __init__(
         self,
@@ -120,71 +143,61 @@ class ReputationServer:
         self.gate = VoteGate(self.engine)
         # Registrations per origin address: burst of 3, ~6/day sustained.
         self.registration_limiter = RateLimiter(3.0, 6.0 / 86400.0)
-        self._dispatch: dict[type, Callable] = {
-            PuzzleRequest: self._handle_puzzle,
-            RegisterRequest: self._handle_register,
-            CredentialRegisterRequest: self._handle_credential_register,
-            ActivateRequest: self._handle_activate,
-            LoginRequest: self._handle_login,
-            QuerySoftwareRequest: self._handle_query_software,
-            VoteRequest: self._handle_vote,
-            CommentRequest: self._handle_comment,
-            RemarkRequest: self._handle_remark,
-            SearchRequest: self._handle_search,
-            VendorQueryRequest: self._handle_vendor_query,
-            StatsRequest: self._handle_stats,
-        }
+
+        registry = HandlerRegistry()
+        for message_type, handler in (
+            (PuzzleRequest, self._handle_puzzle),
+            (RegisterRequest, self._handle_register),
+            (CredentialRegisterRequest, self._handle_credential_register),
+            (ActivateRequest, self._handle_activate),
+            (LoginRequest, self._handle_login),
+            (QuerySoftwareRequest, self._handle_query_software),
+            (VoteRequest, self._handle_vote),
+            (CommentRequest, self._handle_comment),
+            (RemarkRequest, self._handle_remark),
+            (SearchRequest, self._handle_search),
+            (VendorQueryRequest, self._handle_vendor_query),
+            (StatsRequest, self._handle_stats),
+        ):
+            registry.register(message_type, handler)
+        self.metrics = PipelineMetrics()
+        self.pipeline = Pipeline(
+            middlewares=[
+                InstrumentationMiddleware(self.metrics),
+                CodecMiddleware(),
+                ErrorMiddleware(),
+                AuthMiddleware(self.accounts, registry, PRE_AUTH_MESSAGES),
+                RateLimitMiddleware(
+                    self.registration_limiter,
+                    self.clock,
+                    (RegisterRequest, CredentialRegisterRequest),
+                ),
+            ],
+            registry=registry,
+        )
 
     # -- wire entry point ---------------------------------------------------
 
     def handle_bytes(self, source: str, payload: bytes) -> bytes:
         """The network endpoint handler: XML in, XML out."""
-        try:
-            request = decode(payload)
-        except ProtocolError as exc:
-            return encode(ErrorResponse(code=E_BAD_REQUEST, detail=str(exc)))
-        response = self.handle(source, request)
-        return encode(response)
+        return self.pipeline.run(source, payload)
 
     def handle(self, source: str, request: object):
-        """Dispatch one decoded request; always returns a message."""
-        handler = self._dispatch.get(type(request))
-        if handler is None:
-            return ErrorResponse(
-                code=E_BAD_REQUEST,
-                detail=f"unsupported request {type(request).__name__}",
-            )
-        try:
-            return handler(source, request)
-        except PuzzleError as exc:
-            return ErrorResponse(code=E_PUZZLE, detail=str(exc))
-        except DuplicateAccountError as exc:
-            return ErrorResponse(code=E_DUPLICATE_ACCOUNT, detail=str(exc))
-        except RegistrationError as exc:
-            return ErrorResponse(code=E_REGISTRATION, detail=str(exc))
-        except ActivationError as exc:
-            return ErrorResponse(code=E_ACTIVATION, detail=str(exc))
-        except AccountNotActiveError as exc:
-            return ErrorResponse(code=E_NOT_ACTIVE, detail=str(exc))
-        except AuthenticationError as exc:
-            return ErrorResponse(code=E_AUTH, detail=str(exc))
-        except DuplicateVoteError as exc:
-            return ErrorResponse(code=E_DUPLICATE_VOTE, detail=str(exc))
-        except RateLimitExceededError as exc:
-            return ErrorResponse(code=E_RATE_LIMITED, detail=str(exc))
-        except MalformedMessageError as exc:
-            return ErrorResponse(code=E_BAD_REQUEST, detail=str(exc))
-        except ServerError as exc:
-            return ErrorResponse(code=E_SERVER, detail=str(exc))
+        """Handle one decoded request; always returns a message."""
+        return self.pipeline.run_message(source, request)
+
+    def pipeline_stats(self) -> dict:
+        """Instrumentation snapshot: per-type counts, error codes, latency."""
+        return self.metrics.snapshot()
 
     # -- account lifecycle ----------------------------------------------------
 
-    def _handle_puzzle(self, source: str, request: PuzzleRequest):
-        puzzle = self.puzzles.issue(origin=source, now=self.clock.now())
+    def _handle_puzzle(self, ctx: RequestContext):
+        puzzle = self.puzzles.issue(origin=ctx.source, now=self.clock.now())
         return PuzzleResponse(nonce=puzzle.nonce, difficulty=puzzle.difficulty)
 
-    def _handle_register(self, source: str, request: RegisterRequest):
-        self.registration_limiter.check(source, self.clock.now())
+    def _handle_register(self, ctx: RequestContext):
+        request = ctx.request
         if not self.puzzles.redeem(request.puzzle_nonce, request.puzzle_solution):
             raise PuzzleError("missing, stale, or wrong puzzle solution")
         token = self.accounts.register(
@@ -192,12 +205,10 @@ class ReputationServer:
         )
         return RegisterResponse(activation_token=token)
 
-    def _handle_credential_register(
-        self, source: str, request: CredentialRegisterRequest
-    ):
+    def _handle_credential_register(self, ctx: RequestContext):
         from ..crypto.pseudonyms import Credential
 
-        self.registration_limiter.check(source, self.clock.now())
+        request = ctx.request
         credential = Credential(
             issuer_name=request.issuer_name,
             serial=request.serial,
@@ -213,19 +224,21 @@ class ReputationServer:
         """Accept pseudonym credentials from this issuer."""
         self.accounts.trust_issuer(public_key)
 
-    def _handle_activate(self, source: str, request: ActivateRequest):
+    def _handle_activate(self, ctx: RequestContext):
+        request = ctx.request
         self.accounts.activate(request.username, request.token)
         self.engine.enroll_user(request.username)
         return OkResponse(detail="account activated")
 
-    def _handle_login(self, source: str, request: LoginRequest):
+    def _handle_login(self, ctx: RequestContext):
+        request = ctx.request
         session = self.accounts.login(request.username, request.password)
         return LoginResponse(session=session)
 
     # -- software & feedback -----------------------------------------------------
 
-    def _handle_query_software(self, source: str, request: QuerySoftwareRequest):
-        self.accounts.authenticate_session(request.session)
+    def _handle_query_software(self, ctx: RequestContext):
+        request = ctx.request
         self.engine.register_software(
             software_id=request.software_id,
             file_name=request.file_name,
@@ -278,25 +291,27 @@ class ReputationServer:
             analyzed=analyzed,
         )
 
-    def _handle_vote(self, source: str, request: VoteRequest):
-        username = self.accounts.authenticate_session(request.session)
-        self.gate.cast_vote(username, request.software_id, request.score)
+    def _handle_vote(self, ctx: RequestContext):
+        request = ctx.request
+        self.gate.cast_vote(ctx.username, request.software_id, request.score)
         return OkResponse(detail="vote recorded")
 
-    def _handle_comment(self, source: str, request: CommentRequest):
-        username = self.accounts.authenticate_session(request.session)
-        comment = self.gate.add_comment(username, request.software_id, request.text)
+    def _handle_comment(self, ctx: RequestContext):
+        request = ctx.request
+        comment = self.gate.add_comment(
+            ctx.username, request.software_id, request.text
+        )
         return OkResponse(detail=f"comment {comment.comment_id} recorded")
 
-    def _handle_remark(self, source: str, request: RemarkRequest):
-        username = self.accounts.authenticate_session(request.session)
-        self.gate.add_remark(username, request.comment_id, request.positive)
+    def _handle_remark(self, ctx: RequestContext):
+        request = ctx.request
+        self.gate.add_remark(ctx.username, request.comment_id, request.positive)
         return OkResponse(detail="remark recorded")
 
     # -- web-interface queries ---------------------------------------------------
 
-    def _handle_search(self, source: str, request: SearchRequest):
-        self.accounts.authenticate_session(request.session)
+    def _handle_search(self, ctx: RequestContext):
+        request = ctx.request
         results = []
         for record in self.engine.vendors.search_by_name(request.needle):
             published = self.engine.software_reputation(record.software_id)
@@ -311,8 +326,8 @@ class ReputationServer:
             )
         return SearchResponse(results=tuple(results))
 
-    def _handle_vendor_query(self, source: str, request: VendorQueryRequest):
-        self.accounts.authenticate_session(request.session)
+    def _handle_vendor_query(self, ctx: RequestContext):
+        request = ctx.request
         score = self.engine.vendor_reputation(request.vendor)
         if score is None:
             known = bool(self.engine.vendors.software_of_vendor(request.vendor))
@@ -325,8 +340,7 @@ class ReputationServer:
             rated_software_count=score.rated_software_count,
         )
 
-    def _handle_stats(self, source: str, request: StatsRequest):
-        self.accounts.authenticate_session(request.session)
+    def _handle_stats(self, ctx: RequestContext):
         stats = self.engine.stats()
         return StatsResponse(
             registered_software=stats["registered_software"],

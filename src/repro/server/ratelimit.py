@@ -10,6 +10,7 @@ per origin address.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -54,23 +55,25 @@ class RateLimiter:
         self.capacity = capacity
         self.refill_per_second = refill_per_second
         self._buckets: dict[Any, TokenBucket] = {}
+        self._lock = threading.Lock()
         self.rejections = 0
 
     def check(self, key: Any, now: int, amount: float = 1.0) -> None:
         """Consume from *key*'s bucket or raise :class:`RateLimitExceededError`."""
-        bucket = self._buckets.get(key)
-        if bucket is None:
-            bucket = TokenBucket(
-                capacity=self.capacity,
-                refill_per_second=self.refill_per_second,
-                last_refill=now,
-            )
-            self._buckets[key] = bucket
-        if not bucket.try_consume(now, amount):
-            self.rejections += 1
-            raise RateLimitExceededError(
-                f"rate limit exceeded for {key!r}"
-            )
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = TokenBucket(
+                    capacity=self.capacity,
+                    refill_per_second=self.refill_per_second,
+                    last_refill=now,
+                )
+                self._buckets[key] = bucket
+            if not bucket.try_consume(now, amount):
+                self.rejections += 1
+                raise RateLimitExceededError(
+                    f"rate limit exceeded for {key!r}"
+                )
 
     def allowed(self, key: Any, now: int, amount: float = 1.0) -> bool:
         """Non-raising variant of :meth:`check`."""

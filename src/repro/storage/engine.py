@@ -8,12 +8,19 @@ directory, in which case every committed mutation is WAL-logged and
 Schemas are code, not data: on reopen the caller re-declares its tables
 (with their check constraints, which are Python callables) and then calls
 :meth:`recover` to reload the snapshot and replay the log.
+
+Concurrency: the engine owns one reentrant lock shared by every table it
+creates.  Single-statement reads and mutations serialise on it inside the
+table layer; a :class:`~repro.storage.transactions.Transaction` holds it
+for its whole scope, so parallel server workers can never interleave two
+transactions' mutations or split a WAL commit unit.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Optional
 
 from ..errors import (
@@ -39,6 +46,10 @@ class Database:
     """
 
     def __init__(self, directory: Optional[str] = None):
+        #: Engine-level lock: shared with every table, held for the whole
+        #: scope of a transaction.  Reentrant so nested table operations
+        #: (and observer callbacks) are safe.
+        self._lock = threading.RLock()
         self._tables: dict[str, Table] = {}
         self._transaction: Optional[Transaction] = None
         self._tx_buffer: list = []
@@ -53,12 +64,13 @@ class Database:
 
     def create_table(self, schema: Schema) -> Table:
         """Create a table from *schema* and return it."""
-        if schema.name in self._tables:
-            raise TableExistsError(f"table {schema.name!r} already exists")
-        table = Table(schema)
-        table.add_observer(self._on_mutation)
-        self._tables[schema.name] = table
-        return table
+        with self._lock:
+            if schema.name in self._tables:
+                raise TableExistsError(f"table {schema.name!r} already exists")
+            table = Table(schema, lock=self._lock)
+            table.add_observer(self._on_mutation)
+            self._tables[schema.name] = table
+            return table
 
     def table(self, name: str) -> Table:
         """Return the table named *name*."""
@@ -75,10 +87,17 @@ class Database:
         return tuple(self._tables)
 
     def drop_table(self, name: str) -> None:
-        """Remove a table and all of its rows."""
-        if name not in self._tables:
-            raise TableNotFoundError(f"no table named {name!r}")
-        del self._tables[name]
+        """Remove a table and all of its rows.
+
+        The engine's mutation observer is detached, so writes through a
+        reference held from before the drop can no longer reach the
+        transaction buffer or the WAL.
+        """
+        with self._lock:
+            table = self._tables.pop(name, None)
+            if table is None:
+                raise TableNotFoundError(f"no table named {name!r}")
+            table.remove_observer(self._on_mutation)
 
     # -- transactions ---------------------------------------------------------
 
@@ -91,6 +110,7 @@ class Database:
         return self._transaction is not None
 
     def _begin(self, transaction: Transaction) -> None:
+        # Callers hold self._lock (acquired by Transaction.__enter__).
         if self._transaction is not None:
             raise TransactionError("nested transactions are not supported")
         self._transaction = transaction
@@ -154,32 +174,36 @@ class Database:
         """
         if self._directory is None:
             raise StorageError("recover() requires a durable database")
-        if self._transaction is not None:
-            raise TransactionError("cannot recover inside a transaction")
-        applied = 0
-        self._suppress_log = True
-        try:
-            snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
-            if os.path.exists(snapshot_path):
-                with open(snapshot_path, "r", encoding="utf-8") as snapshot_file:
-                    snapshot = json.load(snapshot_file)
-                for table_name, rows in snapshot.get("tables", {}).items():
-                    if table_name not in self._tables:
-                        raise StorageError(
-                            f"snapshot references undeclared table {table_name!r}"
-                        )
-                    table = self._tables[table_name]
-                    for row in rows:
-                        table.insert(decode_row(row))
+        with self._lock:
+            if self._transaction is not None:
+                raise TransactionError("cannot recover inside a transaction")
+            applied = 0
+            self._suppress_log = True
+            try:
+                snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+                if os.path.exists(snapshot_path):
+                    with open(
+                        snapshot_path, "r", encoding="utf-8"
+                    ) as snapshot_file:
+                        snapshot = json.load(snapshot_file)
+                    for table_name, rows in snapshot.get("tables", {}).items():
+                        if table_name not in self._tables:
+                            raise StorageError(
+                                "snapshot references undeclared table "
+                                f"{table_name!r}"
+                            )
+                        table = self._tables[table_name]
+                        for row in rows:
+                            table.insert(decode_row(row))
+                            applied += 1
+                assert self._wal is not None
+                for unit in self._wal.replay():
+                    for record in unit:
+                        self._apply_record(record)
                         applied += 1
-            assert self._wal is not None
-            for unit in self._wal.replay():
-                for record in unit:
-                    self._apply_record(record)
-                    applied += 1
-        finally:
-            self._suppress_log = False
-        return applied
+            finally:
+                self._suppress_log = False
+            return applied
 
     def _apply_record(self, record: dict) -> None:
         table_name = record["table"]
@@ -204,25 +228,27 @@ class Database:
         """Write a full snapshot and truncate the WAL."""
         if self._directory is None or self._wal is None:
             raise StorageError("checkpoint() requires a durable database")
-        if self._transaction is not None:
-            raise TransactionError("cannot checkpoint inside a transaction")
-        snapshot = {
-            "tables": {
-                name: [encode_row(row) for row in table.all()]
-                for name, table in self._tables.items()
+        with self._lock:
+            if self._transaction is not None:
+                raise TransactionError("cannot checkpoint inside a transaction")
+            snapshot = {
+                "tables": {
+                    name: [encode_row(row) for row in table.all()]
+                    for name, table in self._tables.items()
+                }
             }
-        }
-        snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
-        temp_path = snapshot_path + ".tmp"
-        with open(temp_path, "w", encoding="utf-8") as snapshot_file:
-            json.dump(snapshot, snapshot_file, sort_keys=True)
-            snapshot_file.flush()
-            os.fsync(snapshot_file.fileno())
-        os.replace(temp_path, snapshot_path)
-        self._wal.truncate()
+            snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+            temp_path = snapshot_path + ".tmp"
+            with open(temp_path, "w", encoding="utf-8") as snapshot_file:
+                json.dump(snapshot, snapshot_file, sort_keys=True)
+                snapshot_file.flush()
+                os.fsync(snapshot_file.fileno())
+            os.replace(temp_path, snapshot_path)
+            self._wal.truncate()
 
     # -- diagnostics -------------------------------------------------------------------
 
     def total_rows(self) -> int:
         """Total row count across all tables."""
-        return sum(len(table) for table in self._tables.values())
+        with self._lock:
+            return sum(len(table) for table in self._tables.values())

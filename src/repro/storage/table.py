@@ -5,10 +5,16 @@ schema's type / nullability / uniqueness constraints on every mutation, and
 keeps all registered indexes synchronised.  Mutations are reported to
 observers — the database engine uses this to drive the write-ahead log and
 transaction undo records without the table knowing about either.
+
+Every read and write runs under a reentrant lock.  Tables created through
+:meth:`repro.storage.engine.Database.create_table` share the *engine*
+lock, so cross-table invariants (and WAL commit-unit boundaries) hold
+under concurrent pipeline workers; a standalone table gets its own lock.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
@@ -45,8 +51,9 @@ class Table:
     :meth:`repro.storage.engine.Database.create_table`.
     """
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema, lock: Optional[threading.RLock] = None):
         self.schema = schema
+        self._lock = lock if lock is not None else threading.RLock()
         self._rows: dict[Any, dict] = {}
         self._indexes: dict[str, Any] = {}
         self._composite_indexes: dict[tuple, HashIndex] = {}
@@ -66,20 +73,30 @@ class Table:
         return self.schema.name
 
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
 
     def __contains__(self, pk: Any) -> bool:
-        return pk in self._rows
+        with self._lock:
+            return pk in self._rows
 
     def primary_keys(self) -> Iterator[Any]:
-        """Iterate over all primary keys (insertion order)."""
-        return iter(self._rows)
+        """Iterate over all primary keys (insertion order, snapshotted)."""
+        with self._lock:
+            return iter(tuple(self._rows))
 
     # -- observers --------------------------------------------------------
 
     def add_observer(self, callback: Callable[[MutationEvent], None]) -> None:
         """Register *callback* to be invoked after every mutation."""
         self._observers.append(callback)
+
+    def remove_observer(self, callback: Callable[[MutationEvent], None]) -> None:
+        """Detach *callback*; unknown callbacks are ignored."""
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            pass
 
     def _notify(self, event: MutationEvent) -> None:
         for observer in self._observers:
@@ -95,19 +112,20 @@ class Table:
         """
         if not self.schema.has_column(column):
             raise SchemaError(f"table {self.name!r} has no column {column!r}")
-        existing = self._indexes.get(column)
-        if existing is not None:
-            expected = HashIndex if kind == "hash" else SortedIndex
-            if isinstance(existing, expected):
-                return
-            raise SchemaError(
-                f"column {column!r} already has a "
-                f"{type(existing).__name__} index"
-            )
-        index = make_index(kind, column)
-        for pk, row in self._rows.items():
-            index.add(row[column], pk)
-        self._indexes[column] = index
+        with self._lock:
+            existing = self._indexes.get(column)
+            if existing is not None:
+                expected = HashIndex if kind == "hash" else SortedIndex
+                if isinstance(existing, expected):
+                    return
+                raise SchemaError(
+                    f"column {column!r} already has a "
+                    f"{type(existing).__name__} index"
+                )
+            index = make_index(kind, column)
+            for pk, row in self._rows.items():
+                index.add(row[column], pk)
+            self._indexes[column] = index
 
     def has_index(self, column: str) -> bool:
         return column in self._indexes
@@ -123,17 +141,19 @@ class Table:
 
     def get(self, pk: Any) -> dict:
         """Return a copy of the row with primary key *pk*."""
-        try:
-            return dict(self._rows[pk])
-        except KeyError:
-            raise RowNotFoundError(
-                f"table {self.name!r} has no row with key {pk!r}"
-            ) from None
+        with self._lock:
+            try:
+                return dict(self._rows[pk])
+            except KeyError:
+                raise RowNotFoundError(
+                    f"table {self.name!r} has no row with key {pk!r}"
+                ) from None
 
     def get_or_none(self, pk: Any) -> Optional[dict]:
         """Like :meth:`get` but returns ``None`` instead of raising."""
-        row = self._rows.get(pk)
-        return dict(row) if row is not None else None
+        with self._lock:
+            row = self._rows.get(pk)
+            return dict(row) if row is not None else None
 
     def select(
         self,
@@ -161,13 +181,13 @@ class Table:
             )
         if limit is not None and limit < 0:
             raise SchemaError("limit cannot be negative")
-        candidate_pks = self._candidate_pks(equals)
         results = []
-        for pk in candidate_pks:
-            row = self._rows[pk]
-            if all(row[column] == value for column, value in equals.items()):
-                if predicate is None or predicate(row):
-                    results.append(dict(row))
+        with self._lock:
+            for pk in self._candidate_pks(equals):
+                row = self._rows[pk]
+                if all(row[column] == value for column, value in equals.items()):
+                    if predicate is None or predicate(row):
+                        results.append(dict(row))
         if order_by is not None:
             # NULLs always sort last, whatever the direction.
             nulls = [row for row in results if row[order_by] is None]
@@ -184,18 +204,19 @@ class Table:
         **equals: Any,
     ) -> int:
         """Number of rows matching the filters (no row copies made)."""
-        candidate_pks = self._candidate_pks(equals)
         total = 0
-        for pk in candidate_pks:
-            row = self._rows[pk]
-            if all(row[column] == value for column, value in equals.items()):
-                if predicate is None or predicate(row):
-                    total += 1
+        with self._lock:
+            for pk in self._candidate_pks(equals):
+                row = self._rows[pk]
+                if all(row[column] == value for column, value in equals.items()):
+                    if predicate is None or predicate(row):
+                        total += 1
         return total
 
     def all(self) -> list:
         """Copies of every row, in insertion order."""
-        return [dict(row) for row in self._rows.values()]
+        with self._lock:
+            return [dict(row) for row in self._rows.values()]
 
     def _candidate_pks(self, equals: dict) -> Iterator[Any]:
         """Pick the cheapest access path for an equality filter set."""
@@ -220,17 +241,18 @@ class Table:
         """
         validated = self.schema.validate_row(row)
         pk = validated[self.schema.primary_key]
-        if pk in self._rows:
-            raise DuplicateKeyError(
-                f"table {self.name!r} already has primary key {pk!r}"
+        with self._lock:
+            if pk in self._rows:
+                raise DuplicateKeyError(
+                    f"table {self.name!r} already has primary key {pk!r}"
+                )
+            self._check_unique_columns(validated, exclude_pk=None)
+            self._check_unique_together(validated, exclude_pk=None)
+            self._rows[pk] = validated
+            self._index_add(validated, pk)
+            self._notify(
+                MutationEvent(OP_INSERT, self.name, pk, dict(validated), None)
             )
-        self._check_unique_columns(validated, exclude_pk=None)
-        self._check_unique_together(validated, exclude_pk=None)
-        self._rows[pk] = validated
-        self._index_add(validated, pk)
-        self._notify(
-            MutationEvent(OP_INSERT, self.name, pk, dict(validated), None)
-        )
         return pk
 
     def update(self, pk: Any, changes: dict) -> dict:
@@ -238,51 +260,56 @@ class Table:
 
         The primary key itself cannot be changed.
         """
-        if pk not in self._rows:
-            raise RowNotFoundError(
-                f"table {self.name!r} has no row with key {pk!r}"
-            )
-        if self.schema.primary_key in changes:
-            new_pk = changes[self.schema.primary_key]
-            if new_pk != pk:
-                raise ConstraintViolation(
-                    f"cannot change primary key of table {self.name!r}"
+        with self._lock:
+            if pk not in self._rows:
+                raise RowNotFoundError(
+                    f"table {self.name!r} has no row with key {pk!r}"
                 )
-        old_row = self._rows[pk]
-        merged = dict(old_row)
-        merged.update(changes)
-        validated = self.schema.validate_row(merged)
-        self._check_unique_columns(validated, exclude_pk=pk)
-        self._check_unique_together(validated, exclude_pk=pk)
-        self._index_remove(old_row, pk)
-        self._rows[pk] = validated
-        self._index_add(validated, pk)
-        self._notify(
-            MutationEvent(OP_UPDATE, self.name, pk, dict(validated), dict(old_row))
-        )
-        return dict(validated)
+            if self.schema.primary_key in changes:
+                new_pk = changes[self.schema.primary_key]
+                if new_pk != pk:
+                    raise ConstraintViolation(
+                        f"cannot change primary key of table {self.name!r}"
+                    )
+            old_row = self._rows[pk]
+            merged = dict(old_row)
+            merged.update(changes)
+            validated = self.schema.validate_row(merged)
+            self._check_unique_columns(validated, exclude_pk=pk)
+            self._check_unique_together(validated, exclude_pk=pk)
+            self._index_remove(old_row, pk)
+            self._rows[pk] = validated
+            self._index_add(validated, pk)
+            self._notify(
+                MutationEvent(
+                    OP_UPDATE, self.name, pk, dict(validated), dict(old_row)
+                )
+            )
+            return dict(validated)
 
     def delete(self, pk: Any) -> dict:
         """Delete row *pk*; returns the removed row (a copy)."""
-        if pk not in self._rows:
-            raise RowNotFoundError(
-                f"table {self.name!r} has no row with key {pk!r}"
+        with self._lock:
+            if pk not in self._rows:
+                raise RowNotFoundError(
+                    f"table {self.name!r} has no row with key {pk!r}"
+                )
+            old_row = self._rows.pop(pk)
+            self._index_remove(old_row, pk)
+            self._notify(
+                MutationEvent(OP_DELETE, self.name, pk, None, dict(old_row))
             )
-        old_row = self._rows.pop(pk)
-        self._index_remove(old_row, pk)
-        self._notify(
-            MutationEvent(OP_DELETE, self.name, pk, None, dict(old_row))
-        )
-        return dict(old_row)
+            return dict(old_row)
 
     def upsert(self, row: dict) -> Any:
         """Insert, or update in place if the primary key already exists."""
         validated = self.schema.validate_row(row)
         pk = validated[self.schema.primary_key]
-        if pk in self._rows:
-            self.update(pk, validated)
-            return pk
-        return self.insert(validated)
+        with self._lock:
+            if pk in self._rows:
+                self.update(pk, validated)
+                return pk
+            return self.insert(validated)
 
     # -- constraint helpers -------------------------------------------------
 

@@ -9,6 +9,10 @@ the log.
 The undo strategy is physical (old row images), which makes rollback exact
 regardless of what application logic did — important for the server's
 "register account + activate + seed trust" multi-table operations.
+
+A transaction holds the database engine lock from ``__enter__`` until
+commit or rollback completes, so its mutations — and its WAL commit unit —
+can never interleave with another thread's work.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ class Transaction:
         self._undo_log: list[MutationEvent] = []
         self._active = False
         self._finished = False
+        self._holds_lock = False
 
     @property
     def is_active(self) -> bool:
@@ -40,7 +45,15 @@ class Transaction:
     def __enter__(self) -> "Transaction":
         if self._finished:
             raise TransactionError("transaction objects are single-use")
-        self._database._begin(self)
+        # Exclusive for the whole scope: no other thread can read or write
+        # until this transaction commits or rolls back.
+        self._database._lock.acquire()
+        self._holds_lock = True
+        try:
+            self._database._begin(self)
+        except BaseException:
+            self._release_lock()
+            raise
         self._active = True
         return self
 
@@ -60,14 +73,18 @@ class Transaction:
     def commit(self) -> None:
         """Make the transaction's effects durable."""
         self._require_active()
-        self._database._commit(self, self._undo_log)
-        self._close()
+        try:
+            self._database._commit(self, self._undo_log)
+        finally:
+            self._close()
 
     def rollback(self) -> None:
         """Undo every mutation performed inside the transaction."""
         self._require_active()
-        self._database._rollback(self, self._undo_log)
-        self._close()
+        try:
+            self._database._rollback(self, self._undo_log)
+        finally:
+            self._close()
 
     def _require_active(self) -> None:
         if not self._active:
@@ -79,6 +96,12 @@ class Transaction:
         self._active = False
         self._finished = True
         self._undo_log = []
+        self._release_lock()
+
+    def _release_lock(self) -> None:
+        if self._holds_lock:
+            self._holds_lock = False
+            self._database._lock.release()
 
     @property
     def mutation_count(self) -> int:

@@ -1,0 +1,140 @@
+"""The real TCP transport: framing, the server adapter, the client."""
+
+import socket
+
+import pytest
+
+from repro.errors import EndpointUnreachableError, FrameError
+from repro.net.tcp import (
+    MAX_FRAME_BYTES,
+    TcpClient,
+    TcpTransportServer,
+    read_frame,
+    write_frame,
+)
+from repro.protocol import (
+    ErrorResponse,
+    PuzzleRequest,
+    PuzzleResponse,
+    decode,
+    encode,
+)
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame(left, b"hello frames")
+            assert read_frame(right) == b"hello frames"
+        finally:
+            left.close()
+            right.close()
+
+    def test_empty_payload_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame(left, b"")
+            assert read_frame(right) == b""
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_close_yields_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_truncated_body_raises(self):
+        left, right = socket.socketpair()
+        try:
+            # Header promises 100 bytes; only 3 arrive before close.
+            left.sendall(b"\x00\x00\x00\x64abc")
+            left.close()
+            with pytest.raises(FrameError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_header_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(FrameError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_oversized_write_rejected(self):
+        left, right = socket.socketpair()
+        try:
+
+            class FakePayload(bytes):
+                def __len__(self):
+                    return MAX_FRAME_BYTES + 1
+
+            with pytest.raises(FrameError):
+                write_frame(left, FakePayload())
+        finally:
+            left.close()
+            right.close()
+
+
+class TestTcpTransport:
+    def test_serves_handle_bytes(self, server):
+        with TcpTransportServer(server.handle_bytes) as tcp:
+            host, port = tcp.address
+            with TcpClient(host, port) as client:
+                response = decode(client.request(encode(PuzzleRequest())))
+        assert isinstance(response, PuzzleResponse)
+
+    def test_multiple_requests_one_connection(self, server):
+        with TcpTransportServer(server.handle_bytes) as tcp:
+            host, port = tcp.address
+            with TcpClient(host, port) as client:
+                for _ in range(5):
+                    response = decode(client.request(encode(PuzzleRequest())))
+                    assert isinstance(response, PuzzleResponse)
+
+    def test_garbage_bytes_get_error_response_not_disconnect(self, server):
+        with TcpTransportServer(server.handle_bytes) as tcp:
+            host, port = tcp.address
+            with TcpClient(host, port) as client:
+                response = decode(client.request(b"<<<not xml"))
+                assert isinstance(response, ErrorResponse)
+                assert response.code == "bad-request"
+                # The connection survives a hostile payload.
+                follow_up = decode(client.request(encode(PuzzleRequest())))
+                assert isinstance(follow_up, PuzzleResponse)
+
+    def test_source_is_peer_host_without_port(self, server):
+        seen = []
+
+        def spying(source, payload):
+            seen.append(source)
+            return server.handle_bytes(source, payload)
+
+        with TcpTransportServer(spying) as tcp:
+            host, port = tcp.address
+            with TcpClient(host, port) as client:
+                client.request(encode(PuzzleRequest()))
+        assert seen == ["127.0.0.1"]
+
+    def test_connect_refused_maps_to_unreachable(self):
+        # Bind a port, close it, then connect to the now-dead address.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        with pytest.raises(EndpointUnreachableError):
+            TcpClient(host, port, timeout=0.5)
+
+    def test_stop_is_idempotent(self, server):
+        tcp = TcpTransportServer(server.handle_bytes)
+        tcp.start()
+        tcp.stop()
+        tcp.stop()

@@ -1,0 +1,162 @@
+"""The layered request pipeline: middleware order, auth, errors, metrics."""
+
+from repro.protocol import (
+    ErrorResponse,
+    OkResponse,
+    PuzzleRequest,
+    PuzzleResponse,
+    StatsRequest,
+    StatsResponse,
+    VoteRequest,
+    decode,
+    encode,
+)
+from repro.server.pipeline import (
+    E_AUTH,
+    E_BAD_REQUEST,
+    E_SERVER,
+    HandlerRegistry,
+    RequestContext,
+)
+
+from .test_app import _rpc, _signup
+
+
+class TestLayerStructure:
+    def test_middleware_order(self, server):
+        assert server.pipeline.layer_names() == (
+            "instrumentation",
+            "codec",
+            "errors",
+            "auth",
+            "ratelimit",
+            "handlers",
+        )
+
+    def test_registry_covers_every_request_type(self, server):
+        registered = set(server.pipeline.registry.registered_types)
+        assert PuzzleRequest in registered
+        assert VoteRequest in registered
+        assert len(registered) == 12
+
+    def test_run_and_run_message_agree(self, server):
+        over_wire = decode(server.handle_bytes("host", encode(PuzzleRequest())))
+        in_process = server.handle("host", PuzzleRequest())
+        assert isinstance(over_wire, PuzzleResponse)
+        assert isinstance(in_process, PuzzleResponse)
+
+    def test_request_ids_are_unique(self, server):
+        first = server.pipeline.run_message("host", PuzzleRequest())
+        second = server.pipeline.run_message("host", PuzzleRequest())
+        assert isinstance(first, PuzzleResponse)
+        assert isinstance(second, PuzzleResponse)
+        assert first.nonce != second.nonce
+
+
+class TestErrorMiddleware:
+    def test_raising_handler_becomes_server_error(self, server):
+        """Regression: a buggy handler must not escape to the transport."""
+
+        def exploding(ctx):
+            raise KeyError("handler bug")
+
+        server.pipeline.registry.register(StatsRequest, exploding)
+        session = _signup(server)
+        response = _rpc(server, StatsRequest(session=session))
+        assert isinstance(response, ErrorResponse)
+        assert response.code == E_SERVER
+        assert "KeyError" in response.detail
+
+    def test_raising_handler_never_raises_from_handle_bytes(self, server):
+        def exploding(ctx):
+            raise ZeroDivisionError("boom")
+
+        server.pipeline.registry.register(StatsRequest, exploding)
+        session = _signup(server)
+        # Must return bytes, not raise — the transport loop depends on it.
+        raw = server.handle_bytes("host", encode(StatsRequest(session=session)))
+        assert decode(raw).code == E_SERVER
+
+    def test_domain_errors_keep_stable_codes(self, server):
+        response = _rpc(
+            server, VoteRequest(session="bogus", software_id="x", score=5)
+        )
+        assert response.code == E_AUTH
+
+
+class TestAuthMiddleware:
+    def test_username_annotated_on_context(self, server):
+        session = _signup(server)
+        seen = {}
+
+        def spy(ctx):
+            seen["username"] = ctx.username
+            return OkResponse()
+
+        server.pipeline.registry.register(StatsRequest, spy)
+        _rpc(server, StatsRequest(session=session))
+        assert seen["username"] == "alice"
+
+    def test_pre_auth_messages_skip_authentication(self, server):
+        # No account exists yet, but the puzzle request sails through.
+        response = server.handle("host", PuzzleRequest())
+        assert isinstance(response, PuzzleResponse)
+
+    def test_unknown_message_is_bad_request_not_auth_failure(self, server):
+        # A session-bearing *response* type has no handler; the pipeline
+        # must refuse it as bad-request without touching the session.
+        response = _rpc(server, OkResponse(detail="confused"))
+        assert response.code == E_BAD_REQUEST
+
+
+class TestInstrumentation:
+    def test_counts_by_message_type(self, server):
+        server.handle("host", PuzzleRequest())
+        server.handle("host", PuzzleRequest())
+        snapshot = server.pipeline_stats()
+        assert snapshot["requests_by_type"]["PuzzleRequest"]["count"] == 2
+        assert snapshot["total_requests"] == 2
+
+    def test_error_codes_counted(self, server):
+        _rpc(server, VoteRequest(session="bogus", software_id="x", score=5))
+        snapshot = server.pipeline_stats()
+        assert snapshot["errors_by_code"][E_AUTH] == 1
+        assert snapshot["total_errors"] == 1
+
+    def test_undecodable_bytes_are_counted(self, server):
+        server.handle_bytes("evil", b"<<<not xml")
+        snapshot = server.pipeline_stats()
+        assert snapshot["requests_by_type"]["<undecodable>"]["count"] == 1
+        assert snapshot["errors_by_code"][E_BAD_REQUEST] == 1
+
+    def test_latency_aggregates_present(self, server):
+        server.handle("host", PuzzleRequest())
+        stats = server.pipeline_stats()["requests_by_type"]["PuzzleRequest"]
+        assert stats["mean_latency_ms"] >= 0.0
+        assert stats["max_latency_ms"] >= stats["mean_latency_ms"]
+
+    def test_reset(self, server):
+        server.handle("host", PuzzleRequest())
+        server.metrics.reset()
+        assert server.pipeline_stats()["total_requests"] == 0
+
+
+class TestHandlerRegistry:
+    def test_dispatch_unknown_type(self):
+        registry = HandlerRegistry()
+        ctx = RequestContext(source="host", request=PuzzleRequest())
+        registry.dispatch(ctx)
+        assert isinstance(ctx.response, ErrorResponse)
+        assert ctx.response.code == E_BAD_REQUEST
+
+    def test_message_type_of_undecoded_context(self):
+        ctx = RequestContext(source="host")
+        assert ctx.message_type == "<undecodable>"
+
+
+class TestStatsEndpointStillWorks:
+    def test_stats_response_unchanged(self, server):
+        session = _signup(server)
+        response = _rpc(server, StatsRequest(session=session))
+        assert isinstance(response, StatsResponse)
+        assert response.members >= 1
