@@ -7,6 +7,7 @@ framing and a real socket round-trip, single-threaded and with eight
 concurrent clients.
 """
 
+import os
 import random
 import threading
 import time
@@ -14,12 +15,36 @@ import time
 from benchmarks.exhibits import record_exhibit, run_once
 from repro.analysis import render_table
 from repro.clock import SimClock
+from repro.core import ReputationEngine
 from repro.net.tcp import TcpClient, TcpTransportServer
-from repro.protocol import QuerySoftwareRequest, encode
-from repro.server import ReputationServer
+from repro.protocol import QuerySoftwareRequest, VoteRequest, encode
+from repro.server import ReputationServer, VoteGate
+from repro.storage import Database
 
-REQUESTS_PER_WORKER = 250
+#: CI smoke mode (BENCH_SMOKE=1): a tiny workload that exercises every
+#: code path and still renders the exhibits, but proves nothing about
+#: speed — the speedup acceptance assertion is skipped.
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+REQUESTS_PER_WORKER = 25 if SMOKE else 250
 THREAD_COUNTS = (1, 8)
+
+# -- read-heavy scenario (P2) ------------------------------------------------
+
+#: 95% queries / 5% votes: every 20th request is a vote.
+VOTE_EVERY = 20
+N_BENCH_SOFTWARE = 25
+SEED_VOTERS = 6
+MAX_WORKERS = max(THREAD_COUNTS)
+
+#: (label, exclusive_lock, score_cache_size) — the PR1 baseline is the
+#: engine-wide RLock with no server-side cache.
+READ_HEAVY_CONFIGS = (
+    ("PR1: rlock, no cache", True, 0),
+    ("rwlock, no cache", False, 0),
+    ("rwlock + epoch cache", False, 65536),
+)
+
+BENCH_SOFTWARE_IDS = [("%02x" % index) * 20 for index in range(N_BENCH_SOFTWARE)]
 
 
 def _make_server() -> ReputationServer:
@@ -107,5 +132,166 @@ def test_pipeline_throughput(benchmark):
         assert rate > 0
 
 
+# ---------------------------------------------------------------------------
+# P2: the read path — reader-writer locking + the epoch score cache
+# ---------------------------------------------------------------------------
+
+def _make_read_heavy_server(
+    exclusive_lock: bool, score_cache_size: int
+) -> tuple:
+    """A server with realistically expensive lookups, plus worker sessions.
+
+    Every query assembles vendor scores (a walk over the vendor's whole
+    catalogue) and trust-ranked comments, so the read path has real work
+    to either repeat per request (PR1) or serve from the epoch cache.
+    """
+    engine = ReputationEngine(
+        database=Database(exclusive_lock=exclusive_lock), clock=SimClock()
+    )
+    server = ReputationServer(
+        engine=engine,
+        puzzle_difficulty=0,
+        rng=random.Random(11),
+        score_cache_size=score_cache_size,
+    )
+    server.gate = VoteGate(server.engine, burst=10_000.0)
+
+    def signup(name: str) -> None:
+        token = server.accounts.register(name, "password", f"{name}@x.org")
+        server.accounts.activate(name, token)
+        server.engine.enroll_user(name)
+
+    for voter in range(SEED_VOTERS):
+        signup(f"seed{voter}")
+    for software_index, software_id in enumerate(BENCH_SOFTWARE_IDS):
+        engine.register_software(
+            software_id=software_id,
+            file_name=f"app{software_index}.exe",
+            file_size=4096 + software_index,
+            vendor=f"vendor{software_index % 4}",
+            version="1.0",
+        )
+        for voter in range(SEED_VOTERS):
+            engine.cast_vote(
+                f"seed{voter}",
+                software_id,
+                (voter + software_index) % 10 + 1,
+            )
+        for comment_index in range(4):
+            engine.add_comment(
+                f"seed{(software_index + comment_index) % SEED_VOTERS}",
+                software_id,
+                f"observation {comment_index} about app {software_index}",
+            )
+    server.clock.advance(86400)
+    server.run_daily_batch()
+
+    sessions = []
+    for worker in range(MAX_WORKERS):
+        signup(f"w{worker}")
+        sessions.append(server.accounts.login(f"w{worker}", "password"))
+    return server, sessions
+
+
+def _read_heavy_payloads(session: str) -> list:
+    """One worker's pre-encoded 95/5 query/vote request stream."""
+    payloads = []
+    votes_cast = 0
+    for index in range(REQUESTS_PER_WORKER):
+        if (index + 1) % VOTE_EVERY == 0:
+            payloads.append(
+                encode(
+                    VoteRequest(
+                        session=session,
+                        software_id=BENCH_SOFTWARE_IDS[
+                            votes_cast % N_BENCH_SOFTWARE
+                        ],
+                        score=votes_cast % 10 + 1,
+                    )
+                )
+            )
+            votes_cast += 1
+        else:
+            software_index = index % N_BENCH_SOFTWARE
+            payloads.append(
+                encode(
+                    QuerySoftwareRequest(
+                        session=session,
+                        software_id=BENCH_SOFTWARE_IDS[software_index],
+                        file_name=f"app{software_index}.exe",
+                        file_size=4096 + software_index,
+                        vendor=f"vendor{software_index % 4}",
+                        version="1.0",
+                    )
+                )
+            )
+    return payloads
+
+
+def run_read_heavy_throughput() -> dict:
+    results = {}
+    for label, exclusive_lock, cache_size in READ_HEAVY_CONFIGS:
+        for workers in THREAD_COUNTS:
+            # A fresh server per run: each worker-user's votes stay
+            # unique, and no run inherits another's warm cache.
+            server, sessions = _make_read_heavy_server(
+                exclusive_lock, cache_size
+            )
+            streams = [
+                _read_heavy_payloads(session) for session in sessions[:workers]
+            ]
+            barrier = threading.Barrier(workers + 1)
+
+            def worker(stream) -> None:
+                barrier.wait()
+                for payload in stream:
+                    server.handle_bytes("bench-host", payload)
+
+            threads = [
+                threading.Thread(target=worker, args=(stream,))
+                for stream in streams
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            results[(label, workers)] = (
+                workers * REQUESTS_PER_WORKER
+            ) / elapsed
+
+    speedup = (
+        results[("rwlock + epoch cache", 8)] / results[("PR1: rlock, no cache", 8)]
+    )
+    rows = [
+        [label, workers, f"{results[(label, workers)]:,.0f}"]
+        for label, __, __ in READ_HEAVY_CONFIGS
+        for workers in THREAD_COUNTS
+    ]
+    rendered = render_table(
+        headers=["configuration", "threads", "req/s"],
+        rows=rows,
+        title="Read-heavy throughput (95% query / 5% vote, in-process)",
+    )
+    rendered += (
+        f"\nrwlock + epoch cache vs PR1 baseline at 8 threads: {speedup:.1f}x"
+    )
+    return {"rendered": rendered, "results": results, "speedup": speedup}
+
+
+def test_read_heavy_throughput(benchmark):
+    result = run_once(benchmark, run_read_heavy_throughput)
+    record_exhibit("P2: read-heavy throughput", result["rendered"])
+    for rate in result["results"].values():
+        assert rate > 0
+    # The acceptance bar for this PR's read path (meaningless on the
+    # tiny smoke workload, where fixed costs dominate).
+    if not SMOKE:
+        assert result["speedup"] >= 2.0
+
+
 if __name__ == "__main__":
     print(run_pipeline_throughput()["rendered"])
+    print(run_read_heavy_throughput()["rendered"])

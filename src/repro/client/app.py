@@ -31,6 +31,9 @@ from ..protocol import (
     LoginResponse,
     PuzzleRequest,
     PuzzleResponse,
+    QuerySoftwareBatchRequest,
+    QuerySoftwareBatchResponse,
+    QuerySoftwareItem,
     QuerySoftwareRequest,
     RegisterRequest,
     RegisterResponse,
@@ -76,6 +79,8 @@ class ClientStats:
     offline_dialogs: int = 0
     cache_hits: int = 0
     server_queries: int = 0
+    batch_queries: int = 0
+    batched_lookups: int = 0
 
 
 @dataclass(frozen=True)
@@ -278,6 +283,54 @@ class ReputationClient:
                 self.cache.put(response, request.timestamp)
             return response
         return None
+
+    def prefetch_scores(self, executables, now: int) -> int:
+        """Warm the score cache for many pending launches in one round trip.
+
+        Coalesces every not-yet-cached executable into a single
+        :class:`QuerySoftwareBatchRequest` — the startup scenario where
+        a burst of autostart programs would otherwise each pay a full
+        round trip.  Returns the number of lookups actually batched.
+        Network failure degrades gracefully: the hook falls back to its
+        per-launch query (or an offline dialog), exactly as before.
+        """
+        if self._session is None:
+            return 0
+        items = []
+        for executable in executables:
+            if self.config.score_cache_ttl > 0 and self.cache.peek(
+                executable.software_id, now
+            ):
+                continue
+            items.append(
+                QuerySoftwareItem(
+                    software_id=executable.software_id,
+                    file_name=executable.file_name,
+                    file_size=executable.file_size,
+                    vendor=executable.vendor,
+                    version=executable.version,
+                )
+            )
+        if not items:
+            return 0
+        try:
+            response = self._rpc(
+                QuerySoftwareBatchRequest(
+                    session=self._session, items=tuple(items)
+                )
+            )
+        except NetworkError:
+            return 0
+        if not isinstance(response, QuerySoftwareBatchResponse):
+            return 0
+        self.stats.batch_queries += 1
+        self.stats.batched_lookups += len(items)
+        self.cache.observe_epoch(response.epoch)
+        if self.config.score_cache_ttl > 0:
+            for info in response.results:
+                if isinstance(info, SoftwareInfoResponse) and info.known:
+                    self.cache.put(info, now)
+        return len(items)
 
     def _build_facts(
         self,

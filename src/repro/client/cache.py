@@ -6,10 +6,22 @@ queries.  A small TTL cache is the practical middle ground: scores only
 move at the 24-hour batch anyway, so re-querying the server on every
 double-click of the same program buys nothing.  The TTL defaults to the
 aggregation period for exactly that reason.
+
+The cache is also **epoch-aware**: every server answer carries the
+aggregation epoch it was built at.  When an answer arrives from a newer
+epoch, every entry cached under an older epoch is dropped immediately —
+the batch has republished scores, so waiting out the TTL would serve
+stale ratings.  (Epoch 0 means "the server never published scores or
+predates epochs"; such entries rely on the TTL alone.)
+
+Eviction is LRU over an :class:`~collections.OrderedDict` — O(1) per
+operation, where the previous implementation scanned every entry for
+the oldest timestamp on each insert into a full cache.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -21,10 +33,11 @@ from ..protocol import SoftwareInfoResponse
 class _CacheEntry:
     info: SoftwareInfoResponse
     stored_at: int
+    epoch: int
 
 
 class ScoreCache:
-    """A TTL cache of :class:`SoftwareInfoResponse` keyed by software ID."""
+    """A TTL + epoch LRU cache of :class:`SoftwareInfoResponse` records."""
 
     def __init__(self, ttl: int = SECONDS_PER_DAY, max_entries: int = 4096):
         if ttl < 0:
@@ -33,29 +46,71 @@ class ScoreCache:
             raise ValueError("cache needs room for at least one entry")
         self.ttl = ttl
         self.max_entries = max_entries
-        self._entries: dict[str, _CacheEntry] = {}
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        #: Highest aggregation epoch seen in any server answer.
+        self._epoch = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def observe_epoch(self, epoch: int) -> None:
+        """Note a server-reported epoch; advancing it drops stale entries."""
+        if epoch <= self._epoch:
+            return
+        self._epoch = epoch
+        stale = [
+            software_id
+            for software_id, entry in self._entries.items()
+            if 0 < entry.epoch < epoch
+        ]
+        for software_id in stale:
+            del self._entries[software_id]
 
     def get(self, software_id: str, now: int) -> Optional[SoftwareInfoResponse]:
         """A fresh cached answer, or ``None`` (and a recorded miss)."""
         entry = self._entries.get(software_id)
+        if entry is not None and 0 < entry.epoch < self._epoch:
+            # A newer answer proved the batch ran since this was stored.
+            del self._entries[software_id]
+            entry = None
         if entry is None or now - entry.stored_at >= self.ttl:
             if entry is not None:
                 del self._entries[software_id]
             self.misses += 1
             return None
+        self._entries.move_to_end(software_id)
         self.hits += 1
         return entry.info
 
     def put(self, info: SoftwareInfoResponse, now: int) -> None:
-        """Cache a server answer (evicting the oldest entry when full)."""
-        if len(self._entries) >= self.max_entries and info.software_id not in self._entries:
-            oldest = min(
-                self._entries, key=lambda key: self._entries[key].stored_at
-            )
-            del self._entries[oldest]
-        self._entries[info.software_id] = _CacheEntry(info, now)
+        """Cache a server answer (evicting the LRU entry when full)."""
+        epoch = getattr(info, "epoch", 0)
+        self.observe_epoch(epoch)
+        if 0 < epoch < self._epoch:
+            return  # an answer from a bygone epoch is already stale
+        if info.software_id in self._entries:
+            del self._entries[info.software_id]
+        elif len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[info.software_id] = _CacheEntry(info, now, epoch)
+
+    def peek(self, software_id: str, now: int) -> bool:
+        """True if a fresh entry exists — without touching the counters.
+
+        Used by the batch prefetcher to decide which lookups still need
+        the wire; only real lookups should move the hit/miss stats.
+        """
+        entry = self._entries.get(software_id)
+        if entry is None:
+            return False
+        if 0 < entry.epoch < self._epoch:
+            return False
+        return now - entry.stored_at < self.ttl
 
     def invalidate(self, software_id: str) -> None:
         """Drop one entry (e.g. right after the user voted on it)."""

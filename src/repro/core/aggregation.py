@@ -18,10 +18,20 @@ The aggregator supports two modes, compared in experiment E10:
 * **full** — recompute every rated software (the paper's nightly batch);
 * **incremental** — recompute only software whose vote set changed since
   the previous run (the rating book's dirty set).
+
+Both modes are durable: ``last_run`` and the monotonically increasing
+**aggregation epoch** live in a meta table (and the dirty set in its own
+table, see :mod:`.ratings`), so an incremental run by a freshly
+constructed aggregator on a recovered database picks up exactly where
+the previous process stopped.  The epoch bumps whenever a batch
+republishes at least one score; it is the cache-invalidation key for the
+server-side score cache and the clients' epoch-aware caches — an
+unchanged epoch certifies that every published score is unchanged.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Optional
 
@@ -31,6 +41,22 @@ from .ratings import RatingBook
 from .trust import TrustLedger
 
 SCORES_SCHEMA_NAME = "software_scores"
+AGGREGATION_META_SCHEMA_NAME = "aggregation_meta"
+
+_META_LAST_RUN = "last_run"
+_META_EPOCH = "epoch"
+
+
+def aggregation_meta_schema() -> Schema:
+    """Key/value rows (JSON-encoded values) for batch bookkeeping."""
+    return Schema(
+        name=AGGREGATION_META_SCHEMA_NAME,
+        columns=[
+            Column("key", ColumnType.TEXT),
+            Column("value", ColumnType.TEXT),
+        ],
+        primary_key="key",
+    )
 
 
 def scores_schema() -> Schema:
@@ -66,6 +92,8 @@ class AggregationReport:
     software_recomputed: int
     votes_considered: int
     mode: str
+    #: The aggregation epoch in force after this run.
+    epoch: int = 0
 
 
 class Aggregator:
@@ -86,7 +114,10 @@ class Aggregator:
             self._scores = database.table(SCORES_SCHEMA_NAME)
         else:
             self._scores = database.create_table(scores_schema())
-        self._last_run: Optional[int] = None
+        if database.has_table(AGGREGATION_META_SCHEMA_NAME):
+            self._meta = database.table(AGGREGATION_META_SCHEMA_NAME)
+        else:
+            self._meta = database.create_table(aggregation_meta_schema())
 
     # -- reading scores ------------------------------------------------------
 
@@ -148,15 +179,37 @@ class Aggregator:
             computed_at=row["computed_at"],
         )
 
+    # -- durable batch bookkeeping ----------------------------------------
+
+    def _meta_get(self, key: str):
+        row = self._meta.get_or_none(key)
+        return None if row is None else json.loads(row["value"])
+
+    def _meta_put(self, key: str, value) -> None:
+        self._meta.upsert({"key": key, "value": json.dumps(value)})
+
     @property
     def last_run(self) -> Optional[int]:
-        return self._last_run
+        """When the last batch ran — read from the meta table, so a
+        freshly constructed aggregator on a recovered database sees the
+        previous process's runs."""
+        return self._meta_get(_META_LAST_RUN)
+
+    @property
+    def epoch(self) -> int:
+        """The aggregation epoch: bumped whenever scores are republished.
+
+        Starts at 0 (nothing ever published).  Caches key on it: equal
+        epochs guarantee equal published scores.
+        """
+        return self._meta_get(_META_EPOCH) or 0
 
     def is_due(self, now: int) -> bool:
         """True if a batch should run (period elapsed or never run)."""
-        if self._last_run is None:
+        last_run = self.last_run
+        if last_run is None:
             return True
-        return now - self._last_run >= self.period_seconds
+        return now - last_run >= self.period_seconds
 
     # -- running the batch ------------------------------------------------------
 
@@ -175,6 +228,7 @@ class Aggregator:
             self._ratings.drain_dirty()
             mode = "full"
         votes_considered = 0
+        published = 0
         for software_id in sorted(targets):
             votes = self._ratings.votes_for(software_id)
             votes_considered += len(votes)
@@ -191,12 +245,18 @@ class Aggregator:
                     "computed_at": now,
                 }
             )
-        self._last_run = now
+            published += 1
+        self._meta_put(_META_LAST_RUN, now)
+        if published:
+            # Scores moved: bump the epoch so every epoch-keyed cache
+            # (server-side and client-side) discards its entries.
+            self._meta_put(_META_EPOCH, self.epoch + 1)
         return AggregationReport(
             ran_at=now,
             software_recomputed=len(targets),
             votes_considered=votes_considered,
             mode=mode,
+            epoch=self.epoch,
         )
 
     def _weighted_score(self, votes: list) -> Optional[tuple]:

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import DuplicateKeyError, DuplicateVoteError, ServerError
+from ..errors import (
+    DuplicateKeyError,
+    DuplicateVoteError,
+    RowNotFoundError,
+    ServerError,
+)
 from ..storage import Column, ColumnType, Database, Schema
 
 #: The paper's rating scale.
@@ -19,6 +24,36 @@ MIN_SCORE = 1
 MAX_SCORE = 10
 
 VOTES_SCHEMA_NAME = "votes"
+DIRTY_SCHEMA_NAME = "aggregation_dirty"
+
+
+def _escape_key_part(part: str) -> str:
+    """Escape the vote-key separator so keys are collision-free.
+
+    Without this, user ``a:b`` voting on ``c`` and user ``a`` voting on
+    ``b:c`` would both produce the key ``a:b:c``.  The escape character
+    is escaped first, so the mapping is injective.
+    """
+    return part.replace("\\", "\\\\").replace(":", "\\:")
+
+
+def vote_key(username: str, software_id: str) -> str:
+    """The primary key of one (user, software) vote."""
+    return f"{_escape_key_part(username)}:{_escape_key_part(software_id)}"
+
+
+def dirty_schema() -> Schema:
+    """Software touched since the last drain, one row per software.
+
+    A table (not an in-memory set) so the incremental aggregation mode
+    survives restart: the rows travel through the WAL and come back on
+    :meth:`~repro.storage.Database.recover`.
+    """
+    return Schema(
+        name=DIRTY_SCHEMA_NAME,
+        columns=[Column("software_id", ColumnType.TEXT)],
+        primary_key="software_id",
+    )
 
 
 def votes_schema() -> Schema:
@@ -52,7 +87,7 @@ class Vote:
 
     @property
     def vote_id(self) -> str:
-        return f"{self.username}:{self.software_id}"
+        return vote_key(self.username, self.software_id)
 
 
 class RatingBook:
@@ -69,8 +104,12 @@ class RatingBook:
             self._table.create_index("username", kind="hash")
         if not self._table.has_index("timestamp"):
             self._table.create_index("timestamp", kind="sorted")
-        #: software IDs with votes added since the last aggregation run.
-        self._dirty: set = set()
+        #: software IDs with votes added since the last aggregation run,
+        #: kept in a WAL-logged table so incremental runs survive restart.
+        if database.has_table(DIRTY_SCHEMA_NAME):
+            self._dirty_table = database.table(DIRTY_SCHEMA_NAME)
+        else:
+            self._dirty_table = database.create_table(dirty_schema())
 
     def cast(self, username: str, software_id: str, score: int, now: int) -> Vote:
         """Record a vote; raises :class:`DuplicateVoteError` on a repeat."""
@@ -93,11 +132,11 @@ class RatingBook:
             raise DuplicateVoteError(
                 f"user {username!r} has already voted on {software_id!r}"
             ) from None
-        self._dirty.add(software_id)
+        self._mark_dirty(software_id)
         return vote
 
     def has_voted(self, username: str, software_id: str) -> bool:
-        return f"{username}:{software_id}" in self._table
+        return vote_key(username, software_id) in self._table
 
     def votes_for(self, software_id: str) -> list:
         """All votes on *software_id*, as :class:`Vote` records."""
@@ -139,11 +178,28 @@ class RatingBook:
 
     # -- dirty tracking for incremental aggregation ------------------------
 
+    def _mark_dirty(self, software_id: str) -> None:
+        if software_id in self._dirty_table:
+            return
+        try:
+            self._dirty_table.insert({"software_id": software_id})
+        except DuplicateKeyError:
+            pass  # a concurrent vote on the same software beat us to it
+
     def dirty_software_ids(self) -> set:
         """Software touched since the dirty set was last drained."""
-        return set(self._dirty)
+        return {row["software_id"] for row in self._dirty_table.all()}
 
     def drain_dirty(self) -> set:
-        """Return and clear the dirty set (called by the aggregator)."""
-        drained, self._dirty = self._dirty, set()
+        """Return and clear the dirty set (called by the aggregator).
+
+        Votes landing *during* the drain stay marked for the next run:
+        only the snapshot taken here is deleted.
+        """
+        drained = set(self._dirty_table.primary_keys())
+        for software_id in drained:
+            try:
+                self._dirty_table.delete(software_id)
+            except RowNotFoundError:  # pragma: no cover - concurrent drain
+                pass
         return drained

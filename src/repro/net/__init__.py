@@ -14,6 +14,7 @@ from .transport import Network, Endpoint, DeliveryStats, LatencyModel
 from .anonymity import AnonymityNetwork, Circuit
 from .tcp import (
     MAX_FRAME_BYTES,
+    CoalescingLookupClient,
     TcpClient,
     TcpTransportServer,
     read_frame,
@@ -29,6 +30,7 @@ __all__ = [
     "Circuit",
     "TcpTransportServer",
     "TcpClient",
+    "CoalescingLookupClient",
     "MAX_FRAME_BYTES",
     "read_frame",
     "write_frame",

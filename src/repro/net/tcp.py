@@ -170,6 +170,8 @@ class TcpClient:
     """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0):
+        #: Frames sent (== request/response round trips on this socket).
+        self.round_trips = 0
         try:
             self._sock: Optional[socket.socket] = socket.create_connection(
                 (host, port), timeout=timeout
@@ -184,6 +186,7 @@ class TcpClient:
         if self._sock is None:
             raise EndpointUnreachableError("client connection is closed")
         write_frame(self._sock, payload)
+        self.round_trips += 1
         response = read_frame(self._sock)
         if response is None:
             raise EndpointUnreachableError("server closed the connection")
@@ -197,6 +200,124 @@ class TcpClient:
                 self._sock = None
 
     def __enter__(self) -> "TcpClient":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Coalescing lookups
+# ---------------------------------------------------------------------------
+
+class _LookupSlot:
+    """One caller's place in a pending batch."""
+
+    __slots__ = ("result", "error", "done")
+
+    def __init__(self):
+        self.result = None
+        self.error: Optional[Exception] = None
+        self.done = False
+
+
+class CoalescingLookupClient:
+    """Thread-safe software lookups that coalesce into batch queries.
+
+    Unlike :class:`TcpClient`, many threads may call :meth:`query`
+    concurrently on one instance.  Callers enqueue their lookup, then
+    race for the connection: the winner becomes the *leader* and ships
+    **everything** pending — its own item plus every item that queued
+    while the previous round trip was in flight — as a single
+    ``QuerySoftwareBatchRequest`` frame.  The losers wake up to find
+    their answer already delivered.  Under concurrency, N lookups cost
+    far fewer than N round trips; sequential use degrades to exactly one
+    item per batch, i.e. the plain client's behaviour.
+
+    This sits one layer above the frame codec: it is the only part of
+    this module that knows the protocol vocabulary.
+    """
+
+    def __init__(self, host: str, port: int, session: str, timeout: float = 10.0):
+        from ..protocol import decode  # local: keep frame codec usable alone
+
+        self._decode = decode
+        self._client = TcpClient(host, port, timeout=timeout)
+        self._session = session
+        #: Guards the pending queue.
+        self._mutex = threading.Lock()
+        #: Serialises wire round trips; the holder is the batch leader.
+        self._io_lock = threading.Lock()
+        self._pending: list = []  # (QuerySoftwareItem, _LookupSlot)
+        self.batches_sent = 0
+        self.items_sent = 0
+
+    @property
+    def round_trips(self) -> int:
+        return self._client.round_trips
+
+    def query(self, item):
+        """Look up one :class:`~repro.protocol.QuerySoftwareItem`.
+
+        Returns the per-item :class:`~repro.protocol.SoftwareInfoResponse`
+        (or raises if the server refused the whole batch).
+        """
+        slot = _LookupSlot()
+        with self._mutex:
+            self._pending.append((item, slot))
+        with self._io_lock:
+            if not slot.done:
+                self._ship_pending()
+        if slot.error is not None:
+            raise slot.error
+        return slot.result
+
+    def _ship_pending(self) -> None:
+        """Leader duty: send every queued item as one batch frame."""
+        from ..protocol import (
+            ErrorResponse,
+            QuerySoftwareBatchRequest,
+            QuerySoftwareBatchResponse,
+            encode,
+        )
+
+        with self._mutex:
+            batch, self._pending = self._pending, []
+        if not batch:
+            return
+        request = QuerySoftwareBatchRequest(
+            session=self._session,
+            items=tuple(item for item, _ in batch),
+        )
+        try:
+            response = self._decode(self._client.request(encode(request)))
+        except Exception as exc:
+            for _, slot in batch:
+                slot.error = exc
+                slot.done = True
+            return
+        self.batches_sent += 1
+        self.items_sent += len(batch)
+        if isinstance(response, QuerySoftwareBatchResponse):
+            for (_, slot), info in zip(batch, response.results):
+                slot.result = info
+                slot.done = True
+        else:
+            detail = (
+                f"{response.code}: {response.detail}"
+                if isinstance(response, ErrorResponse)
+                else f"unexpected response {type(response).__name__}"
+            )
+            for _, slot in batch:
+                slot.error = EndpointUnreachableError(
+                    f"batch lookup refused — {detail}"
+                )
+                slot.done = True
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "CoalescingLookupClient":
         return self
 
     def __exit__(self, exc_type, exc, traceback) -> None:

@@ -17,6 +17,9 @@ from .messages import (
     LoginRequest,
     LoginResponse,
     QuerySoftwareRequest,
+    QuerySoftwareItem,
+    QuerySoftwareBatchRequest,
+    QuerySoftwareBatchResponse,
     SoftwareInfoResponse,
     CommentInfo,
     VoteRequest,
@@ -45,6 +48,9 @@ __all__ = [
     "LoginRequest",
     "LoginResponse",
     "QuerySoftwareRequest",
+    "QuerySoftwareItem",
+    "QuerySoftwareBatchRequest",
+    "QuerySoftwareBatchResponse",
     "SoftwareInfoResponse",
     "CommentInfo",
     "VoteRequest",

@@ -161,6 +161,47 @@ class SoftwareInfoResponse(Message):
     comments: tuple = ()
     reported_behaviors: tuple = ()
     analyzed: bool = False
+    #: The server's aggregation epoch when this answer was built.  Equal
+    #: epochs guarantee equal published scores, so epoch-aware caches
+    #: (client and server side) key their freshness on it.  0 means the
+    #: server never published scores (or predates epochs).
+    epoch: int = 0
+
+
+@message("query-software-item")
+@dataclass(frozen=True)
+class QuerySoftwareItem(Message):
+    """One executable inside a batched lookup (no session of its own)."""
+
+    software_id: str
+    file_name: str
+    file_size: int
+    vendor: str | None = None
+    version: str | None = None
+
+
+@message("query-software-batch-request")
+@dataclass(frozen=True)
+class QuerySoftwareBatchRequest(Message):
+    """Many pre-execution lookups in one round trip.
+
+    The client pauses a process launch on every lookup (Sec. 2.1), so
+    coalescing N pending digests into one frame turns N network round
+    trips into one.  Results come back in item order; a per-item
+    ``known=False`` response is the not-found marker.
+    """
+
+    session: str
+    items: tuple = ()
+
+
+@message("query-software-batch-response")
+@dataclass(frozen=True)
+class QuerySoftwareBatchResponse(Message):
+    """Per-item answers, in request order, plus the server's epoch."""
+
+    results: tuple = ()
+    epoch: int = 0
 
 
 # ---------------------------------------------------------------------------

@@ -121,11 +121,7 @@ class AccountManager:
         e-mail channel is the caller's response path; only its hash is
         kept, like a password.
         """
-        username = username.strip()
-        if not username or len(username) > 64:
-            raise RegistrationError("username must be 1-64 characters")
-        if is_bootstrap_user(username):
-            raise RegistrationError("username prefix is reserved")
+        username = _validate_username(username)
         if not password or len(password) < 4:
             raise RegistrationError("password must be at least 4 characters")
         if "@" not in email or email.startswith("@") or email.endswith("@"):
@@ -174,11 +170,7 @@ class AccountManager:
         """
         from ..crypto.pseudonyms import verify_credential
 
-        username = username.strip()
-        if not username or len(username) > 64:
-            raise RegistrationError("username must be 1-64 characters")
-        if is_bootstrap_user(username):
-            raise RegistrationError("username prefix is reserved")
+        username = _validate_username(username)
         if not password or len(password) < 4:
             raise RegistrationError("password must be at least 4 characters")
         public_key = self._issuers.get(credential.issuer_name)
@@ -282,6 +274,21 @@ class AccountManager:
     def stored_column_names(self) -> tuple:
         """What the database actually holds per user (privacy audits)."""
         return self._table.schema.column_names
+
+
+def _validate_username(username: str) -> str:
+    """Shared username rules for both registration paths."""
+    username = username.strip()
+    if not username or len(username) > 64:
+        raise RegistrationError("username must be 1-64 characters")
+    if is_bootstrap_user(username):
+        raise RegistrationError("username prefix is reserved")
+    # ':' is the vote-key separator; the key itself escapes it, but a
+    # colon-free namespace keeps every derived identifier (log lines,
+    # vote keys, per-user metrics labels) trivially parseable.
+    if ":" in username:
+        raise RegistrationError("username may not contain ':'")
+    return username
 
 
 def _token_hash(token: str) -> str:

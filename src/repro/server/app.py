@@ -36,6 +36,8 @@ from ..protocol import (
     OkResponse,
     PuzzleRequest,
     PuzzleResponse,
+    QuerySoftwareBatchRequest,
+    QuerySoftwareBatchResponse,
     QuerySoftwareRequest,
     RegisterRequest,
     RegisterResponse,
@@ -49,8 +51,10 @@ from ..protocol import (
     VendorQueryRequest,
     VendorInfoResponse,
     VoteRequest,
+    encode,
 )
 from .accounts import AccountManager
+from .cache import DEFAULT_MAX_ENTRIES, ScoreResponseCache
 from .pipeline import (
     E_ACTIVATION,
     E_AUTH,
@@ -114,6 +118,7 @@ class ReputationServer:
         runtime_analysis: bool = False,
         analysis_delay: int = 0,
         adaptive_puzzles: bool = False,
+        score_cache_size: int = DEFAULT_MAX_ENTRIES,
     ):
         rng = rng or random.Random(0)
         self.engine = engine or ReputationEngine(clock=clock)
@@ -143,6 +148,9 @@ class ReputationServer:
         self.gate = VoteGate(self.engine)
         # Registrations per origin address: burst of 3, ~6/day sustained.
         self.registration_limiter = RateLimiter(3.0, 6.0 / 86400.0)
+        #: Read-through cache of assembled software-info responses,
+        #: keyed by the aggregation epoch (size 0 disables it).
+        self.score_cache = ScoreResponseCache(max_entries=score_cache_size)
 
         registry = HandlerRegistry()
         for message_type, handler in (
@@ -152,6 +160,7 @@ class ReputationServer:
             (ActivateRequest, self._handle_activate),
             (LoginRequest, self._handle_login),
             (QuerySoftwareRequest, self._handle_query_software),
+            (QuerySoftwareBatchRequest, self._handle_query_software_batch),
             (VoteRequest, self._handle_vote),
             (CommentRequest, self._handle_comment),
             (RemarkRequest, self._handle_remark),
@@ -187,8 +196,11 @@ class ReputationServer:
         return self.pipeline.run_message(source, request)
 
     def pipeline_stats(self) -> dict:
-        """Instrumentation snapshot: per-type counts, error codes, latency."""
-        return self.metrics.snapshot()
+        """Instrumentation snapshot: per-type counts, error codes,
+        latency, and the read-path score-cache effectiveness."""
+        stats = self.metrics.snapshot()
+        stats["score_cache"] = self.score_cache.stats()
+        return stats
 
     # -- account lifecycle ----------------------------------------------------
 
@@ -246,12 +258,65 @@ class ReputationServer:
             vendor=request.vendor,
             version=request.version,
         )
-        return self._software_info(request.software_id)
+        info = self._software_info(request.software_id)
+        if self.score_cache.enabled and info.known:
+            # The encoding dominates a warm read: serve the cached bytes
+            # through the codec's pass-through, encoding each response
+            # exactly once per epoch.
+            wire = self.score_cache.wire_for(request.software_id, info)
+            if wire is None:
+                wire = encode(info)
+                self.score_cache.attach_wire(request.software_id, info, wire)
+            ctx.encoded_response = (info, wire)
+        return info
+
+    def _handle_query_software_batch(self, ctx: RequestContext):
+        """N lookups, one round trip; results come back in item order.
+
+        Per-item not-found is signalled by ``known=False`` on the
+        corresponding :class:`SoftwareInfoResponse`, so a batch of N is
+        answer-for-answer identical to N sequential queries.
+        """
+        request = ctx.request
+        results = []
+        for item in request.items:
+            self.engine.register_software(
+                software_id=item.software_id,
+                file_name=item.file_name,
+                file_size=item.file_size,
+                vendor=item.vendor,
+                version=item.version,
+            )
+            results.append(self._software_info(item.software_id))
+        return QuerySoftwareBatchResponse(
+            results=tuple(results), epoch=self.engine.aggregator.epoch
+        )
 
     def _software_info(self, software_id: str) -> SoftwareInfoResponse:
+        """Read-through: serve from the score cache when the epoch holds.
+
+        Repeated lookups between aggregation batches never touch the
+        storage engine; a batch run bumps the epoch and flushes.
+        """
+        epoch = self.engine.aggregator.epoch
+        cached = self.score_cache.get(software_id, epoch)
+        if cached is not None:
+            return cached
+        info = self._build_software_info(software_id, epoch)
+        if info.known:
+            # Unknown software is not cached: its first query registers
+            # it, so the not-found answer is already stale.
+            self.score_cache.put(software_id, epoch, info)
+        return info
+
+    def _build_software_info(
+        self, software_id: str, epoch: int
+    ) -> SoftwareInfoResponse:
         record = self.engine.vendors.get_or_none(software_id)
         if record is None:
-            return SoftwareInfoResponse(software_id=software_id, known=False)
+            return SoftwareInfoResponse(
+                software_id=software_id, known=False, epoch=epoch
+            )
         published = self.engine.software_reputation(software_id)
         vendor_score = None
         if record.vendor is not None:
@@ -289,6 +354,7 @@ class ReputationServer:
             comments=comments,
             reported_behaviors=reported_behaviors,
             analyzed=analyzed,
+            epoch=epoch,
         )
 
     def _handle_vote(self, ctx: RequestContext):
@@ -301,11 +367,18 @@ class ReputationServer:
         comment = self.gate.add_comment(
             ctx.username, request.software_id, request.text
         )
+        # Comments appear immediately (no epoch bump), so the cached
+        # response for this software is stale right now.
+        self.score_cache.invalidate(request.software_id)
         return OkResponse(detail=f"comment {comment.comment_id} recorded")
 
     def _handle_remark(self, ctx: RequestContext):
         request = ctx.request
         self.gate.add_remark(ctx.username, request.comment_id, request.positive)
+        # The remark changed the comment's visible counters (and the
+        # author's trust, hence comment ranking) for this software.
+        commented = self.engine.comments.get_comment(request.comment_id)
+        self.score_cache.invalidate(commented.software_id)
         return OkResponse(detail="remark recorded")
 
     # -- web-interface queries ---------------------------------------------------
@@ -357,7 +430,10 @@ class ReputationServer:
         runtime-analysis work (driven by the simulation loop)."""
         self.engine.maybe_run_aggregation()
         if self.analysis is not None:
-            self.analysis.process_due(self.clock.now())
+            if self.analysis.process_due(self.clock.now()):
+                # New runtime-analysis evidence changes cached responses
+                # without moving the epoch.
+                self.score_cache.clear()
 
     def submit_sample(self, executable) -> bool:
         """Hand a field sample to the runtime-analysis lab.

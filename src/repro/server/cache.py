@@ -1,0 +1,160 @@
+"""The server-side read-through score cache.
+
+Assembling a :class:`~repro.protocol.SoftwareInfoResponse` is the most
+expensive read in the system: a registry lookup, the published score, a
+vendor-score derivation (which walks every executable of the vendor),
+and the trust-ranked comment list.  Scores only move when the
+aggregation batch publishes — signalled by the aggregator's epoch — so
+between batches the assembled response can be served straight from
+memory.
+
+Invalidation is two-tier:
+
+* **epoch change** — the whole cache empties (every score may have
+  moved);
+* **explicit** — a new comment or remark touches one software between
+  batches, so the handler invalidates just that entry.
+
+The cache is LRU-bounded and thread-safe; hit/miss/eviction counters
+feed :meth:`~repro.server.app.ReputationServer.pipeline_stats` so the
+instrumentation layer reports read-path effectiveness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..protocol import SoftwareInfoResponse
+
+#: Default entry bound: far above the paper's "well over 2000 rated
+#: software programs", small enough to stay memory-safe at scale.
+DEFAULT_MAX_ENTRIES = 65536
+
+
+class _CachedResponse:
+    """One assembled response, plus (lazily) its wire encoding.
+
+    The XML encoding of a response dwarfs its assembly on a warm cache,
+    so the single-query handler attaches the encoded bytes after the
+    first send and the codec serves them verbatim from then on.
+    """
+
+    __slots__ = ("info", "wire")
+
+    def __init__(self, info: SoftwareInfoResponse):
+        self.info = info
+        self.wire: Optional[bytes] = None
+
+
+class ScoreResponseCache:
+    """Epoch-keyed LRU cache of assembled software-info responses.
+
+    A ``max_entries`` of 0 disables the cache entirely (every ``get``
+    misses, ``put`` is a no-op) — used by benchmarks to measure the
+    uncached path through the same code.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 0:
+            raise ValueError("max_entries cannot be negative")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _CachedResponse] = OrderedDict()
+        self._epoch: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, software_id: str, epoch: int) -> Optional[SoftwareInfoResponse]:
+        """The cached response, or ``None``; an epoch change flushes."""
+        with self._lock:
+            if epoch != self._epoch:
+                # The batch republished scores since our entries were
+                # built: every cached response is potentially stale.
+                self._entries.clear()
+                self._epoch = epoch
+            entry = self._entries.get(software_id)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(software_id)
+            self.hits += 1
+            return entry.info
+
+    def put(self, software_id: str, epoch: int, info: SoftwareInfoResponse) -> None:
+        """Cache one assembled response under the epoch it was built at."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if epoch != self._epoch:
+                self._entries.clear()
+                self._epoch = epoch
+            if software_id in self._entries:
+                self._entries.move_to_end(software_id)
+            elif len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[software_id] = _CachedResponse(info)
+
+    def wire_for(
+        self, software_id: str, info: SoftwareInfoResponse
+    ) -> Optional[bytes]:
+        """The cached encoding of *info*, if this exact object is cached."""
+        with self._lock:
+            entry = self._entries.get(software_id)
+            if entry is not None and entry.info is info:
+                return entry.wire
+            return None
+
+    def attach_wire(
+        self, software_id: str, info: SoftwareInfoResponse, wire: bytes
+    ) -> None:
+        """Remember *info*'s encoding (no-op if the entry moved on)."""
+        with self._lock:
+            entry = self._entries.get(software_id)
+            if entry is not None and entry.info is info:
+                entry.wire = wire
+
+    def invalidate(self, software_id: str) -> None:
+        """Drop one entry (a comment or remark changed it mid-epoch)."""
+        with self._lock:
+            if self._entries.pop(software_id, None) is not None:
+                self.invalidations += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``pipeline_stats()``."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._entries),
+                "epoch": self._epoch if self._epoch is not None else 0,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": (
+                    self.hits / (self.hits + self.misses)
+                    if (self.hits + self.misses)
+                    else 0.0
+                ),
+            }

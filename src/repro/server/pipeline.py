@@ -80,6 +80,11 @@ class RequestContext:
     request: Optional[object] = None
     response: Optional[object] = None
     raw_response: Optional[bytes] = None
+    #: Optional ``(response_object, wire_bytes)`` pair set by a handler
+    #: that already holds the encoded form (the score cache).  The codec
+    #: only honours it while the response object is *identical* — any
+    #: middleware that swaps the response on the way out voids it.
+    encoded_response: Optional[tuple] = None
     #: Set by the auth middleware for session-bearing requests.
     username: Optional[str] = None
     started: float = 0.0
@@ -150,7 +155,11 @@ class CodecMiddleware(Middleware):
             ctx.response = ErrorResponse(code=E_BAD_REQUEST, detail=str(exc))
         else:
             call_next()
-        ctx.raw_response = encode(ctx.response)
+        cached = ctx.encoded_response
+        if cached is not None and cached[0] is ctx.response:
+            ctx.raw_response = cached[1]
+        else:
+            ctx.raw_response = encode(ctx.response)
 
 
 class ErrorMiddleware(Middleware):

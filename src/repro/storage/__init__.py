@@ -40,6 +40,7 @@ from .query import (
     contains,
     in_set,
 )
+from .locks import ExclusiveLock, LockUpgradeError, ReadWriteLock
 from .transactions import Transaction
 from .wal import WriteAheadLog
 from .engine import Database
@@ -54,6 +55,9 @@ __all__ = [
     "Transaction",
     "WriteAheadLog",
     "Database",
+    "ReadWriteLock",
+    "ExclusiveLock",
+    "LockUpgradeError",
     "and_",
     "or_",
     "not_",

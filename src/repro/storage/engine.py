@@ -9,18 +9,21 @@ Schemas are code, not data: on reopen the caller re-declares its tables
 (with their check constraints, which are Python callables) and then calls
 :meth:`recover` to reload the snapshot and replay the log.
 
-Concurrency: the engine owns one reentrant lock shared by every table it
-creates.  Single-statement reads and mutations serialise on it inside the
-table layer; a :class:`~repro.storage.transactions.Transaction` holds it
+Concurrency: the engine owns one writer-preferring reader–writer lock
+(:class:`~repro.storage.locks.ReadWriteLock`) shared by every table it
+creates.  Single-statement reads take the shared side inside the table
+layer and proceed in parallel; mutations take the exclusive side, and a
+:class:`~repro.storage.transactions.Transaction` holds the exclusive side
 for its whole scope, so parallel server workers can never interleave two
-transactions' mutations or split a WAL commit unit.
+transactions' mutations or split a WAL commit unit.  Passing
+``exclusive_lock=True`` rebuilds the PR 1 discipline (reads serialise
+too) for A/B benchmarks.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import threading
 from typing import Optional
 
 from ..errors import (
@@ -29,6 +32,7 @@ from ..errors import (
     TableNotFoundError,
     TransactionError,
 )
+from .locks import ExclusiveLock, ReadWriteLock
 from .schema import Schema
 from .table import MutationEvent, OP_DELETE, OP_INSERT, OP_UPDATE, Table
 from .transactions import Transaction, invert
@@ -45,11 +49,16 @@ class Database:
     >>> db = Database(directory="/tmp/rep")  # durable (WAL + snapshots)
     """
 
-    def __init__(self, directory: Optional[str] = None):
-        #: Engine-level lock: shared with every table, held for the whole
-        #: scope of a transaction.  Reentrant so nested table operations
-        #: (and observer callbacks) are safe.
-        self._lock = threading.RLock()
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        exclusive_lock: bool = False,
+    ):
+        #: Engine-level reader–writer lock: shared with every table; the
+        #: write side is held for the whole scope of a transaction.  Both
+        #: sides are reentrant so nested table operations (and observer
+        #: callbacks) are safe.
+        self._lock = ExclusiveLock() if exclusive_lock else ReadWriteLock()
         self._tables: dict[str, Table] = {}
         self._transaction: Optional[Transaction] = None
         self._tx_buffer: list = []
@@ -64,7 +73,7 @@ class Database:
 
     def create_table(self, schema: Schema) -> Table:
         """Create a table from *schema* and return it."""
-        with self._lock:
+        with self._lock.write_locked():
             if schema.name in self._tables:
                 raise TableExistsError(f"table {schema.name!r} already exists")
             table = Table(schema, lock=self._lock)
@@ -93,7 +102,7 @@ class Database:
         reference held from before the drop can no longer reach the
         transaction buffer or the WAL.
         """
-        with self._lock:
+        with self._lock.write_locked():
             table = self._tables.pop(name, None)
             if table is None:
                 raise TableNotFoundError(f"no table named {name!r}")
@@ -174,7 +183,7 @@ class Database:
         """
         if self._directory is None:
             raise StorageError("recover() requires a durable database")
-        with self._lock:
+        with self._lock.write_locked():
             if self._transaction is not None:
                 raise TransactionError("cannot recover inside a transaction")
             applied = 0
@@ -228,7 +237,7 @@ class Database:
         """Write a full snapshot and truncate the WAL."""
         if self._directory is None or self._wal is None:
             raise StorageError("checkpoint() requires a durable database")
-        with self._lock:
+        with self._lock.write_locked():
             if self._transaction is not None:
                 raise TransactionError("cannot checkpoint inside a transaction")
             snapshot = {
@@ -250,5 +259,5 @@ class Database:
 
     def total_rows(self) -> int:
         """Total row count across all tables."""
-        with self._lock:
+        with self._lock.read_locked():
             return sum(len(table) for table in self._tables.values())

@@ -1,0 +1,178 @@
+"""Reader–writer locking for the storage engine.
+
+PR 1 serialised *every* table operation — reads included — on one
+engine-wide ``threading.RLock``.  The client pauses every process launch
+on a reputation lookup (Sec. 2.1), so at scale the read path outweighs
+the write path by orders of magnitude and that single lock is the
+bottleneck.  :class:`ReadWriteLock` lets any number of reader threads
+proceed in parallel while writers (and transactions, which hold the
+write side for their whole scope) retain exclusive access.
+
+The lock is **writer-preferring**: once a writer is waiting, new readers
+queue behind it, so a steady stream of lookups cannot starve the daily
+aggregation batch or a vote insert.  Both sides are reentrant for the
+owning thread, because the engine nests freely (``upsert`` calls
+``update``, transactions replay table mutations on rollback, checkpoints
+read every table while holding the write side).
+
+Two deliberate semantics:
+
+* a thread holding the **write** side may acquire the read side (it
+  already excludes everyone, so reading is safe);
+* a thread holding only the **read** side may NOT request the write side
+  — lock upgrades deadlock as soon as two readers try it, so the attempt
+  raises :class:`LockUpgradeError` immediately instead.
+
+:class:`ExclusiveLock` presents the same read/write interface over a
+single ``RLock`` — the PR 1 behaviour — so benchmarks can measure the
+old engine against the new one with one constructor flag.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from ..errors import StorageError
+
+
+class LockUpgradeError(StorageError):
+    """A thread holding the read side requested the write side."""
+
+
+class ReadWriteLock:
+    """A writer-preferring, per-thread-reentrant reader–writer lock."""
+
+    def __init__(self):
+        self._cond = threading.Condition(threading.Lock())
+        #: thread ident -> reentrant read hold count.
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None
+        self._writer_holds = 0
+        self._writers_waiting = 0
+
+    # -- read side --------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # Reentrant (or read-under-write): must always succeed,
+                # even with writers queued, or the thread deadlocks itself.
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            count = self._readers.get(me)
+            if count is None:
+                raise StorageError("release_read without a matching acquire")
+            if count == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = count - 1
+
+    # -- write side -------------------------------------------------------
+
+    def acquire_write(self, blocking: bool = True) -> bool:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_holds += 1
+                return True
+            if me in self._readers:
+                raise LockUpgradeError(
+                    "cannot upgrade a read lock to a write lock"
+                )
+            if not blocking and (self._writer is not None or self._readers):
+                return False
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._writer_holds = 1
+            return True
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise StorageError("release_write without a matching acquire")
+            self._writer_holds -= 1
+            if self._writer_holds == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers -------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- diagnostics ------------------------------------------------------
+
+    @property
+    def active_readers(self) -> int:
+        with self._cond:
+            return len(self._readers)
+
+    @property
+    def write_held(self) -> bool:
+        with self._cond:
+            return self._writer is not None
+
+
+class ExclusiveLock:
+    """The PR 1 lock discipline behind the reader–writer interface.
+
+    Every acquisition — read or write — takes the same reentrant lock,
+    so reads serialise exactly as they did with the engine-wide
+    ``RLock``.  Exists so ``Database(exclusive_lock=True)`` can rebuild
+    the old engine for A/B benchmarks and regression comparisons.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def acquire_read(self) -> None:
+        self._lock.acquire()
+
+    def release_read(self) -> None:
+        self._lock.release()
+
+    def acquire_write(self, blocking: bool = True) -> bool:
+        return self._lock.acquire(blocking=blocking)
+
+    def release_write(self) -> None:
+        self._lock.release()
+
+    @contextmanager
+    def read_locked(self):
+        with self._lock:
+            yield
+
+    @contextmanager
+    def write_locked(self):
+        with self._lock:
+            yield

@@ -6,7 +6,9 @@ keeps all registered indexes synchronised.  Mutations are reported to
 observers — the database engine uses this to drive the write-ahead log and
 transaction undo records without the table knowing about either.
 
-Every read and write runs under a reentrant lock.  Tables created through
+Every operation runs under a reader–writer lock: reads take the shared
+side (so concurrent lookups proceed in parallel), mutations take the
+exclusive side.  Tables created through
 :meth:`repro.storage.engine.Database.create_table` share the *engine*
 lock, so cross-table invariants (and WAL commit-unit boundaries) hold
 under concurrent pipeline workers; a standalone table gets its own lock.
@@ -14,7 +16,6 @@ under concurrent pipeline workers; a standalone table gets its own lock.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
@@ -25,6 +26,7 @@ from ..errors import (
     SchemaError,
 )
 from .index import HashIndex, SortedIndex, make_index
+from .locks import ReadWriteLock
 from .schema import Schema
 
 #: Mutation operation names, as recorded in events and the WAL.
@@ -51,9 +53,9 @@ class Table:
     :meth:`repro.storage.engine.Database.create_table`.
     """
 
-    def __init__(self, schema: Schema, lock: Optional[threading.RLock] = None):
+    def __init__(self, schema: Schema, lock: Optional[ReadWriteLock] = None):
         self.schema = schema
-        self._lock = lock if lock is not None else threading.RLock()
+        self._lock = lock if lock is not None else ReadWriteLock()
         self._rows: dict[Any, dict] = {}
         self._indexes: dict[str, Any] = {}
         self._composite_indexes: dict[tuple, HashIndex] = {}
@@ -73,16 +75,16 @@ class Table:
         return self.schema.name
 
     def __len__(self) -> int:
-        with self._lock:
+        with self._lock.read_locked():
             return len(self._rows)
 
     def __contains__(self, pk: Any) -> bool:
-        with self._lock:
+        with self._lock.read_locked():
             return pk in self._rows
 
     def primary_keys(self) -> Iterator[Any]:
         """Iterate over all primary keys (insertion order, snapshotted)."""
-        with self._lock:
+        with self._lock.read_locked():
             return iter(tuple(self._rows))
 
     # -- observers --------------------------------------------------------
@@ -112,7 +114,7 @@ class Table:
         """
         if not self.schema.has_column(column):
             raise SchemaError(f"table {self.name!r} has no column {column!r}")
-        with self._lock:
+        with self._lock.write_locked():
             existing = self._indexes.get(column)
             if existing is not None:
                 expected = HashIndex if kind == "hash" else SortedIndex
@@ -141,7 +143,7 @@ class Table:
 
     def get(self, pk: Any) -> dict:
         """Return a copy of the row with primary key *pk*."""
-        with self._lock:
+        with self._lock.read_locked():
             try:
                 return dict(self._rows[pk])
             except KeyError:
@@ -151,7 +153,7 @@ class Table:
 
     def get_or_none(self, pk: Any) -> Optional[dict]:
         """Like :meth:`get` but returns ``None`` instead of raising."""
-        with self._lock:
+        with self._lock.read_locked():
             row = self._rows.get(pk)
             return dict(row) if row is not None else None
 
@@ -182,7 +184,7 @@ class Table:
         if limit is not None and limit < 0:
             raise SchemaError("limit cannot be negative")
         results = []
-        with self._lock:
+        with self._lock.read_locked():
             for pk in self._candidate_pks(equals):
                 row = self._rows[pk]
                 if all(row[column] == value for column, value in equals.items()):
@@ -205,7 +207,7 @@ class Table:
     ) -> int:
         """Number of rows matching the filters (no row copies made)."""
         total = 0
-        with self._lock:
+        with self._lock.read_locked():
             for pk in self._candidate_pks(equals):
                 row = self._rows[pk]
                 if all(row[column] == value for column, value in equals.items()):
@@ -215,7 +217,7 @@ class Table:
 
     def all(self) -> list:
         """Copies of every row, in insertion order."""
-        with self._lock:
+        with self._lock.read_locked():
             return [dict(row) for row in self._rows.values()]
 
     def _candidate_pks(self, equals: dict) -> Iterator[Any]:
@@ -241,7 +243,7 @@ class Table:
         """
         validated = self.schema.validate_row(row)
         pk = validated[self.schema.primary_key]
-        with self._lock:
+        with self._lock.write_locked():
             if pk in self._rows:
                 raise DuplicateKeyError(
                     f"table {self.name!r} already has primary key {pk!r}"
@@ -260,7 +262,7 @@ class Table:
 
         The primary key itself cannot be changed.
         """
-        with self._lock:
+        with self._lock.write_locked():
             if pk not in self._rows:
                 raise RowNotFoundError(
                     f"table {self.name!r} has no row with key {pk!r}"
@@ -289,7 +291,7 @@ class Table:
 
     def delete(self, pk: Any) -> dict:
         """Delete row *pk*; returns the removed row (a copy)."""
-        with self._lock:
+        with self._lock.write_locked():
             if pk not in self._rows:
                 raise RowNotFoundError(
                     f"table {self.name!r} has no row with key {pk!r}"
@@ -305,7 +307,7 @@ class Table:
         """Insert, or update in place if the primary key already exists."""
         validated = self.schema.validate_row(row)
         pk = validated[self.schema.primary_key]
-        with self._lock:
+        with self._lock.write_locked():
             if pk in self._rows:
                 self.update(pk, validated)
                 return pk

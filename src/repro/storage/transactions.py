@@ -10,9 +10,11 @@ The undo strategy is physical (old row images), which makes rollback exact
 regardless of what application logic did — important for the server's
 "register account + activate + seed trust" multi-table operations.
 
-A transaction holds the database engine lock from ``__enter__`` until
-commit or rollback completes, so its mutations — and its WAL commit unit —
-can never interleave with another thread's work.
+A transaction holds the exclusive (write) side of the engine's
+reader–writer lock from ``__enter__`` until commit or rollback completes,
+so its mutations — and its WAL commit unit — can never interleave with
+another thread's work, and no reader can observe a half-applied
+transaction.
 """
 
 from __future__ import annotations
@@ -47,7 +49,7 @@ class Transaction:
             raise TransactionError("transaction objects are single-use")
         # Exclusive for the whole scope: no other thread can read or write
         # until this transaction commits or rolls back.
-        self._database._lock.acquire()
+        self._database._lock.acquire_write()
         self._holds_lock = True
         try:
             self._database._begin(self)
@@ -101,7 +103,7 @@ class Transaction:
     def _release_lock(self) -> None:
         if self._holds_lock:
             self._holds_lock = False
-            self._database._lock.release()
+            self._database._lock.release_write()
 
     @property
     def mutation_count(self) -> int:

@@ -158,3 +158,58 @@ def test_unweighted_mean():
     votes = [Vote("a", "s", 2, 0), Vote("b", "s", 4, 0)]
     assert unweighted_mean(votes) == pytest.approx(3.0)
     assert unweighted_mean([]) is None
+
+
+class TestDurableIncremental:
+    """Incremental state (epoch, last_run, dirty set) survives restart."""
+
+    def _open(self, directory):
+        db = Database(directory=directory)
+        trust = TrustLedger(db)
+        ratings = RatingBook(db)
+        aggregator = Aggregator(db, ratings, trust)
+        return db, trust, ratings, aggregator
+
+    def test_incremental_survives_restart(self, tmp_path):
+        directory = str(tmp_path / "agg")
+
+        # Session one: aggregate s1, then leave s2 dirty and "crash".
+        db, trust, ratings, aggregator = self._open(directory)
+        trust.enroll("a", 0)
+        aggregator.run(now=5, incremental=True)  # publishes nothing
+        assert aggregator.epoch == 0
+        ratings.cast("a", "s1", 8, now=6)
+        report = aggregator.run(now=10, incremental=True)
+        assert report.mode == "incremental"
+        assert aggregator.epoch == 1
+        ratings.cast("a", "s2", 4, now=20)
+
+        # Session two: a fresh process over the reopened database.
+        db2, trust2, ratings2, aggregator2 = self._open(directory)
+        assert db2.recover() > 0
+        assert aggregator2.epoch == 1
+        assert aggregator2.last_run == 10
+        assert ratings2.dirty_software_ids() == {"s2"}
+        assert aggregator2.score_of("s1").score == pytest.approx(8.0)
+
+        report = aggregator2.run(now=30, incremental=True)
+        # Only the dirty survivor is recomputed; s1's score is kept.
+        assert report.software_recomputed == 1
+        assert aggregator2.epoch == 2
+        assert aggregator2.score_of("s2").score == pytest.approx(4.0)
+        assert aggregator2.score_of("s1").score == pytest.approx(8.0)
+
+    def test_empty_incremental_run_does_not_bump_epoch(self, tmp_path):
+        directory = str(tmp_path / "agg")
+        db, trust, ratings, aggregator = self._open(directory)
+        trust.enroll("a", 0)
+        ratings.cast("a", "s1", 8, now=0)
+        aggregator.run(now=10, incremental=True)
+
+        db2, __, __, aggregator2 = self._open(directory)
+        db2.recover()
+        epoch = aggregator2.epoch
+        report = aggregator2.run(now=40, incremental=True)
+        assert report.software_recomputed == 0
+        assert aggregator2.epoch == epoch
+        assert aggregator2.last_run == 40

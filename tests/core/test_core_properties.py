@@ -168,3 +168,77 @@ def test_informed_users_leave_no_medium_consent(consequence, deceitful):
         cell, reputation_informs_user=True, deceitful=deceitful
     )
     assert transformed.consent is not ConsentLevel.MEDIUM
+
+
+# ---------------------------------------------------------------------------
+# Incremental aggregation equivalence
+# ---------------------------------------------------------------------------
+
+#: An event stream for the incremental aggregator: votes interleaved with
+#: incremental batch runs and simulated process restarts.
+aggregation_events = st.lists(
+    st.one_of(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),  # voter index
+            st.integers(min_value=0, max_value=4),  # software index
+            st.integers(min_value=MIN_SCORE, max_value=MAX_SCORE),
+        ),
+        st.just("run"),
+        st.just("restart"),
+    ),
+    max_size=40,
+)
+
+
+@given(events=aggregation_events)
+@settings(max_examples=60, deadline=None)
+def test_incremental_interleavings_match_one_full_run(events):
+    """Any interleaving of votes, ``run(incremental=True)`` calls, and
+    restarts (fresh Aggregator/RatingBook over the same database, relying
+    on the persisted dirty set and meta table) publishes exactly the
+    scores of a single full run over the same votes."""
+
+    def rig():
+        db = Database()
+        trust = TrustLedger(db)
+        ratings = RatingBook(db)
+        for idx in range(5):
+            trust.enroll(f"user{idx}", signup_ts=0)
+            trust.force_set(f"user{idx}", 1.0 + idx * 2.0)
+        return db, trust, ratings
+
+    db, trust, ratings = rig()
+    aggregator = Aggregator(db, ratings, trust)
+    db_full, trust_full, ratings_full = rig()
+
+    seen = set()
+    now = 0
+    for event in events:
+        if event == "run":
+            now += 1
+            aggregator.run(now=now, incremental=True)
+        elif event == "restart":
+            trust = TrustLedger(db)
+            ratings = RatingBook(db)
+            aggregator = Aggregator(db, ratings, trust)
+        else:
+            voter, software, score = event
+            if (voter, software) in seen:
+                continue
+            seen.add((voter, software))
+            ratings.cast(f"user{voter}", f"sid{software}", score, now=0)
+            ratings_full.cast(f"user{voter}", f"sid{software}", score, now=0)
+    now += 1
+    aggregator.run(now=now, incremental=True)
+
+    full = Aggregator(db_full, ratings_full, trust_full)
+    full.run(now=1, incremental=False)
+
+    incremental_scores = {s.software_id: s for s in aggregator.all_scores()}
+    full_scores = {s.software_id: s for s in full.all_scores()}
+    assert incremental_scores.keys() == full_scores.keys()
+    for software_id, expected in full_scores.items():
+        actual = incremental_scores[software_id]
+        assert actual.score == pytest.approx(expected.score)
+        assert actual.vote_count == expected.vote_count
+        assert actual.total_weight == pytest.approx(expected.total_weight)

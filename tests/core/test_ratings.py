@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.ratings import MAX_SCORE, MIN_SCORE, RatingBook
+from repro.core.ratings import MAX_SCORE, MIN_SCORE, RatingBook, vote_key
 from repro.errors import DuplicateVoteError, ServerError
 from repro.storage import Database
 
@@ -72,6 +72,35 @@ class TestQueries:
 
     def test_votes_by_unknown_user_empty(self, book):
         assert book.votes_by("nobody") == []
+
+
+class TestVoteKey:
+    """The (username, software_id) -> key mapping must be injective."""
+
+    def test_colon_in_username_does_not_collide(self, book):
+        """Regression: user ``a:b`` voting on ``c`` used to produce the
+        same key as user ``a`` voting on ``b:c``, so the second vote
+        raised DuplicateVoteError for a different user."""
+        assert vote_key("a:b", "c") != vote_key("a", "b:c")
+        book.cast("a:b", "c", 5, now=0)
+        book.cast("a", "b:c", 9, now=0)  # must not collide
+        assert book.has_voted("a:b", "c")
+        assert book.has_voted("a", "b:c")
+        assert not book.has_voted("a", "c")
+
+    def test_backslash_escaping_is_injective(self):
+        pairs = [
+            ("a\\", ":b"),
+            ("a", "\\:b"),
+            ("a\\:", "b"),
+            ("a:", "b"),
+            ("a", ":b"),
+        ]
+        keys = {vote_key(user, sid) for user, sid in pairs}
+        assert len(keys) == len(pairs)
+
+    def test_plain_names_keep_readable_keys(self):
+        assert vote_key("alice", "sid1") == "alice:sid1"
 
 
 class TestDirtyTracking:

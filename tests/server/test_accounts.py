@@ -35,6 +35,13 @@ class TestRegistration:
         with pytest.raises(RegistrationError):
             accounts.register("x" * 65, "password", "a@x.org")
 
+    def test_username_rejects_colon(self, accounts):
+        """':' separates username from software id in vote keys."""
+        with pytest.raises(RegistrationError, match="':'"):
+            accounts.register("a:b", "password", "a@x.org")
+        with pytest.raises(RegistrationError, match="':'"):
+            accounts.register(":", "password", "a@x.org")
+
     def test_password_rules(self, accounts):
         with pytest.raises(RegistrationError):
             accounts.register("alice", "ab", "a@x.org")

@@ -235,3 +235,88 @@ class TestTcpConcurrency:
         assert (
             recovered.db.table("votes").count() == N_THREADS * N_SOFTWARE
         )
+
+
+class TestReadHeavyTcpConcurrency:
+    """Eight readers stream lookups while one writer votes, over TCP.
+
+    The reader-writer storage lock must let this complete with no
+    deadlock, no torn read (every response decodes to a well-formed
+    SoftwareInfoResponse), and no lost write: the published scores must
+    equal a serial run of the same votes.
+    """
+
+    READ_PASSES = 3
+
+    def test_eight_readers_one_writer_match_serial(self):
+        server = _make_server()
+        sessions = _make_sessions(server)
+        reader_sessions, writer_session = sessions[:-1], sessions[-1]
+        writer_index = len(sessions) - 1
+        failures = []
+        barrier = threading.Barrier(len(sessions))
+
+        # Pre-register everything so readers see known software.
+        for message in _requests_for(sessions[0], 0):
+            if isinstance(message, QuerySoftwareRequest):
+                server.handle_bytes("seed-host", encode(message))
+
+        with TcpTransportServer(server.handle_bytes) as tcp:
+            host, port = tcp.address
+
+            def reader(reader_index: int, session: str) -> None:
+                with TcpClient(host, port) as client:
+                    barrier.wait()
+                    for _ in range(self.READ_PASSES):
+                        for message in _requests_for(session, reader_index):
+                            if not isinstance(message, QuerySoftwareRequest):
+                                continue
+                            response = decode(
+                                client.request(encode(message))
+                            )
+                            if (
+                                getattr(response, "software_id", None)
+                                != message.software_id
+                                or not response.known
+                            ):
+                                failures.append((reader_index, response))
+
+            def writer() -> None:
+                with TcpClient(host, port) as client:
+                    barrier.wait()
+                    for message in _requests_for(writer_session, writer_index):
+                        if not isinstance(message, VoteRequest):
+                            continue
+                        response = decode(client.request(encode(message)))
+                        if not isinstance(response, OkResponse):
+                            failures.append(("writer", message, response))
+
+            threads = [
+                threading.Thread(target=reader, args=(index, session))
+                for index, session in enumerate(reader_sessions)
+            ]
+            threads.append(threading.Thread(target=writer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert failures == []
+        # No lost write: exactly the writer's votes are on record.
+        assert server.engine.stats()["total_votes"] == N_SOFTWARE
+        server.clock.advance(86400)
+        server.run_daily_batch()
+
+        # Serial ground truth: only the writer's votes, one at a time.
+        serial = _make_server()
+        serial_sessions = _make_sessions(serial)
+        for message in _requests_for(serial_sessions[writer_index], writer_index):
+            serial.handle_bytes("serial-host", encode(message))
+        serial.clock.advance(86400)
+        serial.run_daily_batch()
+        for software_id in SOFTWARE_IDS:
+            published = server.engine.software_reputation(software_id)
+            reference = serial.engine.software_reputation(software_id)
+            assert published is not None and reference is not None
+            assert published.vote_count == reference.vote_count == 1
+            assert published.score == pytest.approx(reference.score)

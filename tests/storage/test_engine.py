@@ -225,13 +225,13 @@ class TestEngineLock:
             table.insert({"k": "a", "v": 1, "blob": None})
             # Reentrant: same-thread reads inside the scope still work.
             assert table.get("a")["v"] == 1
-            locked_elsewhere = db._lock.acquire(blocking=False)
-            # RLock: the owner can always re-acquire; what matters is that
-            # it is the *same* lock the tables serialise on.
-            assert locked_elsewhere
-            db._lock.release()
-        assert db._lock.acquire(blocking=False)
-        db._lock.release()
+            # The write side is held: another thread cannot take it.
+            assert db._lock.write_held
+            assert db._lock.acquire_write(blocking=False)  # owner re-entry
+            db._lock.release_write()
+        assert not db._lock.write_held
+        assert db._lock.acquire_write(blocking=False)
+        db._lock.release_write()
 
     def test_parallel_inserts_do_not_corrupt_table(self, db):
         import threading
