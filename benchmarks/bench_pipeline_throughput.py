@@ -292,6 +292,258 @@ def test_read_heavy_throughput(benchmark):
         assert result["speedup"] >= 2.0
 
 
+# ---------------------------------------------------------------------------
+# P3: the wire path — connection scaling and the negotiated binary codec
+# ---------------------------------------------------------------------------
+
+#: Persistent-connection counts for the scaling axis.  Full mode climbs
+#: to 1000 (the C10k direction on one box); smoke keeps CI under a
+#: second per cell while still exercising both transports and codecs.
+CONNECTION_COUNTS = (1, 8, 32) if SMOKE else (1, 64, 256, 1000)
+#: Total requests per cell, spread over the open connections.
+WIRE_REQUESTS_TOTAL = 120 if SMOKE else 3000
+#: Client-side driver threads, each pumping a slice of the connections.
+WIRE_DRIVERS = 8
+CODEC_BENCH_OPS = 50 if SMOKE else 1000
+
+
+def _wire_transports():
+    from repro.net import EventLoopServer
+
+    return (
+        ("threaded", TcpTransportServer),
+        ("evloop", EventLoopServer),
+    )
+
+
+def _batch_message():
+    """A realistic 32-item batch lookup (the client's coalesced frame)."""
+    from repro.protocol import QuerySoftwareBatchRequest, QuerySoftwareItem
+
+    return QuerySoftwareBatchRequest(
+        session="s" * 32,
+        items=tuple(
+            QuerySoftwareItem(
+                software_id=("%02x" % index) * 20,
+                file_name=f"app{index}.exe",
+                file_size=4096 + index,
+                vendor=f"vendor{index % 4}",
+                version="1.0",
+            )
+            for index in range(32)
+        ),
+    )
+
+
+def _open_wire_connections(address, count: int, codec: str) -> list:
+    """*count* persistent connections; binary ones negotiate via HELLO,
+    XML ones stay on the PR 1 legacy framing (no HELLO at all)."""
+    import socket as socket_module
+
+    from repro.net.framing import make_hello, parse_hello, read_frame, write_frame
+
+    connections = []
+    for _ in range(count):
+        sock = socket_module.create_connection(address, timeout=60)
+        sock.settimeout(60)
+        if codec == "binary":
+            write_frame(sock, make_hello("binary"))
+            negotiated = parse_hello(read_frame(sock))
+            assert negotiated == "binary", negotiated
+        connections.append(sock)
+    return connections
+
+
+def _pump_slice(connections, payload: bytes, rounds: int, codec: str) -> None:
+    """One driver's loop: each round puts one request in flight on every
+    connection of the slice (so N connections → N concurrent requests
+    server-side), then collects every reply."""
+    from repro.net.framing import (
+        pack_correlated,
+        read_frame,
+        unpack_correlated,
+        write_frame,
+    )
+
+    correlation = 0
+    for _ in range(rounds):
+        for sock in connections:
+            if codec == "binary":
+                write_frame(
+                    sock, pack_correlated(correlation & 0xFFFFFFFF, payload)
+                )
+                correlation += 1
+            else:
+                write_frame(sock, payload)
+        for sock in connections:
+            reply = read_frame(sock)
+            assert reply is not None, "server dropped a connection mid-bench"
+            if codec == "binary":
+                unpack_correlated(reply)
+
+
+def run_connection_scaling() -> dict:
+    """req/s over persistent connections: 2 transports x 2 codecs x N."""
+    from repro.protocol import encode_with
+
+    results = {}
+    peak_connections = {}
+    for transport_name, transport_cls in _wire_transports():
+        for codec in ("xml", "binary"):
+            for conns in CONNECTION_COUNTS:
+                # A fresh server per cell (as in P2): no cell inherits
+                # another's warm caches or lingering handler threads.
+                server = _make_server()
+                session = server.accounts.login("bench", "password")
+                payload = encode_with(
+                    codec,
+                    QuerySoftwareRequest(
+                        session=session,
+                        software_id="ab" * 20,
+                        file_name="bench.exe",
+                        file_size=4096,
+                        vendor="BenchCorp",
+                        version="1.0",
+                    ),
+                )
+                rounds = max(2, WIRE_REQUESTS_TOTAL // conns)
+                with transport_cls(server.handle_bytes) as transport:
+                    connections = _open_wire_connections(
+                        transport.address, conns, codec
+                    )
+                    try:
+                        if transport_name == "evloop":
+                            # Registration is asynchronous (sockets are
+                            # handed to their loop); wait for the full
+                            # complement before sampling the peak.
+                            deadline = time.perf_counter() + 30
+                            while (
+                                transport.connection_count < conns
+                                and time.perf_counter() < deadline
+                            ):
+                                time.sleep(0.005)
+                            peak_connections[(codec, conns)] = (
+                                transport.connection_count
+                            )
+                        drivers = min(WIRE_DRIVERS, conns)
+                        slices = [
+                            connections[index::drivers]
+                            for index in range(drivers)
+                        ]
+                        barrier = threading.Barrier(drivers + 1)
+
+                        def pump(chunk, wire=payload, n=rounds, c=codec):
+                            barrier.wait()
+                            _pump_slice(chunk, wire, n, c)
+
+                        threads = [
+                            threading.Thread(target=pump, args=(chunk,))
+                            for chunk in slices
+                        ]
+                        for thread in threads:
+                            thread.start()
+                        barrier.wait()
+                        started = time.perf_counter()
+                        for thread in threads:
+                            thread.join()
+                        elapsed = time.perf_counter() - started
+                        results[(transport_name, codec, conns)] = (
+                            conns * rounds
+                        ) / elapsed
+                    finally:
+                        for sock in connections:
+                            sock.close()
+
+    rows = [
+        [
+            transport_name,
+            codec,
+            conns,
+            f"{results[(transport_name, codec, conns)]:,.0f}",
+        ]
+        for transport_name, _ in _wire_transports()
+        for codec in ("xml", "binary")
+        for conns in CONNECTION_COUNTS
+    ]
+    rendered = render_table(
+        headers=["transport", "codec", "connections", "req/s"],
+        rows=rows,
+        title="Connection scaling (persistent connections, QuerySoftware)",
+    )
+    return {
+        "rendered": rendered,
+        "results": results,
+        "peak_connections": peak_connections,
+    }
+
+
+def run_codec_throughput() -> dict:
+    """encode+decode ops/s, XML vs binary, on the 32-item batch frame."""
+    from repro.protocol import decode_with, encode_with
+
+    message = _batch_message()
+    results = {}
+    sizes = {}
+    for codec in ("xml", "binary"):
+        sizes[codec] = len(encode_with(codec, message))
+        started = time.perf_counter()
+        for _ in range(CODEC_BENCH_OPS):
+            decode_with(codec, encode_with(codec, message))
+        elapsed = time.perf_counter() - started
+        results[codec] = CODEC_BENCH_OPS / elapsed
+
+    speedup = results["binary"] / results["xml"]
+    rows = [
+        [codec, f"{sizes[codec]:,}", f"{results[codec]:,.0f}"]
+        for codec in ("xml", "binary")
+    ]
+    rendered = render_table(
+        headers=["codec", "wire bytes", "encode+decode/s"],
+        rows=rows,
+        title="Codec throughput (QuerySoftwareBatch, 32 items)",
+    )
+    rendered += (
+        f"\nbinary vs XML: {speedup:.1f}x the encode+decode throughput,"
+        f" {sizes['xml'] / sizes['binary']:.1f}x denser"
+    )
+    return {"rendered": rendered, "results": results, "speedup": speedup}
+
+
+def run_wire_path() -> dict:
+    scaling = run_connection_scaling()
+    codec = run_codec_throughput()
+    return {
+        "rendered": scaling["rendered"] + "\n\n" + codec["rendered"],
+        "scaling": scaling,
+        "codec": codec,
+    }
+
+
+def test_wire_path(benchmark):
+    result = run_once(benchmark, run_wire_path)
+    record_exhibit("P3: wire path", result["rendered"])
+    scaling = result["scaling"]
+    for rate in scaling["results"].values():
+        assert rate > 0
+    if not SMOKE:
+        # The event loop holds the full complement of persistent
+        # connections open at once (the C10k direction)...
+        assert max(scaling["peak_connections"].values()) >= 500
+        # ...and out-serves thread-per-connection once the thread army
+        # gets large, on either codec.
+        for codec in ("xml", "binary"):
+            for conns in CONNECTION_COUNTS:
+                if conns < 256:
+                    continue
+                assert (
+                    scaling["results"][("evloop", codec, conns)]
+                    > scaling["results"][("threaded", codec, conns)]
+                ), (codec, conns)
+        # The binary codec halves (at least) the serialization bill.
+        assert result["codec"]["speedup"] >= 2.0
+
+
 if __name__ == "__main__":
     print(run_pipeline_throughput()["rendered"])
     print(run_read_heavy_throughput()["rendered"])
+    print(run_wire_path()["rendered"])

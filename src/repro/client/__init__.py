@@ -23,8 +23,10 @@ from .ui import (
     render_dialog_text,
 )
 from .app import ReputationClient, ClientConfig
+from .lookup import CoalescingLookupClient
 
 __all__ = [
+    "CoalescingLookupClient",
     "SoftwareList",
     "SignerList",
     "RatingPrompter",

@@ -1,0 +1,158 @@
+"""Coalescing software lookups over any request/response transport.
+
+The client pauses a process launch on every lookup (Sec. 2.1), so
+turning N pending digests into one ``QuerySoftwareBatchRequest`` frame
+matters.  :class:`CoalescingLookupClient` is thread-safe: callers
+enqueue their lookup, then race for the connection; the winner becomes
+the *leader* and ships **everything** pending — its own item plus every
+item that queued while the previous round trip was in flight — as a
+single batch frame.  The losers wake up to find their answer already
+delivered.  Under concurrency, N lookups cost far fewer than N round
+trips; sequential use degrades to exactly one item per batch.
+
+The transport is pluggable: by default a plain
+:class:`~repro.net.tcp.TcpClient` (lockstep XML, the PR 1 wire format),
+or any object with ``request(bytes) -> bytes`` — in particular a
+:class:`~repro.net.pipelining.PipeliningClient`, which lets *multiple
+leaders' batches* be in flight simultaneously on one connection and
+carries whatever codec the connection negotiated (the transport's
+``codec`` attribute, XML when absent).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..errors import EndpointUnreachableError
+from ..protocol import DEFAULT_CODEC, decode_with, encode_with
+
+
+class _LookupSlot:
+    """One caller's place in a pending batch."""
+
+    __slots__ = ("result", "error", "done")
+
+    def __init__(self):
+        self.result = None
+        self.error: Optional[Exception] = None
+        self.done = False
+
+
+class CoalescingLookupClient:
+    """Thread-safe software lookups that coalesce into batch queries."""
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        session: str = "",
+        timeout: float = 10.0,
+        transport=None,
+    ):
+        if transport is None:
+            from ..net.tcp import TcpClient  # local: avoid import cycle
+
+            if host is None or port is None:
+                raise ValueError("need host and port when no transport is given")
+            transport = TcpClient(host, port, timeout=timeout)
+        self._client = transport
+        #: The transport's negotiated codec (plain TcpClient speaks XML).
+        self.codec = getattr(transport, "codec", DEFAULT_CODEC)
+        self._session = session
+        #: Guards the pending queue.
+        self._mutex = threading.Lock()
+        #: Serialises wire round trips; the holder is the batch leader.
+        self._io_lock = threading.Lock()
+        self._pending: list = []  # (QuerySoftwareItem, _LookupSlot)
+        self.batches_sent = 0
+        self.items_sent = 0
+
+    @property
+    def round_trips(self) -> int:
+        return self._client.round_trips
+
+    def query(self, item):
+        """Look up one :class:`~repro.protocol.QuerySoftwareItem`.
+
+        Returns the per-item :class:`~repro.protocol.SoftwareInfoResponse`
+        (or raises if the server refused the whole batch).
+        """
+        slot = _LookupSlot()
+        with self._mutex:
+            self._pending.append((item, slot))
+        with self._io_lock:
+            if not slot.done:
+                self._ship_pending()
+        if slot.error is not None:
+            raise slot.error
+        return slot.result
+
+    def _ship_pending(self) -> None:
+        """Leader duty: send every queued item as one batch frame."""
+        from ..protocol import (
+            ErrorResponse,
+            QuerySoftwareBatchRequest,
+            QuerySoftwareBatchResponse,
+        )
+
+        with self._mutex:
+            batch, self._pending = self._pending, []
+        if not batch:
+            return
+        request = QuerySoftwareBatchRequest(
+            session=self._session,
+            items=tuple(item for item, _ in batch),
+        )
+        try:
+            response = decode_with(
+                self.codec,
+                self._client.request(encode_with(self.codec, request)),
+            )
+        except Exception as exc:
+            self._fail(batch, exc)
+            return
+        self.batches_sent += 1
+        self.items_sent += len(batch)
+        if isinstance(response, QuerySoftwareBatchResponse):
+            if len(response.results) != len(batch):
+                # A short (or long) result list would leave slots undone
+                # and their callers blocked forever if zipped unchecked:
+                # every answer must be accounted for, or none are.
+                self._fail(
+                    batch,
+                    EndpointUnreachableError(
+                        f"batch response carries {len(response.results)}"
+                        f" results for {len(batch)} items"
+                    ),
+                )
+                return
+            for (_, slot), info in zip(batch, response.results):
+                slot.result = info
+                slot.done = True
+        else:
+            detail = (
+                f"{response.code}: {response.detail}"
+                if isinstance(response, ErrorResponse)
+                else f"unexpected response {type(response).__name__}"
+            )
+            self._fail(
+                batch,
+                EndpointUnreachableError(f"batch lookup refused — {detail}"),
+            )
+
+    @staticmethod
+    def _fail(batch: list, error: Exception) -> None:
+        """Resolve every slot of *batch* with *error* — nobody blocks."""
+        for _, slot in batch:
+            slot.error = error
+            slot.done = True
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "CoalescingLookupClient":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()

@@ -5,21 +5,35 @@ Internet, optionally through Tor (Sec. 2.2).  :class:`~repro.net.transport.Netwo
 provides simulated request/response delivery between named endpoints with
 pluggable latency and loss; :mod:`~repro.net.anonymity` builds Tor-like
 relay circuits so the server cannot see which client address originated a
-request; :mod:`~repro.net.tcp` serves the same byte-level entry point over
-a real OS socket with length-prefixed frames and one thread per
-connection.
+request.  Two real-socket transports serve the same byte-level entry
+point: :mod:`~repro.net.tcp` (one thread per connection, the reference
+implementation) and :mod:`~repro.net.evloop` (N selector loops
+multiplexing thousands of persistent connections).  Both share the frame
+grammar, HELLO codec negotiation, and correlation-id pipelining of
+:mod:`~repro.net.framing`; :mod:`~repro.net.pipelining` is the client
+side that keeps many requests in flight on one connection.
 """
 
 from .transport import Network, Endpoint, DeliveryStats, LatencyModel
 from .anonymity import AnonymityNetwork, Circuit
-from .tcp import (
+from .framing import (
     MAX_FRAME_BYTES,
+    ConnectionProtocol,
+    FrameAssembler,
+    make_hello,
+    pack_correlated,
+    parse_hello,
+    read_frame,
+    unpack_correlated,
+    write_frame,
+)
+from .tcp import (
     CoalescingLookupClient,
     TcpClient,
     TcpTransportServer,
-    read_frame,
-    write_frame,
 )
+from .evloop import EventLoopServer
+from .pipelining import PendingReply, PipeliningClient
 
 __all__ = [
     "Network",
@@ -31,7 +45,16 @@ __all__ = [
     "TcpTransportServer",
     "TcpClient",
     "CoalescingLookupClient",
+    "EventLoopServer",
+    "PipeliningClient",
+    "PendingReply",
+    "ConnectionProtocol",
+    "FrameAssembler",
     "MAX_FRAME_BYTES",
     "read_frame",
     "write_frame",
+    "make_hello",
+    "parse_hello",
+    "pack_correlated",
+    "unpack_correlated",
 ]

@@ -1,0 +1,288 @@
+"""Wire framing shared by every TCP transport.
+
+Both the thread-per-connection server (:mod:`repro.net.tcp`) and the
+event-loop server (:mod:`repro.net.evloop`) speak the same frame
+grammar, so the frame layer lives here exactly once:
+
+* **Legacy frames** — a 4-byte big-endian length followed by that many
+  payload bytes, responses in lockstep request order.  This is PR 1's
+  format, unchanged; a client that sends nothing else gets it forever.
+
+* **HELLO negotiation** — a client's *first* frame may instead carry a
+  magic prefix plus a codec name.  The server replies with its own HELLO
+  naming the accepted codec (unknown names degrade to XML) and the
+  connection switches to extended framing.  The magic byte ``0xAB``
+  cannot begin an XML document, so old payloads can never be mistaken
+  for a HELLO.
+
+* **Extended frames** — after HELLO, every frame payload starts with a
+  4-byte big-endian **correlation id**.  Responses echo the id of the
+  request they answer, which is what lets a client *pipeline* many
+  in-flight requests on one connection and match answers as they land.
+
+:class:`FrameAssembler` reassembles frames from an arbitrary byte
+stream (the event loop feeds it whatever ``recv`` returned), and
+:class:`ConnectionProtocol` is the transport-neutral per-connection
+state machine — negotiation, correlation, and the
+exception-to-ErrorResponse guarantee — shared verbatim by both servers
+so their observable behaviour cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import inspect
+import logging
+import socket
+import struct
+from typing import Callable, Iterator, Optional
+
+from ..errors import FrameError
+
+log = logging.getLogger("repro.net")
+
+#: Refuse frames above this size: nothing in the protocol comes close,
+#: and an unchecked length header is an easy memory-exhaustion vector.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+_CORRELATION = struct.Struct(">I")
+
+#: First bytes of a HELLO payload.  0xAB is not valid leading UTF-8 and
+#: can never start an XML document.
+HELLO_MAGIC = b"\xabREPRO/1 "
+
+#: Wire code used when a request escapes the application handler — the
+#: transport's own last-resort refusal (matches the pipeline's E_SERVER).
+TRANSPORT_ERROR_CODE = "server-error"
+
+
+# ---------------------------------------------------------------------------
+# Blocking frame I/O (threaded server, clients)
+# ---------------------------------------------------------------------------
+
+def frame(payload: bytes) -> bytes:
+    """Length-prefix one payload (the non-blocking write path)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one length-prefixed frame."""
+    sock.sendall(frame(payload))
+
+
+def read_frame(sock: socket.socket) -> Optional[bytes]:
+    """Read one frame; ``None`` when the peer closed between frames."""
+    header = _read_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    body = _read_exact(sock, length, eof_ok=False)
+    assert body is not None
+    return body
+
+
+def _read_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> Optional[bytes]:
+    """Read exactly *count* bytes; EOF at a frame boundary may be OK."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            if eof_ok and not chunks:
+                return None
+            raise FrameError(
+                f"connection closed after {len(chunks)} of {count} bytes"
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+# ---------------------------------------------------------------------------
+# Incremental reassembly (event loop)
+# ---------------------------------------------------------------------------
+
+class FrameAssembler:
+    """Reassemble length-prefixed frames from an arbitrary byte stream.
+
+    ``feed`` whatever the socket produced — half a header, three frames
+    and a torn fourth, one byte — then iterate :meth:`drain` for every
+    frame that completed.  Oversized length headers raise
+    :class:`~repro.errors.FrameError` immediately, *before* any payload
+    accumulates.
+    """
+
+    __slots__ = ("_buffer", "_need", "_have_header")
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._need = _LENGTH.size
+        self._have_header = False
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet returned as frames."""
+        return len(self._buffer)
+
+    def drain(self) -> Iterator[bytes]:
+        """Yield every complete frame accumulated so far."""
+        while True:
+            if not self._have_header:
+                if len(self._buffer) < _LENGTH.size:
+                    return
+                (length,) = _LENGTH.unpack_from(self._buffer)
+                if length > MAX_FRAME_BYTES:
+                    raise FrameError(
+                        f"frame of {length} bytes exceeds limit"
+                        f" {MAX_FRAME_BYTES}"
+                    )
+                del self._buffer[: _LENGTH.size]
+                self._need = length
+                self._have_header = True
+            if len(self._buffer) < self._need:
+                return
+            payload = bytes(self._buffer[: self._need])
+            del self._buffer[: self._need]
+            self._have_header = False
+            self._need = _LENGTH.size
+            yield payload
+
+
+# ---------------------------------------------------------------------------
+# HELLO negotiation + correlation ids
+# ---------------------------------------------------------------------------
+
+def make_hello(codec: str) -> bytes:
+    """The HELLO payload requesting (or confirming) a codec by name."""
+    return HELLO_MAGIC + codec.encode("ascii")
+
+
+def parse_hello(payload: bytes) -> Optional[str]:
+    """The codec name of a HELLO payload, or ``None`` if not a HELLO."""
+    if not payload.startswith(HELLO_MAGIC):
+        return None
+    try:
+        return payload[len(HELLO_MAGIC):].decode("ascii")
+    except UnicodeDecodeError:
+        raise FrameError("HELLO names a non-ascii codec") from None
+
+
+def pack_correlated(correlation_id: int, body: bytes) -> bytes:
+    """An extended-mode frame payload: correlation id + message bytes."""
+    return _CORRELATION.pack(correlation_id & 0xFFFFFFFF) + body
+
+
+def unpack_correlated(payload: bytes) -> tuple:
+    """Split an extended-mode payload into ``(correlation_id, body)``."""
+    if len(payload) < _CORRELATION.size:
+        raise FrameError(
+            f"extended frame of {len(payload)} bytes cannot carry a"
+            " correlation id"
+        )
+    (correlation_id,) = _CORRELATION.unpack_from(payload)
+    return correlation_id, payload[_CORRELATION.size:]
+
+
+def handler_accepts_codec(handler: Callable) -> bool:
+    """Whether *handler* takes a ``codec`` keyword.
+
+    Transports probe once at construction: a codec-aware application
+    (the server pipeline) gets the negotiated name per request, while a
+    plain ``(source, bytes) -> bytes`` callable keeps working and pins
+    its connections to XML.
+    """
+    try:
+        parameters = inspect.signature(handler).parameters
+    except (TypeError, ValueError):
+        return False
+    if "codec" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+# ---------------------------------------------------------------------------
+# The per-connection state machine
+# ---------------------------------------------------------------------------
+
+class ConnectionProtocol:
+    """Negotiation, correlation, and the error-reply guarantee — shared.
+
+    One instance per connection.  ``respond(frame_payload)`` returns the
+    response frame payload to send back; it raises
+    :class:`~repro.errors.FrameError` only for unrecoverable framing
+    (a correlated frame too short to carry its id), which the transport
+    answers by closing the connection.  An exception escaping the
+    application handler never kills the connection: it is logged and
+    answered with an ``ErrorResponse`` encoded in the connection's
+    negotiated codec — the same guarantee on both transports.
+    """
+
+    __slots__ = ("source", "codec", "extended", "_handler", "_codec_aware",
+                 "_first")
+
+    def __init__(self, source: str, handler: Callable, codec_aware: bool):
+        # Local import: the frame layer stays standalone; resolved once
+        # here, not per request (respond() is the transports' hot path).
+        from ..protocol import DEFAULT_CODEC
+
+        self.source = source
+        self.codec = DEFAULT_CODEC
+        self.extended = False
+        self._handler = handler
+        self._codec_aware = codec_aware
+        self._first = True
+
+    def respond(self, payload: bytes) -> bytes:
+        """Service one inbound frame payload; return the reply payload."""
+        if self._first:
+            self._first = False
+            requested = parse_hello(payload)
+            if requested is not None:
+                from ..protocol import negotiate
+
+                # Negotiate only what the application can actually
+                # decode: a codec-blind handler pins the wire to XML.
+                self.codec = negotiate(requested) if self._codec_aware else self.codec
+                self.extended = True
+                return make_hello(self.codec)
+        if self.extended:
+            correlation_id, body = unpack_correlated(payload)
+            return pack_correlated(correlation_id, self._invoke(body))
+        return self._invoke(payload)
+
+    def _invoke(self, body: bytes) -> bytes:
+        try:
+            if self._codec_aware:
+                return self._handler(self.source, body, codec=self.codec)
+            return self._handler(self.source, body)
+        except Exception:
+            from ..protocol import ErrorResponse, encode_with
+
+            # The pipeline maps domain errors itself; anything that still
+            # escapes is a bug in the application layer.  Answer instead
+            # of silently killing the connection.
+            log.exception(
+                "application handler failed for %s; connection survives",
+                self.source,
+            )
+            return encode_with(
+                self.codec,
+                ErrorResponse(
+                    code=TRANSPORT_ERROR_CODE,
+                    detail="request failed inside the application handler",
+                ),
+            )

@@ -1,16 +1,12 @@
-"""A real TCP transport for the reputation server.
+"""The thread-per-connection TCP transport.
 
-The simulated :class:`~repro.net.transport.Network` exercises the request
-path in-process; this module serves the *same* ``handle_bytes`` entry
-point over an actual OS socket, with one thread per connection
-(:class:`socketserver.ThreadingTCPServer`), proving the pipeline and the
-storage engine hold up under genuine kernel-scheduled concurrency.
-
-Framing is length-prefixed: every message (request or response) is a
-4-byte big-endian length followed by that many payload bytes.  XML is
-self-delimiting only with a parser in the loop, and the wire format must
-stay byte-identical to the simulated transport's payloads — a frame
-header keeps the socket layer codec-agnostic.
+Serves the same ``handle_bytes`` entry point as the simulated
+:class:`~repro.net.transport.Network` over an actual OS socket, with one
+thread per connection (:class:`socketserver.ThreadingTCPServer`).  The
+frame grammar, HELLO codec negotiation, and correlation-id handling live
+in :mod:`repro.net.framing` and are shared byte-for-byte with the
+event-loop transport (:mod:`repro.net.evloop`) — this server stays the
+simple reference implementation, the event loop is the one that scales.
 
 The server sees the peer's host address (without the ephemeral port) as
 the request ``source``, matching the semantics of the simulated network:
@@ -22,66 +18,33 @@ from __future__ import annotations
 
 import socket
 import socketserver
-import struct
 import threading
 from typing import Callable, Optional
 
 from ..errors import EndpointUnreachableError, FrameError
+from .framing import (
+    MAX_FRAME_BYTES,
+    ConnectionProtocol,
+    handler_accepts_codec,
+    read_frame,
+    write_frame,
+)
 
-#: Refuse frames above this size: nothing in the protocol comes close,
-#: and an unchecked length header is an easy memory-exhaustion vector.
-MAX_FRAME_BYTES = 16 * 1024 * 1024
-
-_LENGTH = struct.Struct(">I")
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "read_frame",
+    "write_frame",
+    "TcpTransportServer",
+    "TcpClient",
+    "CoalescingLookupClient",
+    "Handler",
+]
 
 #: An endpoint handler, identical to the simulated network's signature:
-#: (source_address, request bytes) -> response bytes.
+#: (source_address, request bytes) -> response bytes.  Handlers that
+#: additionally accept a ``codec=`` keyword get the connection's
+#: negotiated codec name per request.
 Handler = Callable[[str, bytes], bytes]
-
-
-# ---------------------------------------------------------------------------
-# Frame codec
-# ---------------------------------------------------------------------------
-
-def write_frame(sock: socket.socket, payload: bytes) -> None:
-    """Send one length-prefixed frame."""
-    if len(payload) > MAX_FRAME_BYTES:
-        raise FrameError(
-            f"frame of {len(payload)} bytes exceeds limit {MAX_FRAME_BYTES}"
-        )
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
-
-
-def read_frame(sock: socket.socket) -> Optional[bytes]:
-    """Read one frame; ``None`` when the peer closed between frames."""
-    header = _read_exact(sock, _LENGTH.size, eof_ok=True)
-    if header is None:
-        return None
-    (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise FrameError(
-            f"frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
-        )
-    body = _read_exact(sock, length, eof_ok=False)
-    assert body is not None
-    return body
-
-
-def _read_exact(
-    sock: socket.socket, count: int, eof_ok: bool
-) -> Optional[bytes]:
-    """Read exactly *count* bytes; EOF at a frame boundary may be OK."""
-    chunks = bytearray()
-    while len(chunks) < count:
-        chunk = sock.recv(count - len(chunks))
-        if not chunk:
-            if eof_ok and not chunks:
-                return None
-            raise FrameError(
-                f"connection closed after {len(chunks)} of {count} bytes"
-            )
-        chunks.extend(chunk)
-    return bytes(chunks)
 
 
 # ---------------------------------------------------------------------------
@@ -89,10 +52,14 @@ def _read_exact(
 # ---------------------------------------------------------------------------
 
 class _ConnectionHandler(socketserver.BaseRequestHandler):
-    """One thread per connection: frame in, handler, frame out, repeat."""
+    """One thread per connection: frame in, protocol, frame out, repeat."""
 
     def handle(self) -> None:
-        source = self.client_address[0]
+        protocol = ConnectionProtocol(
+            source=self.client_address[0],
+            handler=self.server.app_handler,
+            codec_aware=self.server.codec_aware,
+        )
         while True:
             try:
                 payload = read_frame(self.request)
@@ -100,7 +67,12 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 return
             if payload is None:
                 return
-            response = self.server.app_handler(source, payload)
+            try:
+                response = protocol.respond(payload)
+            except FrameError:
+                # Unrecoverable framing (e.g. a correlated frame too
+                # short for its id): nothing sane to answer with.
+                return
             try:
                 write_frame(self.request, response)
             except OSError:
@@ -126,6 +98,7 @@ class TcpTransportServer(socketserver.ThreadingTCPServer):
     def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
         super().__init__((host, port), _ConnectionHandler)
         self.app_handler = handler
+        self.codec_aware = handler_accepts_codec(handler)
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -165,8 +138,11 @@ class TcpTransportServer(socketserver.ThreadingTCPServer):
 class TcpClient:
     """A blocking request/response client over one persistent connection.
 
-    Not thread-safe: concurrent callers must each open their own client
-    (connections are cheap; the server spins one thread per connection).
+    Speaks the legacy lockstep framing (no HELLO, XML payloads) — this is
+    the PR 1 wire format, and both servers answer it unchanged.  Not
+    thread-safe: concurrent callers must each open their own client, or
+    use :class:`~repro.net.pipelining.PipeliningClient` to multiplex one
+    connection.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0):
@@ -206,119 +182,6 @@ class TcpClient:
         self.close()
 
 
-# ---------------------------------------------------------------------------
-# Coalescing lookups
-# ---------------------------------------------------------------------------
-
-class _LookupSlot:
-    """One caller's place in a pending batch."""
-
-    __slots__ = ("result", "error", "done")
-
-    def __init__(self):
-        self.result = None
-        self.error: Optional[Exception] = None
-        self.done = False
-
-
-class CoalescingLookupClient:
-    """Thread-safe software lookups that coalesce into batch queries.
-
-    Unlike :class:`TcpClient`, many threads may call :meth:`query`
-    concurrently on one instance.  Callers enqueue their lookup, then
-    race for the connection: the winner becomes the *leader* and ships
-    **everything** pending — its own item plus every item that queued
-    while the previous round trip was in flight — as a single
-    ``QuerySoftwareBatchRequest`` frame.  The losers wake up to find
-    their answer already delivered.  Under concurrency, N lookups cost
-    far fewer than N round trips; sequential use degrades to exactly one
-    item per batch, i.e. the plain client's behaviour.
-
-    This sits one layer above the frame codec: it is the only part of
-    this module that knows the protocol vocabulary.
-    """
-
-    def __init__(self, host: str, port: int, session: str, timeout: float = 10.0):
-        from ..protocol import decode  # local: keep frame codec usable alone
-
-        self._decode = decode
-        self._client = TcpClient(host, port, timeout=timeout)
-        self._session = session
-        #: Guards the pending queue.
-        self._mutex = threading.Lock()
-        #: Serialises wire round trips; the holder is the batch leader.
-        self._io_lock = threading.Lock()
-        self._pending: list = []  # (QuerySoftwareItem, _LookupSlot)
-        self.batches_sent = 0
-        self.items_sent = 0
-
-    @property
-    def round_trips(self) -> int:
-        return self._client.round_trips
-
-    def query(self, item):
-        """Look up one :class:`~repro.protocol.QuerySoftwareItem`.
-
-        Returns the per-item :class:`~repro.protocol.SoftwareInfoResponse`
-        (or raises if the server refused the whole batch).
-        """
-        slot = _LookupSlot()
-        with self._mutex:
-            self._pending.append((item, slot))
-        with self._io_lock:
-            if not slot.done:
-                self._ship_pending()
-        if slot.error is not None:
-            raise slot.error
-        return slot.result
-
-    def _ship_pending(self) -> None:
-        """Leader duty: send every queued item as one batch frame."""
-        from ..protocol import (
-            ErrorResponse,
-            QuerySoftwareBatchRequest,
-            QuerySoftwareBatchResponse,
-            encode,
-        )
-
-        with self._mutex:
-            batch, self._pending = self._pending, []
-        if not batch:
-            return
-        request = QuerySoftwareBatchRequest(
-            session=self._session,
-            items=tuple(item for item, _ in batch),
-        )
-        try:
-            response = self._decode(self._client.request(encode(request)))
-        except Exception as exc:
-            for _, slot in batch:
-                slot.error = exc
-                slot.done = True
-            return
-        self.batches_sent += 1
-        self.items_sent += len(batch)
-        if isinstance(response, QuerySoftwareBatchResponse):
-            for (_, slot), info in zip(batch, response.results):
-                slot.result = info
-                slot.done = True
-        else:
-            detail = (
-                f"{response.code}: {response.detail}"
-                if isinstance(response, ErrorResponse)
-                else f"unexpected response {type(response).__name__}"
-            )
-            for _, slot in batch:
-                slot.error = EndpointUnreachableError(
-                    f"batch lookup refused — {detail}"
-                )
-                slot.done = True
-
-    def close(self) -> None:
-        self._client.close()
-
-    def __enter__(self) -> "CoalescingLookupClient":
-        return self
-
-    def __exit__(self, exc_type, exc, traceback) -> None:
-        self.close()
+# Moved to repro.client.lookup (it is protocol-aware, not frame-level);
+# re-exported here for backward compatibility.
+from ..client.lookup import CoalescingLookupClient  # noqa: E402

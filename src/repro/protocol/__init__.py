@@ -3,9 +3,13 @@
 "XML is used as the communication protocol between the client and the
 server" (Sec. 3.2).  :mod:`~repro.protocol.messages` defines the typed
 request/response vocabulary; :mod:`~repro.protocol.xml_codec` converts any
-registered message to and from XML bytes.  The client and server only
-exchange encoded bytes through the simulated network — the codec is the
-single place where structure meets the wire.
+registered message to and from XML bytes, and
+:mod:`~repro.protocol.binary_codec` offers a compact binary spelling of
+the *same* registry that connections may negotiate
+(:mod:`~repro.protocol.codecs` keys both by name).  The client and server
+only exchange encoded bytes — the codecs are the single place where
+structure meets the wire, and parity tests hold them to identical
+dataclass semantics.
 """
 
 from .messages import (
@@ -37,7 +41,17 @@ from .messages import (
     PuzzleRequest,
     PuzzleResponse,
 )
-from .xml_codec import encode, decode, registered_tags
+from .xml_codec import encode, decode
+from .registry import registered_messages, registered_tags
+from .codecs import (
+    CODEC_BINARY,
+    CODEC_XML,
+    DEFAULT_CODEC,
+    SUPPORTED_CODECS,
+    decode_with,
+    encode_with,
+    negotiate,
+)
 
 __all__ = [
     "Message",
@@ -70,4 +84,12 @@ __all__ = [
     "encode",
     "decode",
     "registered_tags",
+    "registered_messages",
+    "CODEC_XML",
+    "CODEC_BINARY",
+    "DEFAULT_CODEC",
+    "SUPPORTED_CODECS",
+    "encode_with",
+    "decode_with",
+    "negotiate",
 ]

@@ -1,0 +1,275 @@
+"""A compact length-delimited binary codec for protocol messages.
+
+XML is the paper's wire format (Sec. 3.2) and stays the default — but
+PR 2's profiling showed ``xml.etree`` encode/decode dominating the warm
+read path, so connections may *negotiate* this codec instead (one HELLO
+frame, see :mod:`repro.net.framing`).  Both codecs serialise the same
+registered dataclasses from :mod:`repro.protocol.registry`; the parity
+tests enumerate the whole registry and require byte-exact round trips in
+each format, so negotiation never changes what a message *means*.
+
+Wire grammar (all integers are unsigned LEB128 varints unless noted)::
+
+    message := len(tag) tag-utf8 nfields field*
+    field   := len(name) name-utf8 value
+    value   := NONE
+             | FALSE | TRUE
+             | INT    zigzag-varint
+             | FLOAT  8 bytes, IEEE-754 big-endian double
+             | STR    len utf8-bytes
+             | BYTES  len raw-bytes
+             | LIST   count value*
+             | MSG    message
+
+Decoding is as defensive as the XML parser's: truncated buffers, unknown
+tags, unknown field types, duplicate or unknown field names, missing
+required fields, and trailing garbage all raise
+:class:`~repro.errors.MalformedMessageError` /
+:class:`~repro.errors.UnknownMessageError` — the server treats every
+byte as hostile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any
+
+from ..errors import MalformedMessageError, ProtocolError, UnknownMessageError
+from .registry import class_for, tag_for
+
+# Value type bytes.
+T_NONE = 0x00
+T_FALSE = 0x01
+T_TRUE = 0x02
+T_INT = 0x03
+T_FLOAT = 0x04
+T_STR = 0x05
+T_BYTES = 0x06
+T_LIST = 0x07
+T_MSG = 0x08
+
+_DOUBLE = struct.Struct(">d")
+
+
+# ---------------------------------------------------------------------------
+# Varints
+# ---------------------------------------------------------------------------
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _zigzag(value: int) -> int:
+    """Map signed to unsigned so small magnitudes stay small on the wire."""
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+class _Reader:
+    """A bounds-checked cursor over the wire bytes."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or count > self.remaining:
+            raise MalformedMessageError(
+                f"truncated buffer: wanted {count} bytes, {self.remaining} left"
+            )
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise MalformedMessageError("truncated buffer: wanted a type byte")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise MalformedMessageError("truncated varint")
+            # Arbitrary-precision ints are legal (python), but a varint
+            # longer than the buffer that carried it is an attack.
+            if shift > 8 * len(self.data):
+                raise MalformedMessageError("runaway varint")
+            byte = self.data[self.pos]
+            self.pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def utf8(self) -> str:
+        length = self.varint()
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MalformedMessageError(f"bad utf-8: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+def encode(msg: Any) -> bytes:
+    """Serialise a registered message to compact binary bytes."""
+    out = bytearray()
+    _encode_message(out, msg)
+    return bytes(out)
+
+
+def _encode_message(out: bytearray, msg: Any) -> None:
+    tag = tag_for(type(msg))
+    if tag is None:
+        raise ProtocolError(
+            f"{type(msg).__name__} is not a registered message"
+        )
+    tag_bytes = tag.encode("utf-8")
+    _write_varint(out, len(tag_bytes))
+    out += tag_bytes
+    fields = dataclasses.fields(msg)
+    _write_varint(out, len(fields))
+    for field in fields:
+        name_bytes = field.name.encode("utf-8")
+        _write_varint(out, len(name_bytes))
+        out += name_bytes
+        _encode_value(out, getattr(msg, field.name))
+
+
+def _encode_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(T_NONE)
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        out.append(T_TRUE if value else T_FALSE)
+    elif isinstance(value, int):
+        out.append(T_INT)
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out.append(T_FLOAT)
+        out += _DOUBLE.pack(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(T_STR)
+        _write_varint(out, len(encoded))
+        out += encoded
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(T_BYTES)
+        _write_varint(out, len(value))
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(T_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif tag_for(type(value)) is not None:
+        out.append(T_MSG)
+        _encode_message(out, value)
+    else:
+        raise ProtocolError(
+            f"cannot encode value of type {type(value).__name__}: {value!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+def decode(payload: bytes) -> Any:
+    """Parse binary bytes into the registered message dataclass."""
+    reader = _Reader(bytes(payload))
+    msg = _decode_message(reader)
+    if reader.remaining:
+        raise MalformedMessageError(
+            f"{reader.remaining} trailing bytes after message"
+        )
+    return msg
+
+
+def _decode_message(reader: _Reader) -> Any:
+    tag = reader.utf8()
+    cls = class_for(tag)
+    if cls is None:
+        raise UnknownMessageError(f"unknown message tag {tag!r}")
+    nfields = reader.varint()
+    if nfields > reader.remaining:
+        # Every field costs at least one byte; a count beyond that is a
+        # forged header, not a big message.
+        raise MalformedMessageError(f"field count {nfields} exceeds buffer")
+    values: dict[str, Any] = {}
+    for _ in range(nfields):
+        name = reader.utf8()
+        if name in values:
+            raise MalformedMessageError(
+                f"message {tag!r} repeats field {name!r}"
+            )
+        values[name] = _decode_value(reader)
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(values) - field_names
+    if unknown:
+        raise MalformedMessageError(
+            f"message {tag!r} has unknown fields {sorted(unknown)}"
+        )
+    missing = {
+        field.name
+        for field in dataclasses.fields(cls)
+        if field.default is dataclasses.MISSING
+        and field.default_factory is dataclasses.MISSING
+    } - set(values)
+    if missing:
+        raise MalformedMessageError(
+            f"message {tag!r} is missing fields {sorted(missing)}"
+        )
+    try:
+        return cls(**values)
+    except (TypeError, ValueError) as exc:
+        raise MalformedMessageError(f"cannot build {tag!r}: {exc}") from None
+
+
+def _decode_value(reader: _Reader) -> Any:
+    kind = reader.byte()
+    if kind == T_NONE:
+        return None
+    if kind == T_FALSE:
+        return False
+    if kind == T_TRUE:
+        return True
+    if kind == T_INT:
+        return _unzigzag(reader.varint())
+    if kind == T_FLOAT:
+        return _DOUBLE.unpack(reader.take(_DOUBLE.size))[0]
+    if kind == T_STR:
+        return reader.utf8()
+    if kind == T_BYTES:
+        return reader.take(reader.varint())
+    if kind == T_LIST:
+        count = reader.varint()
+        if count > reader.remaining:
+            raise MalformedMessageError(f"list count {count} exceeds buffer")
+        return tuple(_decode_value(reader) for _ in range(count))
+    if kind == T_MSG:
+        return _decode_message(reader)
+    raise MalformedMessageError(f"unknown field type byte 0x{kind:02x}")

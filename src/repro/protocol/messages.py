@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .xml_codec import message
+from .registry import message
 
 
 class Message:

@@ -1,0 +1,61 @@
+"""The message registry: one tag namespace shared by every codec.
+
+Messages register once with the :func:`message` decorator; the XML and
+binary codecs both resolve tags through this module, so a dataclass
+registered here is automatically speakable in every negotiated wire
+format.  Keeping the registry codec-neutral is what makes the parity
+guarantee testable: the codecs cannot drift apart on *which* messages
+exist, only on how they spell them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from ..errors import ProtocolError
+
+_REGISTRY: dict[str, type] = {}
+_TAG_OF: dict[type, str] = {}
+
+
+def message(tag: str) -> Callable[[type], type]:
+    """Class decorator registering a dataclass under a wire *tag*."""
+
+    def register(cls: type) -> type:
+        if tag in _REGISTRY:
+            raise ProtocolError(f"message tag {tag!r} is already registered")
+        if not dataclasses.is_dataclass(cls):
+            raise ProtocolError(
+                f"@message must wrap a dataclass, got {cls.__name__}"
+            )
+        _REGISTRY[tag] = cls
+        _TAG_OF[cls] = tag
+        return cls
+
+    return register
+
+
+def tag_for(cls: type) -> Optional[str]:
+    """The registered tag of a message class (``None`` if unregistered)."""
+    return _TAG_OF.get(cls)
+
+
+def class_for(tag: str) -> Optional[type]:
+    """The registered class of a wire tag (``None`` if unknown)."""
+    return _REGISTRY.get(tag)
+
+
+def registered_tags() -> tuple:
+    """All known message tags (diagnostics)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def registered_messages() -> dict:
+    """A ``tag -> dataclass`` snapshot of the whole vocabulary.
+
+    The codec parity tests enumerate this so a message added later is
+    automatically covered — forgetting to extend the tests cannot
+    silently exempt it.
+    """
+    return dict(_REGISTRY)

@@ -21,35 +21,20 @@ internals — the server treats all of these as hostile input.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Type
+from typing import Any
 from xml.etree import ElementTree
 
 from ..errors import MalformedMessageError, ProtocolError, UnknownMessageError
 
-_REGISTRY: dict[str, type] = {}
-_TAG_OF: dict[type, str] = {}
-
-
-def message(tag: str) -> Callable[[type], type]:
-    """Class decorator registering a dataclass under an XML *tag*."""
-
-    def register(cls: type) -> type:
-        if tag in _REGISTRY:
-            raise ProtocolError(f"message tag {tag!r} is already registered")
-        if not dataclasses.is_dataclass(cls):
-            raise ProtocolError(
-                f"@message must wrap a dataclass, got {cls.__name__}"
-            )
-        _REGISTRY[tag] = cls
-        _TAG_OF[cls] = tag
-        return cls
-
-    return register
-
-
-def registered_tags() -> tuple:
-    """All known message tags (diagnostics)."""
-    return tuple(sorted(_REGISTRY))
+# The registry lives in .registry (shared with the binary codec); these
+# re-exports keep the historical import path working.
+from .registry import (  # noqa: F401
+    class_for,
+    message,
+    registered_messages,
+    registered_tags,
+    tag_for,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -59,7 +44,7 @@ def registered_tags() -> tuple:
 def encode(msg: Any) -> bytes:
     """Serialise a registered message to XML bytes."""
     cls = type(msg)
-    tag = _TAG_OF.get(cls)
+    tag = tag_for(cls)
     if tag is None:
         raise ProtocolError(f"{cls.__name__} is not a registered message")
     root = ElementTree.Element("message", {"tag": tag})
@@ -96,7 +81,7 @@ def _encode_value(value: Any) -> ElementTree.Element:
         for item in value:
             child = _encode_item(item)
             element.append(child)
-    elif type(value) in _TAG_OF:
+    elif tag_for(type(value)) is not None:
         element.set("type", "message")
         element.append(_nested_element(value))
     else:
@@ -133,7 +118,7 @@ def _decode_message_element(root: ElementTree.Element) -> Any:
     if root.tag != "message":
         raise MalformedMessageError(f"expected <message>, got <{root.tag}>")
     tag = root.get("tag")
-    cls = _REGISTRY.get(tag or "")
+    cls = class_for(tag or "")
     if cls is None:
         raise UnknownMessageError(f"unknown message tag {tag!r}")
     values: dict[str, Any] = {}

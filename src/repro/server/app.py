@@ -51,7 +51,8 @@ from ..protocol import (
     VendorQueryRequest,
     VendorInfoResponse,
     VoteRequest,
-    encode,
+    DEFAULT_CODEC,
+    encode_with,
 )
 from .accounts import AccountManager
 from .cache import DEFAULT_MAX_ENTRIES, ScoreResponseCache
@@ -187,9 +188,18 @@ class ReputationServer:
 
     # -- wire entry point ---------------------------------------------------
 
-    def handle_bytes(self, source: str, payload: bytes) -> bytes:
-        """The network endpoint handler: XML in, XML out."""
-        return self.pipeline.run(source, payload)
+    def handle_bytes(
+        self, source: str, payload: bytes, codec: str = DEFAULT_CODEC
+    ) -> bytes:
+        """The network endpoint handler: encoded bytes in and out.
+
+        *codec* names the connection's negotiated wire format; without a
+        negotiation it defaults to XML, byte-identical to the original
+        wire.  Transports probe for this keyword
+        (:func:`repro.net.framing.handler_accepts_codec`) to decide
+        whether they may negotiate at all.
+        """
+        return self.pipeline.run(source, payload, codec=codec)
 
     def handle(self, source: str, request: object):
         """Handle one decoded request; always returns a message."""
@@ -262,11 +272,15 @@ class ReputationServer:
         if self.score_cache.enabled and info.known:
             # The encoding dominates a warm read: serve the cached bytes
             # through the codec's pass-through, encoding each response
-            # exactly once per epoch.
-            wire = self.score_cache.wire_for(request.software_id, info)
+            # exactly once per epoch *per negotiated codec*.
+            wire = self.score_cache.wire_for(
+                request.software_id, info, ctx.codec
+            )
             if wire is None:
-                wire = encode(info)
-                self.score_cache.attach_wire(request.software_id, info, wire)
+                wire = encode_with(ctx.codec, info)
+                self.score_cache.attach_wire(
+                    request.software_id, info, ctx.codec, wire
+                )
             ctx.encoded_response = (info, wire)
         return info
 

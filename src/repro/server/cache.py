@@ -34,18 +34,21 @@ DEFAULT_MAX_ENTRIES = 65536
 
 
 class _CachedResponse:
-    """One assembled response, plus (lazily) its wire encoding.
+    """One assembled response, plus (lazily) its wire encodings.
 
-    The XML encoding of a response dwarfs its assembly on a warm cache,
-    so the single-query handler attaches the encoded bytes after the
-    first send and the codec serves them verbatim from then on.
+    The encoding of a response dwarfs its assembly on a warm cache, so
+    the single-query handler attaches the encoded bytes after the first
+    send and the codec serves them verbatim from then on.  Connections
+    negotiate their codec (XML or binary), so the bytes are kept **per
+    codec name** — the first XML reader and the first binary reader each
+    pay one encode, everyone after them pays none.
     """
 
     __slots__ = ("info", "wire")
 
     def __init__(self, info: SoftwareInfoResponse):
         self.info = info
-        self.wire: Optional[bytes] = None
+        self.wire: dict = {}  # codec name -> encoded bytes
 
 
 class ScoreResponseCache:
@@ -104,23 +107,28 @@ class ScoreResponseCache:
             self._entries[software_id] = _CachedResponse(info)
 
     def wire_for(
-        self, software_id: str, info: SoftwareInfoResponse
+        self, software_id: str, info: SoftwareInfoResponse, codec: str
     ) -> Optional[bytes]:
-        """The cached encoding of *info*, if this exact object is cached."""
+        """The cached *codec* encoding of *info*, if this exact object
+        is cached and has been encoded in that format before."""
         with self._lock:
             entry = self._entries.get(software_id)
             if entry is not None and entry.info is info:
-                return entry.wire
+                return entry.wire.get(codec)
             return None
 
     def attach_wire(
-        self, software_id: str, info: SoftwareInfoResponse, wire: bytes
+        self,
+        software_id: str,
+        info: SoftwareInfoResponse,
+        codec: str,
+        wire: bytes,
     ) -> None:
-        """Remember *info*'s encoding (no-op if the entry moved on)."""
+        """Remember *info*'s *codec* encoding (no-op if the entry moved on)."""
         with self._lock:
             entry = self._entries.get(software_id)
             if entry is not None and entry.info is info:
-                entry.wire = wire
+                entry.wire[codec] = wire
 
     def invalidate(self, software_id: str) -> None:
         """Drop one entry (a comment or remark changed it mid-epoch)."""

@@ -40,7 +40,7 @@ from ..errors import (
     RegistrationError,
     ServerError,
 )
-from ..protocol import ErrorResponse, decode, encode
+from ..protocol import DEFAULT_CODEC, ErrorResponse, decode_with, encode_with
 
 #: Error codes carried in ErrorResponse.code.
 E_BAD_REQUEST = "bad-request"
@@ -76,6 +76,9 @@ class RequestContext:
 
     source: str
     request_id: int = 0
+    #: The connection's negotiated wire codec ("xml" unless the
+    #: transport's HELLO negotiation picked another format).
+    codec: str = DEFAULT_CODEC
     raw_request: Optional[bytes] = None
     request: Optional[object] = None
     response: Optional[object] = None
@@ -143,14 +146,20 @@ class Middleware:
 
 
 class CodecMiddleware(Middleware):
-    """XML bytes in, XML bytes out; undecodable input short-circuits."""
+    """Wire bytes in, wire bytes out; undecodable input short-circuits.
+
+    The format is whatever ``ctx.codec`` names — XML by default, or the
+    binary codec when the transport negotiated it.  Decode and encode
+    both honour it, so one connection's negotiation never leaks into
+    another's responses.
+    """
 
     name = "codec"
     wire_only = True
 
     def __call__(self, ctx: RequestContext, call_next: Callable[[], None]) -> None:
         try:
-            ctx.request = decode(ctx.raw_request)
+            ctx.request = decode_with(ctx.codec, ctx.raw_request)
         except ProtocolError as exc:
             ctx.response = ErrorResponse(code=E_BAD_REQUEST, detail=str(exc))
         else:
@@ -159,7 +168,7 @@ class CodecMiddleware(Middleware):
         if cached is not None and cached[0] is ctx.response:
             ctx.raw_response = cached[1]
         else:
-            ctx.raw_response = encode(ctx.response)
+            ctx.raw_response = encode_with(ctx.codec, ctx.response)
 
 
 class ErrorMiddleware(Middleware):
@@ -322,11 +331,14 @@ class Pipeline:
 
     # -- entry points -----------------------------------------------------
 
-    def run(self, source: str, payload: bytes) -> bytes:
-        """The wire entry point: XML bytes in, XML bytes out."""
+    def run(
+        self, source: str, payload: bytes, codec: str = DEFAULT_CODEC
+    ) -> bytes:
+        """The wire entry point: encoded bytes in, encoded bytes out."""
         ctx = RequestContext(
             source=source,
             request_id=next(self._request_ids),
+            codec=codec,
             raw_request=payload,
             started=time.perf_counter(),
         )

@@ -1,0 +1,223 @@
+"""The event-loop transport: readiness multiplexing at connection scale."""
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import EndpointUnreachableError
+from repro.net import EventLoopServer, PipeliningClient, TcpClient
+from repro.net.framing import read_frame, write_frame
+from repro.protocol import (
+    ErrorResponse,
+    PuzzleRequest,
+    PuzzleResponse,
+    decode,
+    encode,
+)
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestEventLoopBasics:
+    """The PR 1 transport contract, verbatim, against the event loop."""
+
+    def test_serves_handle_bytes(self, server):
+        with EventLoopServer(server.handle_bytes) as evs:
+            host, port = evs.address
+            with TcpClient(host, port) as client:
+                response = decode(client.request(encode(PuzzleRequest())))
+        assert isinstance(response, PuzzleResponse)
+
+    def test_multiple_requests_one_connection(self, server):
+        with EventLoopServer(server.handle_bytes) as evs:
+            host, port = evs.address
+            with TcpClient(host, port) as client:
+                for _ in range(5):
+                    response = decode(client.request(encode(PuzzleRequest())))
+                    assert isinstance(response, PuzzleResponse)
+
+    def test_garbage_bytes_get_error_response_not_disconnect(self, server):
+        with EventLoopServer(server.handle_bytes) as evs:
+            host, port = evs.address
+            with TcpClient(host, port) as client:
+                response = decode(client.request(b"<<<not xml"))
+                assert isinstance(response, ErrorResponse)
+                assert response.code == "bad-request"
+                follow_up = decode(client.request(encode(PuzzleRequest())))
+                assert isinstance(follow_up, PuzzleResponse)
+
+    def test_source_is_peer_host_without_port(self, server):
+        seen = []
+
+        def spying(source, payload):
+            seen.append(source)
+            return server.handle_bytes(source, payload)
+
+        with EventLoopServer(spying) as evs:
+            host, port = evs.address
+            with TcpClient(host, port) as client:
+                client.request(encode(PuzzleRequest()))
+        assert seen == ["127.0.0.1"]
+
+    def test_connect_refused_maps_to_unreachable(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        with pytest.raises(EndpointUnreachableError):
+            TcpClient(host, port, timeout=0.5)
+
+    def test_stop_is_idempotent(self, server):
+        evs = EventLoopServer(server.handle_bytes)
+        evs.start()
+        evs.stop()
+        evs.stop()
+
+    def test_stop_without_start(self, server):
+        EventLoopServer(server.handle_bytes).stop()
+
+
+class TestHandlerExceptionGuarantee:
+    """An app-handler crash answers with an error frame, never a hang."""
+
+    def test_exception_becomes_error_response(self):
+        calls = []
+
+        def exploding(source, payload):
+            calls.append(payload)
+            if payload == b"boom":
+                raise RuntimeError("handler bug")
+            return encode(PuzzleRequest())
+
+        with EventLoopServer(exploding) as evs:
+            host, port = evs.address
+            with TcpClient(host, port) as client:
+                response = decode(client.request(b"boom"))
+                assert isinstance(response, ErrorResponse)
+                assert response.code == "server-error"
+                # The connection survives the handler's crash.
+                client.request(b"fine")
+        assert calls == [b"boom", b"fine"]
+
+
+class TestConnectionScale:
+    def test_many_persistent_connections(self, server):
+        with EventLoopServer(server.handle_bytes, loops=2) as evs:
+            host, port = evs.address
+            clients = [TcpClient(host, port) for _ in range(64)]
+            try:
+                assert _wait_until(lambda: evs.connection_count == 64)
+                payload = encode(PuzzleRequest())
+                for client in clients:
+                    response = decode(client.request(payload))
+                    assert isinstance(response, PuzzleResponse)
+                assert evs.connection_count == 64
+            finally:
+                for client in clients:
+                    client.close()
+            assert _wait_until(lambda: evs.connection_count == 0)
+            assert evs.accepted == 64
+
+    def test_accept_balancing_across_loops(self, server):
+        with EventLoopServer(server.handle_bytes, loops=3) as evs:
+            host, port = evs.address
+            clients = [TcpClient(host, port) for _ in range(9)]
+            try:
+                assert _wait_until(lambda: evs.connection_count == 9)
+                shares = sorted(
+                    len(loop.connections) for loop in evs._loops
+                )
+                assert shares == [3, 3, 3]
+            finally:
+                for client in clients:
+                    client.close()
+
+
+class TestIdleReaping:
+    def test_idle_connections_are_reaped(self, server):
+        with EventLoopServer(server.handle_bytes, idle_timeout=0.2) as evs:
+            host, port = evs.address
+            client = TcpClient(host, port)
+            try:
+                # Activity first, then silence beyond the deadline.
+                client.request(encode(PuzzleRequest()))
+                assert _wait_until(lambda: evs.reaped >= 1, timeout=5.0)
+                assert evs.connection_count == 0
+                # The client sees a clean server-side close.
+                assert read_frame(client._sock) is None
+            finally:
+                client.close()
+
+    def test_active_connections_survive_the_reaper(self, server):
+        with EventLoopServer(server.handle_bytes, idle_timeout=0.4) as evs:
+            host, port = evs.address
+            with TcpClient(host, port) as client:
+                for _ in range(6):
+                    time.sleep(0.1)
+                    response = decode(client.request(encode(PuzzleRequest())))
+                    assert isinstance(response, PuzzleResponse)
+            assert evs.reaped == 0
+
+
+class TestBackpressure:
+    def test_unread_responses_pause_reading_then_recover(self):
+        """A peer that writes without reading cannot balloon the queue."""
+        big = b"\x42" * (64 * 1024)
+
+        def echo(source, payload):
+            return big
+
+        with EventLoopServer(echo, max_pending_out=64 * 1024) as evs:
+            host, port = evs.address
+            # A tiny receive window (set before connect so the handshake
+            # advertises it) plus no reading: the kernel cannot swallow
+            # the responses, so the server's write queue must fill.
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            sock.settimeout(10)
+            sock.connect((host, port))
+            try:
+                requests = 100
+                for _ in range(requests):
+                    write_frame(sock, b"ping")
+                # Server must have parked read interest on this
+                # connection rather than buffering every response.
+                assert _wait_until(
+                    lambda: any(
+                        conn.read_paused
+                        for loop in evs._loops
+                        for conn in loop.connections.values()
+                    ),
+                    timeout=5.0,
+                )
+                # Start draining: every response still arrives, in order.
+                for _ in range(requests):
+                    assert read_frame(sock) == big
+            finally:
+                sock.close()
+
+
+class TestNegotiatedPath:
+    def test_pipelined_binary_round_trip(self, server):
+        with EventLoopServer(server.handle_bytes) as evs:
+            host, port = evs.address
+            with PipeliningClient(host, port) as client:
+                assert client.codec == "binary"
+                from repro.protocol import decode_with, encode_with
+
+                pending = [
+                    client.submit(encode_with("binary", PuzzleRequest()))
+                    for _ in range(32)
+                ]
+                for slot in pending:
+                    response = decode_with("binary", slot.result(5.0))
+                    assert isinstance(response, PuzzleResponse)
+                assert client.round_trips == 32

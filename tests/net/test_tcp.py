@@ -138,3 +138,57 @@ class TestTcpTransport:
         tcp.start()
         tcp.stop()
         tcp.stop()
+
+
+class TestHandlerExceptionGuarantee:
+    """Regression: an app-handler crash used to kill the connection
+    silently — no reply, no log — leaving the client hung on its read.
+    The handler thread must answer with an encoded ErrorResponse and
+    keep the connection serving."""
+
+    def test_exception_becomes_error_response(self, caplog):
+        calls = []
+
+        def exploding(source, payload):
+            calls.append(payload)
+            if payload == b"boom":
+                raise RuntimeError("handler bug")
+            return encode(PuzzleRequest())
+
+        with TcpTransportServer(exploding) as tcp:
+            host, port = tcp.address
+            with TcpClient(host, port) as client:
+                response = decode(client.request(b"boom"))
+                assert isinstance(response, ErrorResponse)
+                assert response.code == "server-error"
+                # The crash is logged, with the traceback, not swallowed.
+                assert any(
+                    record.exc_info for record in caplog.records
+                ), "handler exception left no log trace"
+                # The connection survives and keeps serving.
+                follow_up = client.request(b"fine")
+                assert follow_up == encode(PuzzleRequest())
+        assert calls == [b"boom", b"fine"]
+
+    def test_every_request_of_a_burst_gets_an_answer(self, server):
+        """Even alternating good/crashing requests never desynchronise
+        the request/response pairing."""
+
+        def flaky(source, payload):
+            if payload.startswith(b"crash"):
+                raise ValueError(payload.decode())
+            return server.handle_bytes(source, payload)
+
+        with TcpTransportServer(flaky) as tcp:
+            host, port = tcp.address
+            with TcpClient(host, port) as client:
+                for index in range(6):
+                    if index % 2:
+                        response = decode(client.request(b"crash%d" % index))
+                        assert isinstance(response, ErrorResponse)
+                        assert response.code == "server-error"
+                    else:
+                        response = decode(
+                            client.request(encode(PuzzleRequest()))
+                        )
+                        assert isinstance(response, PuzzleResponse)

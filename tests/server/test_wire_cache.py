@@ -1,0 +1,145 @@
+"""Per-codec wire caching in the score response cache.
+
+Connections negotiate their codec, so one assembled response may be
+served as XML to one client and as binary to another.  The cache must
+keep the two encodings side by side — attaching the binary bytes must
+never evict or overwrite the XML bytes, and a negotiated connection
+must be answered in *its* codec even when the other one warmed the
+cache first.
+"""
+
+import random
+
+import pytest
+
+from repro.clock import SimClock
+from repro.protocol import (
+    QuerySoftwareRequest,
+    SoftwareInfoResponse,
+    decode_with,
+    encode_with,
+)
+from repro.server import ReputationServer, VoteGate
+from repro.server.cache import ScoreResponseCache
+
+SOFTWARE_ID = "ab" * 20
+
+
+def _info() -> SoftwareInfoResponse:
+    return SoftwareInfoResponse(
+        software_id=SOFTWARE_ID, known=True, score=7.5, vote_count=3
+    )
+
+
+class TestPerCodecWire:
+    def test_encodings_live_side_by_side(self):
+        cache = ScoreResponseCache()
+        info = _info()
+        cache.put(SOFTWARE_ID, 1, info)
+        cached = cache.get(SOFTWARE_ID, 1)
+        assert cached is info
+
+        assert cache.wire_for(SOFTWARE_ID, info, "xml") is None
+        cache.attach_wire(SOFTWARE_ID, info, "xml", b"<xml-bytes/>")
+        cache.attach_wire(SOFTWARE_ID, info, "binary", b"\x00binary")
+        assert cache.wire_for(SOFTWARE_ID, info, "xml") == b"<xml-bytes/>"
+        assert cache.wire_for(SOFTWARE_ID, info, "binary") == b"\x00binary"
+
+    def test_wire_is_dropped_with_its_entry(self):
+        cache = ScoreResponseCache()
+        info = _info()
+        cache.put(SOFTWARE_ID, 1, info)
+        cache.attach_wire(SOFTWARE_ID, info, "xml", b"<xml/>")
+        cache.invalidate(SOFTWARE_ID)
+        assert cache.wire_for(SOFTWARE_ID, info, "xml") is None
+
+    def test_attach_ignores_a_superseded_entry(self):
+        """A racing attach for an object the cache no longer holds must
+        not resurrect stale bytes."""
+        cache = ScoreResponseCache()
+        old, new = _info(), _info()
+        cache.put(SOFTWARE_ID, 1, old)
+        cache.put(SOFTWARE_ID, 1, new)  # replaces the entry object
+        cache.attach_wire(SOFTWARE_ID, old, "xml", b"<stale/>")
+        assert cache.wire_for(SOFTWARE_ID, new, "xml") is None
+
+
+class TestNegotiatedServing:
+    @pytest.fixture()
+    def seeded(self):
+        server = ReputationServer(
+            clock=SimClock(), puzzle_difficulty=0, rng=random.Random(3)
+        )
+        server.gate = VoteGate(server.engine, burst=10_000.0)
+        token = server.accounts.register("user0", "password", "u@x.org")
+        server.accounts.activate("user0", token)
+        server.engine.enroll_user("user0")
+        session = server.accounts.login("user0", "password")
+        server.engine.register_software(
+            software_id=SOFTWARE_ID,
+            file_name="app.exe",
+            file_size=1234,
+            vendor="v",
+            version="1.0",
+        )
+        server.engine.cast_vote("user0", SOFTWARE_ID, 8)
+        server.clock.advance(86400)
+        server.run_daily_batch()
+        return server, session
+
+    def _query(self, session: str) -> QuerySoftwareRequest:
+        return QuerySoftwareRequest(
+            session=session,
+            software_id=SOFTWARE_ID,
+            file_name="app.exe",
+            file_size=1234,
+            vendor="v",
+            version="1.0",
+        )
+
+    def test_same_entry_served_in_both_codecs(self, seeded):
+        server, session = seeded
+        request = self._query(session)
+        answers = {}
+        for codec in ("xml", "binary", "xml", "binary"):
+            payload = server.handle_bytes(
+                "10.0.0.1", encode_with(codec, request), codec=codec
+            )
+            answers.setdefault(codec, []).append(payload)
+            response = decode_with(codec, payload)
+            assert isinstance(response, SoftwareInfoResponse)
+            assert response.known
+            assert response.software_id == SOFTWARE_ID
+        # Both formats decode to the same answer...
+        assert decode_with("xml", answers["xml"][0]) == decode_with(
+            "binary", answers["binary"][0]
+        )
+        # ...and repeat reads in a codec serve the cached bytes verbatim.
+        assert answers["xml"][0] == answers["xml"][1]
+        assert answers["binary"][0] == answers["binary"][1]
+        assert answers["xml"][0] != answers["binary"][0]
+
+    def test_wire_bytes_attach_per_codec(self, seeded):
+        server, session = seeded
+        request = self._query(session)
+        server.handle_bytes(
+            "10.0.0.1", encode_with("xml", request), codec="xml"
+        )
+        epoch = server.engine.aggregator.epoch
+        cached = server.score_cache.get(SOFTWARE_ID, epoch)
+        assert cached is not None
+        assert (
+            server.score_cache.wire_for(SOFTWARE_ID, cached, "xml") is not None
+        )
+        assert server.score_cache.wire_for(SOFTWARE_ID, cached, "binary") is None
+        server.handle_bytes(
+            "10.0.0.1", encode_with("binary", request), codec="binary"
+        )
+        assert (
+            server.score_cache.wire_for(SOFTWARE_ID, cached, "binary")
+            is not None
+        )
+        # Attaching binary did not displace the XML bytes.
+        assert (
+            server.score_cache.wire_for(SOFTWARE_ID, cached, "xml") is not None
+        )
