@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable
 
 from .analysis import ablations, experiments
+from .clock import perf_now
 
 #: experiment id -> (description, full-scale thunk, quick thunk)
 _REGISTRY: dict = {
@@ -121,9 +121,9 @@ def _command_run(args: argparse.Namespace) -> int:
     for name in requested:
         description, full, quick = _REGISTRY[name]
         runner: Callable = quick if args.quick else full
-        started = time.perf_counter()
+        started = perf_now()
         result = runner()
-        elapsed = time.perf_counter() - started
+        elapsed = perf_now() - started
         print("=" * 72)
         print(f"{name.upper()} — {description}   [{elapsed:.1f}s]")
         print("=" * 72)
@@ -142,12 +142,12 @@ def _command_report(args: argparse.Namespace) -> int:
         "EXPERIMENTS.md for the paper-vs-measured discussion.",
         "",
     ]
-    total_started = time.perf_counter()
+    total_started = perf_now()
     for name, (description, full, quick) in _REGISTRY.items():
         runner: Callable = quick if args.quick else full
-        started = time.perf_counter()
+        started = perf_now()
         result = runner()
-        elapsed = time.perf_counter() - started
+        elapsed = perf_now() - started
         print(f"{name.upper():<4} done in {elapsed:5.1f}s — {description}")
         lines.append(f"## {name.upper()} — {description}")
         lines.append("")
@@ -155,7 +155,7 @@ def _command_report(args: argparse.Namespace) -> int:
         lines.append(result["rendered"])
         lines.append("```")
         lines.append("")
-    total_elapsed = time.perf_counter() - total_started
+    total_elapsed = perf_now() - total_started
     lines.append(f"_Total generation time: {total_elapsed:.1f}s._")
     report = "\n".join(lines) + "\n"
     if args.output:

@@ -21,10 +21,10 @@ carries whatever codec the connection negotiated (the transport's
 
 from __future__ import annotations
 
-import threading
 from typing import Optional
 
 from ..errors import EndpointUnreachableError
+from ..storage.locks import create_lock
 from ..protocol import DEFAULT_CODEC, decode_with, encode_with
 
 
@@ -61,9 +61,9 @@ class CoalescingLookupClient:
         self.codec = getattr(transport, "codec", DEFAULT_CODEC)
         self._session = session
         #: Guards the pending queue.
-        self._mutex = threading.Lock()
+        self._mutex = create_lock("lookup-pending")
         #: Serialises wire round trips; the holder is the batch leader.
-        self._io_lock = threading.Lock()
+        self._io_lock = create_lock("lookup-io")
         self._pending: list = []  # (QuerySoftwareItem, _LookupSlot)
         self.batches_sent = 0
         self.items_sent = 0

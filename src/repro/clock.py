@@ -10,9 +10,18 @@ Time is measured in integer **seconds** from an arbitrary epoch (0).  Helper
 constants and conversion utilities cover the units the paper talks about:
 24-hour aggregation periods and calendar weeks for trust growth and prompt
 throttling.
+
+The few places that legitimately need *real* time — transport idle
+accounting, latency instrumentation — go through :func:`monotonic_now`
+/ :func:`perf_now` / :func:`wall_now` below, so this module stays the
+single point where the process touches the system clock.  The REP001
+lint rule (:mod:`repro.lint`) enforces that: any other module calling
+``time.*`` or ``datetime.now`` directly fails static analysis.
 """
 
 from __future__ import annotations
+
+import time as _time
 
 from .errors import ClockError
 
@@ -40,6 +49,31 @@ def days(n: float) -> int:
 def weeks(n: float) -> int:
     """Return *n* weeks expressed in seconds."""
     return int(n * SECONDS_PER_WEEK)
+
+
+# ---------------------------------------------------------------------------
+# Real-time escape hatches (the only sanctioned ones)
+# ---------------------------------------------------------------------------
+#
+# Simulation semantics always run on SimClock.  Real time is reserved for
+# the two places it cannot be avoided: wire transports reaping idle
+# connections and instrumentation measuring wall latency.  Those call the
+# wrappers below (usually via an injectable ``time_source=`` parameter) so
+# tests can substitute a fake and REP001 can ban ``time.*`` everywhere else.
+
+def monotonic_now() -> float:
+    """Monotonic seconds — transport idle deadlines, never simulation."""
+    return _time.monotonic()
+
+
+def perf_now() -> float:
+    """High-resolution performance counter — latency instrumentation."""
+    return _time.perf_counter()
+
+
+def wall_now() -> float:
+    """Wall-clock seconds since the Unix epoch — log stamping only."""
+    return _time.time()
 
 
 class SimClock:

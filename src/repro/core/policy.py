@@ -24,6 +24,9 @@ from ..crypto.signatures import VerificationResult
 from ..errors import PolicyError
 from .ratings import MAX_SCORE, MIN_SCORE
 
+#: Shared empty default for behavior sets (B008: no calls in defaults).
+_NO_BEHAVIORS: frozenset = frozenset()
+
 
 class PolicyVerdict(Enum):
     """What the policy engine tells the client to do."""
@@ -290,7 +293,7 @@ class Policy:
         return [rule.describe() for rule in self.rules]
 
     @staticmethod
-    def paper_example(forbidden_behaviors: frozenset = frozenset()) -> "Policy":
+    def paper_example(forbidden_behaviors: frozenset = _NO_BEHAVIORS) -> "Policy":
         """The exact policy from Sec. 4.2.
 
         "any software from trusted vendors should be allowed, while other

@@ -1,0 +1,29 @@
+"""reprolint: first-party static analysis for project invariants.
+
+The trust machinery of the reputation system only holds if the
+concurrency and protocol rules the code was built around actually stay
+true as the code grows.  ``reprolint`` writes those rules down as
+named, suppressible checks (REP001–REP005) and fails CI on any
+violation — see DESIGN §9 for the catalog and
+``python -m repro.lint --list-rules`` for the live version.
+
+Public surface: :func:`~repro.lint.engine.lint_paths` /
+:func:`~repro.lint.engine.lint_text` for programmatic use (the rule
+tests drive these), :data:`~repro.lint.rules.ALL_RULES` for the
+catalog, and :func:`~repro.lint.cli.main` for the CLI.
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, LintResult, Module, Rule, lint_paths, lint_text
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintResult",
+    "Module",
+    "Rule",
+    "lint_paths",
+    "lint_text",
+]

@@ -1,0 +1,84 @@
+"""The reprolint command line.
+
+Usage::
+
+    python -m repro.lint src            # lint a tree (CI gate: exit 1 on
+                                        # any finding)
+    python -m repro.lint --list-rules   # the REP catalog
+    python -m repro.lint --select REP001,REP005 src
+
+Output is one finding per line in the classic ``path:line:col: ID
+message`` shape, sorted, plus a one-line summary on stderr so piping
+the findings stays clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import lint_paths
+from .rules import ALL_RULES
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Project-invariant static analysis: enforces the REP rules "
+            "(injected time/RNG, no blocking under storage locks, no "
+            "silent excepts, codec exhaustiveness, tracked locks)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def _list_rules() -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.id}  {rule.title}")
+        doc = sys.modules[type(rule).__module__].__doc__ or ""
+        summary = doc.strip().splitlines()[0] if doc.strip() else ""
+        if summary:
+            print(f"        {summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        known = {rule.id for rule in ALL_RULES}
+        unknown = [rule_id for rule_id in select if rule_id not in known]
+        if unknown:
+            print(
+                f"unknown rule ids: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+    result = lint_paths(args.paths, select=select)
+    for finding in result.findings:
+        print(finding.format())
+    summary = (
+        f"reprolint: {len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"({result.suppressed} suppressed) in {result.files_checked} files"
+    )
+    print(summary, file=sys.stderr)
+    return 1 if result.findings else 0

@@ -1,0 +1,32 @@
+"""The REP rule catalog.
+
+One module per rule; ``ALL_RULES`` is the engine's (and the CLI's)
+default rule set, in rule-id order.  Adding a rule means adding a
+module here and an entry to this list — the CLI's ``--list-rules`` and
+the DESIGN §9 catalog both derive from the same objects.
+"""
+
+from __future__ import annotations
+
+from .rep001_wall_clock import WallClockRule
+from .rep002_blocking_under_lock import BlockingUnderLockRule
+from .rep003_silent_except import SilentExceptRule
+from .rep004_codec_exhaustive import CodecExhaustiveRule
+from .rep005_raw_threading import RawThreadingRule
+
+ALL_RULES = (
+    WallClockRule(),
+    BlockingUnderLockRule(),
+    SilentExceptRule(),
+    CodecExhaustiveRule(),
+    RawThreadingRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "WallClockRule",
+    "BlockingUnderLockRule",
+    "SilentExceptRule",
+    "CodecExhaustiveRule",
+    "RawThreadingRule",
+]

@@ -1,0 +1,136 @@
+"""REP001 — all time and randomness is injected.
+
+Every simulation result in this repo is reproducible because "now"
+comes from an injected :class:`~repro.clock.SimClock` and every random
+draw comes from a seeded ``random.Random`` passed down the stack.  One
+stray ``time.time()`` or module-level ``random.choice()`` silently
+breaks that: experiments stop replaying, Hypothesis shrinks stop being
+deterministic, and a benchmark's "fast-forward weeks in milliseconds"
+trick no longer works.
+
+Banned outside ``clock.py`` and ``crypto/``:
+
+* reading the system clock: ``time.time/monotonic/perf_counter/...``
+  and ``datetime.now/utcnow/today`` (also via ``from time import ...``);
+* the process-global RNG: module-level ``random.*`` calls;
+* an *unseeded* ``random.Random()``.
+
+``clock.py`` is exempt because it is the sanctioned wrapper (real time
+enters the process only through ``monotonic_now``/``perf_now``/
+``wall_now``); ``crypto/`` is exempt because security randomness must
+not be deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Module, Rule
+
+#: ``time`` module attributes that read the system clock.
+_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "localtime", "gmtime",
+})
+
+#: ``datetime``/``date`` constructors that read the system clock.
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: Module-level functions of the process-global RNG.
+_RANDOM_ATTRS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "getrandbits", "gauss", "normalvariate",
+    "lognormvariate", "expovariate", "betavariate", "paretovariate",
+    "weibullvariate", "triangular", "vonmisesvariate", "seed",
+    "randbytes",
+})
+
+
+class WallClockRule(Rule):
+    id = "REP001"
+    title = "wall clock / process-global randomness outside clock.py and crypto/"
+    exempt = ("/clock.py", "/crypto/")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        banned_bare = _banned_bare_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._match(node, banned_bare)
+            if message is not None:
+                yield Finding(
+                    rule=self.id,
+                    path=module.rel_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=message,
+                )
+
+    def _match(self, node: ast.Call, banned_bare: dict):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            root = _attribute_root(func)
+            if root == "time" and func.attr in _TIME_ATTRS:
+                return (
+                    f"time.{func.attr}() reads the system clock — take the "
+                    "injected SimClock (or repro.clock.monotonic_now/"
+                    "perf_now/wall_now for transports and instrumentation)"
+                )
+            if root in ("datetime", "date") and func.attr in _DATETIME_ATTRS:
+                return (
+                    f"{root}.{func.attr}() reads the system clock — take "
+                    "the injected SimClock instead"
+                )
+            if root == "random":
+                if func.attr in _RANDOM_ATTRS:
+                    return (
+                        f"random.{func.attr}() uses the process-global RNG — "
+                        "take an injected, seeded random.Random"
+                    )
+                if func.attr == "Random" and not node.args and not node.keywords:
+                    return (
+                        "random.Random() without a seed is nondeterministic — "
+                        "pass an explicit seed or inject the RNG"
+                    )
+        elif isinstance(func, ast.Name) and func.id in banned_bare:
+            origin = banned_bare[func.id]
+            if origin == "random.Random" and (node.args or node.keywords):
+                return None  # seeded Random(...) via bare import is fine
+            return (
+                f"{func.id}() (imported from {origin.split('.')[0]}) reads "
+                "system time/randomness — use the injected clock/RNG"
+            )
+        return None
+
+
+def _attribute_root(func: ast.Attribute) -> str:
+    """Dotted-call root: 'time' for time.time, 'datetime' for
+    datetime.datetime.now, '' when the base is not a plain name chain."""
+    value = func.value
+    while isinstance(value, ast.Attribute):
+        value = value.value
+    return value.id if isinstance(value, ast.Name) else ""
+
+
+def _banned_bare_names(tree: ast.AST) -> dict:
+    """Names imported straight off time/datetime/random that are banned.
+
+    ``from time import monotonic`` then ``monotonic()`` must not dodge
+    the rule.  Maps local name -> "module.original" for the message.
+    """
+    banned: dict = {}
+    sources = {
+        "time": _TIME_ATTRS,
+        "datetime": _DATETIME_ATTRS,
+        "random": _RANDOM_ATTRS | {"Random"},
+    }
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom) or node.module not in sources:
+            continue
+        for alias in node.names:
+            if alias.name in sources[node.module]:
+                banned[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return banned

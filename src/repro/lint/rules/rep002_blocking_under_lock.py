@@ -1,0 +1,117 @@
+"""REP002 — no blocking calls while holding a storage lock.
+
+The storage engine's reader–writer lock is the whole system's
+convoy point: every lookup takes the read side, every vote and the
+aggregation batch take the write side.  A socket round trip, a sleep,
+or file I/O inside a ``read_locked()`` / ``write_locked()`` /
+``transaction()`` block turns one slow peer into a server-wide stall —
+the writer-preference that protects the aggregation batch then *amplifies*
+it, because queued writers also block every new reader.
+
+The rule flags calls that are blocking by construction inside a
+``with`` block whose context manager is one of the lock idioms.  Code
+in a nested ``def``/``lambda`` is not flagged (it does not run under
+the lock just by being defined there).
+
+Deliberate exceptions exist — the WAL must write under the exclusive
+section — and are suppressed where they happen, with a justification,
+via ``# reprolint: disable=REP002`` on the ``with`` line (suppressing
+on the lock's ``with`` statement covers the whole block).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..engine import Finding, Module, Rule
+
+#: ``with``-item attribute calls that mean "a storage lock is held".
+_LOCK_IDIOMS = frozenset({"read_locked", "write_locked", "transaction"})
+
+#: Bare-name calls that block.
+_BLOCKING_NAMES = frozenset({"open", "sleep"})
+
+#: ``module.func`` calls that block.
+_BLOCKING_DOTTED = frozenset({
+    ("time", "sleep"),
+    ("os", "fsync"),
+    ("os", "replace"),
+    ("socket", "create_connection"),
+})
+
+#: Method names that block regardless of receiver (socket and
+#: request/response client surfaces).
+_BLOCKING_METHODS = frozenset({
+    "recv", "recv_into", "send", "sendall", "accept", "connect",
+    "makefile", "request",
+})
+
+
+class BlockingUnderLockRule(Rule):
+    id = "REP002"
+    title = "blocking I/O, sleeps, or lookups under a storage lock"
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not _holds_storage_lock(node):
+                continue
+            for call in _calls_in_block(node):
+                label = _blocking_label(call)
+                if label is not None:
+                    yield Finding(
+                        rule=self.id,
+                        path=module.rel_path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"{label} inside a storage-locked block "
+                            f"(lock taken at line {node.lineno}) — move the "
+                            "blocking work outside the locked region"
+                        ),
+                        related_lines=(node.lineno,),
+                    )
+
+
+def _holds_storage_lock(node) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _LOCK_IDIOMS
+        ):
+            return True
+    return False
+
+
+def _calls_in_block(node) -> List[ast.Call]:
+    """Every Call in the with-body, skipping nested function bodies."""
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+            continue  # deferred execution: not under the lock per se
+        if isinstance(current, ast.Call):
+            calls.append(current)
+        stack.extend(ast.iter_child_nodes(current))
+    return calls
+
+
+def _blocking_label(call: ast.Call):
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in _BLOCKING_NAMES:
+            return f"{func.id}() blocks"
+        return None
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            if (func.value.id, func.attr) in _BLOCKING_DOTTED:
+                return f"{func.value.id}.{func.attr}() blocks"
+        if func.attr in _BLOCKING_METHODS:
+            return f".{func.attr}() blocks"
+    return None

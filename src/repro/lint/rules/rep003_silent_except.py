@@ -1,0 +1,81 @@
+"""REP003 — no over-broad except that swallows silently.
+
+Scoped to the packages where a swallowed exception corrupts shared
+state or hides data loss: ``net/``, ``server/``, ``storage/``.  A bare
+``except:`` (or ``except Exception`` / ``except BaseException``) whose
+handler neither re-raises nor logs turns a real bug — a torn frame, a
+half-applied transaction — into silence; the reputation data then rots
+without a trace, which is precisely what the paper's trust model
+cannot afford.
+
+Narrow handlers (``except OSError``, ``except FrameError``) are not
+flagged: catching a *specific* expected failure and continuing is the
+transports' normal defensive posture.  A flagged handler passes once
+it contains either a ``raise`` or a call to a logging method
+(``log.warning(...)``, ``logger.exception(...)``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Module, Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+_LOG_METHODS = frozenset({
+    "debug", "info", "warning", "error", "exception", "critical", "log",
+})
+
+
+class SilentExceptRule(Rule):
+    id = "REP003"
+    title = "over-broad except without logging or re-raise in net/server/storage"
+    only = ("/net/", "/server/", "/storage/")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if _handles_visibly(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            yield Finding(
+                rule=self.id,
+                path=module.rel_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{caught} swallows without logging — log the failure, "
+                    "re-raise, or narrow the exception type"
+                ),
+            )
+
+
+def _is_broad(annotation) -> bool:
+    if annotation is None:
+        return True
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _BROAD
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return False
+
+
+def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or logs somewhere in its body."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _LOG_METHODS
+        ):
+            return True
+    return False

@@ -1,0 +1,197 @@
+"""REP004 — the wire vocabulary is exhaustive across codecs.
+
+Connections negotiate their codec (XML by default, binary by HELLO),
+and the parity guarantee — both codecs agree on *which* messages exist
+— rests on three structural facts this rule checks statically:
+
+* every ``Message`` subclass in ``protocol/messages.py`` is registered
+  with ``@message("tag")`` AND is a dataclass (both codecs serialise
+  via ``dataclasses.fields``, so an unregistered or non-dataclass
+  message is unspeakable in every format);
+* tags are unique — a duplicate would shadow a message in *both*
+  codecs at once;
+* both codec modules resolve classes through the shared registry
+  (``from .registry import class_for / tag_for``) instead of growing a
+  private table, and the negotiation table in ``protocol/codecs.py``
+  routes to both codec modules.
+
+This is a project-wide rule: it sees the whole file set, finds the
+protocol modules by path, and stays silent when they are absent (so
+linting an unrelated subtree is not an error).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..engine import Finding, Module, Rule
+
+
+class CodecExhaustiveRule(Rule):
+    id = "REP004"
+    title = "every protocol message registered and reachable from both codecs"
+    project_wide = True
+
+    def check_project(self, modules: List[Module]) -> Iterator[Finding]:
+        messages = _find(modules, "protocol/messages.py")
+        if messages is not None:
+            yield from self._check_messages(messages)
+        for codec_path in ("protocol/xml_codec.py", "protocol/binary_codec.py"):
+            codec = _find(modules, codec_path)
+            if codec is not None:
+                yield from self._check_codec_uses_registry(codec)
+        codecs = _find(modules, "protocol/codecs.py")
+        if codecs is not None:
+            yield from self._check_negotiation_table(codecs)
+
+    # -- messages.py -------------------------------------------------------
+
+    def _check_messages(self, module: Module) -> Iterator[Finding]:
+        seen_tags: dict = {}
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _subclasses_message(node) or node.name == "Message":
+                continue
+            tag = _message_tag(node)
+            if tag is None:
+                yield self._finding(
+                    module, node,
+                    f"message class {node.name} lacks @message(...) — it is "
+                    "unreachable from the XML codec, the binary codec, and "
+                    "the registry",
+                )
+            elif tag in seen_tags:
+                yield self._finding(
+                    module, node,
+                    f"message tag {tag!r} on {node.name} duplicates "
+                    f"{seen_tags[tag]} — one of them is shadowed in every "
+                    "codec",
+                )
+            else:
+                seen_tags[tag] = node.name
+            if not _is_dataclass(node):
+                yield self._finding(
+                    module, node,
+                    f"message class {node.name} is not a @dataclass — both "
+                    "codecs serialise via dataclasses.fields()",
+                )
+
+    # -- codec modules -----------------------------------------------------
+
+    def _check_codec_uses_registry(self, module: Module) -> Iterator[Finding]:
+        imported: set = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module == "registry" or node.module.endswith(".registry")
+            ):
+                imported.update(alias.name for alias in node.names)
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "_REGISTRY" \
+                            and not module.rel_path.endswith("registry.py"):
+                        yield self._finding(
+                            module, node,
+                            "codec module defines a private _REGISTRY — "
+                            "resolve tags through protocol.registry so the "
+                            "codecs cannot drift apart",
+                        )
+        missing = {"class_for", "tag_for"} - imported
+        if "*" not in imported and missing:
+            yield Finding(
+                rule=self.id,
+                path=module.rel_path,
+                line=1,
+                col=0,
+                message=(
+                    f"codec module does not import {sorted(missing)} from the "
+                    "shared registry — tag resolution must go through "
+                    "protocol.registry"
+                ),
+            )
+
+    def _check_negotiation_table(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "_CODECS" not in targets or not isinstance(node.value, ast.Dict):
+                continue
+            referenced = {
+                _module_of(value) for value in ast.walk(node.value)
+                if isinstance(value, ast.Attribute)
+            }
+            for required in ("xml_codec", "binary_codec"):
+                if required not in referenced:
+                    yield self._finding(
+                        module, node,
+                        f"negotiation table _CODECS does not route to "
+                        f"{required} — a negotiated connection could name a "
+                        "codec the table cannot dispatch",
+                    )
+            return
+        yield Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=1,
+            col=0,
+            message="protocol/codecs.py has no _CODECS negotiation table",
+        )
+
+    def _finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+        )
+
+
+def _find(modules: List[Module], suffix: str) -> Optional[Module]:
+    for module in modules:
+        if ("/" + module.rel_path).endswith("/" + suffix):
+            return module
+    return None
+
+
+def _subclasses_message(node: ast.ClassDef) -> bool:
+    return any(
+        (isinstance(base, ast.Name) and base.id == "Message")
+        or (isinstance(base, ast.Attribute) and base.attr == "Message")
+        for base in node.bases
+    )
+
+
+def _message_tag(node: ast.ClassDef) -> Optional[str]:
+    for decorator in node.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and isinstance(decorator.func, ast.Name)
+            and decorator.func.id == "message"
+            and decorator.args
+            and isinstance(decorator.args[0], ast.Constant)
+            and isinstance(decorator.args[0].value, str)
+        ):
+            return decorator.args[0].value
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        func = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _module_of(attribute: ast.Attribute) -> str:
+    """'xml_codec' for ``xml_codec.encode``; '' for deeper chains."""
+    value = attribute.value
+    return value.id if isinstance(value, ast.Name) else ""

@@ -1,0 +1,89 @@
+"""REP005 — no raw threading primitives outside locks.py and net/.
+
+The lock-order detector (:mod:`repro.storage.locks`) can only see the
+locks that report to it.  A raw ``threading.Lock()`` constructed in
+application code is invisible to the acquisition graph, so an A→B /
+B→A inversion through it would sail past every test the detector
+guards.  Application code therefore takes its mutexes from the shared
+factories — ``create_lock()`` / ``create_rlock()`` — which are tracked,
+named, and debuggable.
+
+Exempt:
+
+* ``storage/locks.py`` — it *is* the shared primitive layer;
+* ``net/`` — the transports manage sockets, selector loops, and their
+  worker threads directly; their synchronisation is internal to a
+  connection/loop and never interleaves with storage locks on the
+  blocking side.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, Module, Rule
+
+_PRIMITIVES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Thread", "Timer", "Barrier", "Event",
+})
+
+_HINTS = {
+    "Lock": "repro.storage.locks.create_lock()",
+    "RLock": "repro.storage.locks.create_rlock()",
+}
+
+
+class RawThreadingRule(Rule):
+    id = "REP005"
+    title = "raw threading primitives outside storage/locks.py and net/"
+    exempt = ("/storage/locks.py", "/net/")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        imported = _imported_primitives(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _primitive_name(node, imported)
+            if name is None:
+                continue
+            hint = _HINTS.get(
+                name,
+                "the shared primitives in repro.storage.locks (or keep the "
+                "construction inside net/)",
+            )
+            yield Finding(
+                rule=self.id,
+                path=module.rel_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"raw threading.{name}() is invisible to the lock-order "
+                    f"detector — use {hint}"
+                ),
+            )
+
+
+def _imported_primitives(tree: ast.AST) -> dict:
+    imported: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                if alias.name in _PRIMITIVES:
+                    imported[alias.asname or alias.name] = alias.name
+    return imported
+
+
+def _primitive_name(node: ast.Call, imported: dict):
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+        and func.attr in _PRIMITIVES
+    ):
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in imported:
+        return imported[func.id]
+    return None

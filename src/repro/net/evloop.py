@@ -35,10 +35,10 @@ import itertools
 import selectors
 import socket
 import threading
-import time
 from collections import deque
 from typing import Callable, Optional
 
+from ..clock import monotonic_now
 from ..errors import FrameError
 from .framing import (
     ConnectionProtocol,
@@ -79,7 +79,7 @@ class _Connection:
         self.outbox: deque = deque()
         self.head_offset = 0
         self.pending_out = 0
-        self.last_active = time.monotonic()
+        self.last_active = monotonic_now()
         self.read_paused = False
         self.interest = 0
 
@@ -108,9 +108,10 @@ class _Loop:
         self._recv_buffer = bytearray(RECV_SIZE)
         self._recv_view = memoryview(self._recv_buffer)
         #: Coarse clock, refreshed once per select pass — plenty for
-        #: idle accounting, and it keeps time.monotonic() off the
-        #: per-read hot path.
-        self.now = time.monotonic()
+        #: idle accounting, and it keeps the monotonic() syscall off the
+        #: per-read hot path.  Real time is sanctioned here (transport
+        #: idle deadlines) but still routes through clock.monotonic_now.
+        self.now = monotonic_now()
         self._next_reap = self.now + server.reap_interval
         self.thread = threading.Thread(
             target=self._run, name=f"evloop-{index}", daemon=True
@@ -135,7 +136,7 @@ class _Loop:
     def _run(self) -> None:
         while not self.server._stopping.is_set():
             events = self.selector.select(self.server.tick)
-            self.now = time.monotonic()
+            self.now = monotonic_now()
             for key, mask in events:
                 data = key.data
                 if data is _WAKE:

@@ -22,11 +22,11 @@ instrumentation layer reports read-path effectiveness.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Optional
 
 from ..protocol import SoftwareInfoResponse
+from ..storage.locks import create_lock
 
 #: Default entry bound: far above the paper's "well over 2000 rated
 #: software programs", small enough to stay memory-safe at scale.
@@ -63,7 +63,7 @@ class ScoreResponseCache:
         if max_entries < 0:
             raise ValueError("max_entries cannot be negative")
         self.max_entries = max_entries
-        self._lock = threading.Lock()
+        self._lock = create_lock("score-response-cache")
         self._entries: OrderedDict[str, _CachedResponse] = OrderedDict()
         self._epoch: Optional[int] = None
         self.hits = 0

@@ -22,11 +22,12 @@ underneath serialises on the database engine lock.
 from __future__ import annotations
 
 import itertools
-import threading
-import time
+import logging
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..clock import perf_now
+from ..storage.locks import create_lock
 from ..errors import (
     AccountNotActiveError,
     ActivationError,
@@ -41,6 +42,8 @@ from ..errors import (
     ServerError,
 )
 from ..protocol import DEFAULT_CODEC, ErrorResponse, decode_with, encode_with
+
+log = logging.getLogger("repro.server")
 
 #: Error codes carried in ErrorResponse.code.
 E_BAD_REQUEST = "bad-request"
@@ -189,6 +192,13 @@ class ErrorMiddleware(Middleware):
                 if isinstance(exc, exc_type):
                     ctx.response = ErrorResponse(code=code, detail=str(exc))
                     return
+            # Unmapped means a bug, not hostile input: keep the stack
+            # (REP003 — an over-broad except must not swallow silently).
+            log.exception(
+                "unmapped exception handling %s from %s",
+                ctx.message_type,
+                ctx.source,
+            )
             ctx.response = ErrorResponse(
                 code=E_SERVER,
                 detail=f"unexpected {type(exc).__name__}: {exc}",
@@ -242,7 +252,7 @@ class PipelineMetrics:
     """Thread-safe counters and latency aggregates, per message type."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = create_lock("pipeline-metrics")
         self._requests: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._latency_totals: dict[str, float] = {}
@@ -309,11 +319,11 @@ class InstrumentationMiddleware(Middleware):
         self.metrics = metrics or PipelineMetrics()
 
     def __call__(self, ctx: RequestContext, call_next: Callable[[], None]) -> None:
-        started = time.perf_counter()
+        started = perf_now()
         try:
             call_next()
         finally:
-            ctx.duration_ms = (time.perf_counter() - started) * 1000.0
+            ctx.duration_ms = (perf_now() - started) * 1000.0
             self.metrics.record(ctx, ctx.duration_ms)
 
 
@@ -340,7 +350,7 @@ class Pipeline:
             request_id=next(self._request_ids),
             codec=codec,
             raw_request=payload,
-            started=time.perf_counter(),
+            started=perf_now(),
         )
         self._call(self.middlewares, 0, ctx)
         assert ctx.raw_response is not None
@@ -356,7 +366,7 @@ class Pipeline:
             source=source,
             request_id=next(self._request_ids),
             request=request,
-            started=time.perf_counter(),
+            started=perf_now(),
         )
         self._call(chain, 0, ctx)
         return ctx.response

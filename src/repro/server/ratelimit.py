@@ -10,11 +10,11 @@ per origin address.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..errors import RateLimitExceededError
+from ..storage.locks import create_lock
 
 
 @dataclass
@@ -55,7 +55,7 @@ class RateLimiter:
         self.capacity = capacity
         self.refill_per_second = refill_per_second
         self._buckets: dict[Any, TokenBucket] = {}
-        self._lock = threading.Lock()
+        self._lock = create_lock("rate-limiter")
         self.rejections = 0
 
     def check(self, key: Any, now: int, amount: float = 1.0) -> None:

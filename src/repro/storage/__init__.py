@@ -40,7 +40,19 @@ from .query import (
     contains,
     in_set,
 )
-from .locks import ExclusiveLock, LockUpgradeError, ReadWriteLock
+from .locks import (
+    ExclusiveLock,
+    LockOrderDetector,
+    LockUpgradeError,
+    PotentialDeadlockError,
+    ReadWriteLock,
+    create_lock,
+    create_rlock,
+    disable_lock_order_detection,
+    enable_lock_order_detection,
+    lock_order_detection,
+    lock_order_detector,
+)
 from .transactions import Transaction
 from .wal import WriteAheadLog
 from .engine import Database
@@ -58,6 +70,14 @@ __all__ = [
     "ReadWriteLock",
     "ExclusiveLock",
     "LockUpgradeError",
+    "LockOrderDetector",
+    "PotentialDeadlockError",
+    "create_lock",
+    "create_rlock",
+    "enable_lock_order_detection",
+    "disable_lock_order_detection",
+    "lock_order_detection",
+    "lock_order_detector",
     "and_",
     "or_",
     "not_",

@@ -183,7 +183,9 @@ class Database:
         """
         if self._directory is None:
             raise StorageError("recover() requires a durable database")
-        with self._lock.write_locked():
+        # Snapshot/WAL reads must happen under the exclusive section:
+        # recovery rebuilds table state and nothing may observe it torn.
+        with self._lock.write_locked():  # reprolint: disable=REP002
             if self._transaction is not None:
                 raise TransactionError("cannot recover inside a transaction")
             applied = 0
@@ -237,7 +239,9 @@ class Database:
         """Write a full snapshot and truncate the WAL."""
         if self._directory is None or self._wal is None:
             raise StorageError("checkpoint() requires a durable database")
-        with self._lock.write_locked():
+        # The snapshot write + WAL truncate must be atomic with respect
+        # to writers, so this is sanctioned blocking I/O under the lock.
+        with self._lock.write_locked():  # reprolint: disable=REP002
             if self._transaction is not None:
                 raise TransactionError("cannot checkpoint inside a transaction")
             snapshot = {

@@ -15,7 +15,7 @@ class TestRegistry:
             assert f"a{number}" in _REGISTRY
 
     def test_entries_have_descriptions_and_runners(self):
-        for key, (description, full, quick) in _REGISTRY.items():
+        for _key, (description, full, quick) in _REGISTRY.items():
             assert description
             assert callable(full)
             assert callable(quick)

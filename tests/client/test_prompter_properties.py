@@ -56,7 +56,7 @@ def test_rated_software_never_prompts_again(trace):
     config = PrompterConfig(execution_threshold=1, max_prompts_per_week=1000)
     prompter = RatingPrompter(config)
     rated = set()
-    for software_index, count, now, reaction in sorted(
+    for software_index, count, now, _reaction in sorted(
         trace, key=lambda event: event[2]
     ):
         software_id = f"s{software_index}"

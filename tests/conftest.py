@@ -11,6 +11,26 @@ from repro.core import ReputationEngine
 from repro.net import Network
 from repro.server import ReputationServer
 from repro.storage import Column, ColumnType, Database, Schema
+from repro.storage.locks import (
+    disable_lock_order_detection,
+    enable_lock_order_detection,
+)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def lock_order_detection_suite_wide():
+    """Run the whole suite under the lock-order detector.
+
+    Every concurrency test doubles as a race/deadlock probe: any lock
+    acquisition whose order inverts one recorded earlier in the session
+    raises PotentialDeadlockError and fails the test that did it.
+    Tests that exercise the detector itself use the scoped
+    ``lock_order_detection()`` context manager, which restores this
+    session detector on exit.
+    """
+    detector = enable_lock_order_detection()
+    yield detector
+    disable_lock_order_detection()
 
 
 @pytest.fixture

@@ -92,7 +92,7 @@ def test_one_vote_per_pair_under_any_stream(stream):
             book.cast(user, software, score, now=0)
             accepted[(user, software)] = score
     assert book.total_votes() == len(accepted)
-    for (user, software), score in accepted.items():
+    for (user, software), _score in accepted.items():
         assert book.has_voted(user, software)
 
 
@@ -124,7 +124,7 @@ def test_weighted_score_bounded_by_vote_extremes(stream, trusts):
         cast[(user, software)] = score
     aggregator.run(now=0)
     by_software = {}
-    for (user, software), score in cast.items():
+    for (_user, software), score in cast.items():
         by_software.setdefault(software, []).append(score)
     epsilon = 1e-9
     for software, scores in by_software.items():

@@ -51,7 +51,7 @@ class TestPuzzle:
         attempts = {}
         for difficulty in (4, 8):
             total = 0
-            for trial in range(10):
+            for _trial in range(10):
                 nonce = rng.getrandbits(64).to_bytes(8, "big")
                 puzzle = Puzzle(nonce=nonce, difficulty=difficulty)
                 suffix = solve_puzzle(puzzle)

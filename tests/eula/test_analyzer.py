@@ -6,13 +6,15 @@ from repro.core.taxonomy import ConsentLevel
 from repro.eula import DisclosureStyle, EulaAnalyzer, generate_eula
 from repro.winsim import Behavior, build_executable
 
+_NO_BEHAVIORS: frozenset = frozenset()
+
 
 @pytest.fixture
 def analyzer():
     return EulaAnalyzer()
 
 
-def _exe(consent, behaviors=frozenset()):
+def _exe(consent, behaviors=_NO_BEHAVIORS):
     return build_executable("sample.exe", consent=consent, behaviors=behaviors)
 
 

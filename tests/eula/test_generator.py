@@ -11,8 +11,10 @@ from repro.eula.generator import (
 )
 from repro.winsim import Behavior, build_executable
 
+_NO_BEHAVIORS: frozenset = frozenset()
 
-def _exe(consent, behaviors=frozenset(), bundled=()):
+
+def _exe(consent, behaviors=_NO_BEHAVIORS, bundled=()):
     return build_executable(
         "sample.exe", consent=consent, behaviors=behaviors, bundled=bundled
     )

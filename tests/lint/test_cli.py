@@ -1,0 +1,84 @@
+"""The reprolint CLI: exit codes, output shape, selection, and the
+self-check that the real tree stays clean (the CI gate's contract)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+from repro.lint import ALL_RULES, lint_paths
+from repro.lint.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr()
+    assert out.out == ""
+    assert "0 findings" in out.err
+
+
+def test_violation_exits_one_with_location(tmp_path, capsys):
+    target = tmp_path / "server"
+    target.mkdir()
+    (target / "bad.py").write_text("import time\nx = time.time()\n")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr()
+    assert "server/bad.py:2:" in out.out
+    assert "REP001" in out.out
+
+
+def test_select_limits_rules(tmp_path, capsys):
+    target = tmp_path / "server"
+    target.mkdir()
+    (target / "bad.py").write_text(
+        "import time\nimport threading\n"
+        "x = time.time()\nlock = threading.Lock()\n"
+    )
+    assert main(["--select", "REP005", str(tmp_path)]) == 1
+    out = capsys.readouterr()
+    assert "REP005" in out.out
+    assert "REP001" not in out.out
+
+
+def test_unknown_select_rejected(capsys):
+    assert main(["--select", "REP999"]) == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+
+
+def test_parse_error_is_a_finding(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    assert main([str(tmp_path)]) == 1
+    assert "REP000" in capsys.readouterr().out
+
+
+def test_list_rules_names_whole_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.id in out
+
+
+def test_module_entry_point_runs():
+    """``python -m repro.lint`` is the exact command CI runs."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--list-rules"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0
+    assert "REP001" in proc.stdout
+
+
+def test_real_tree_is_clean():
+    """Acceptance criterion: ``python -m repro.lint src`` exits 0."""
+    result = lint_paths([str(SRC)])
+    assert result.findings == [], "\n".join(
+        finding.format() for finding in result.findings
+    )
+    assert result.files_checked > 80

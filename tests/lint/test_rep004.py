@@ -1,0 +1,135 @@
+"""REP004 — codec exhaustiveness over a synthetic protocol tree."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_paths
+
+GOOD_MESSAGES = """\
+from dataclasses import dataclass
+
+from .registry import message
+
+
+class Message:
+    pass
+
+
+@message("ping")
+@dataclass(frozen=True)
+class Ping(Message):
+    token: str
+
+
+@message("pong")
+@dataclass(frozen=True)
+class Pong(Message):
+    token: str
+"""
+
+GOOD_CODEC = """\
+from .registry import class_for, tag_for
+
+
+def encode(msg):
+    return tag_for(type(msg))
+
+
+def decode(payload):
+    return class_for(payload)
+"""
+
+GOOD_CODECS = """\
+from . import binary_codec, xml_codec
+
+_CODECS = {
+    "xml": (xml_codec.encode, xml_codec.decode),
+    "binary": (binary_codec.encode, binary_codec.decode),
+}
+"""
+
+
+def write_tree(root, messages=GOOD_MESSAGES, xml=GOOD_CODEC,
+               binary=GOOD_CODEC, codecs=GOOD_CODECS):
+    protocol = root / "protocol"
+    protocol.mkdir(parents=True, exist_ok=True)
+    (protocol / "messages.py").write_text(textwrap.dedent(messages))
+    (protocol / "xml_codec.py").write_text(textwrap.dedent(xml))
+    (protocol / "binary_codec.py").write_text(textwrap.dedent(binary))
+    (protocol / "codecs.py").write_text(textwrap.dedent(codecs))
+    (protocol / "registry.py").write_text("_REGISTRY = {}\n")
+    return root
+
+
+def rep004(root):
+    result = lint_paths([str(root)], select=["REP004"])
+    return [(f.rule, f.path, f.line) for f in result.findings]
+
+
+def test_clean_tree_passes(tmp_path):
+    write_tree(tmp_path)
+    assert rep004(tmp_path) == []
+
+
+def test_unregistered_message_flagged(tmp_path):
+    broken = GOOD_MESSAGES + textwrap.dedent("""\
+
+    @dataclass(frozen=True)
+    class Orphan(Message):
+        token: str
+    """)
+    write_tree(tmp_path, messages=broken)
+    found = rep004(tmp_path)
+    assert found == [("REP004", "protocol/messages.py", 22)]
+
+
+def test_duplicate_tag_flagged(tmp_path):
+    broken = GOOD_MESSAGES.replace('@message("pong")', '@message("ping")')
+    write_tree(tmp_path, messages=broken)
+    found = rep004(tmp_path)
+    assert len(found) == 1
+    assert found[0][0] == "REP004"
+
+
+def test_non_dataclass_message_flagged(tmp_path):
+    broken = GOOD_MESSAGES + textwrap.dedent("""\
+
+    @message("bare")
+    class Bare(Message):
+        pass
+    """)
+    write_tree(tmp_path, messages=broken)
+    assert ("REP004", "protocol/messages.py", 22) in rep004(tmp_path)
+
+
+def test_codec_with_private_registry_flagged(tmp_path):
+    rogue = GOOD_CODEC + "\n_REGISTRY = {}\n"
+    write_tree(tmp_path, binary=rogue)
+    found = rep004(tmp_path)
+    assert any(path == "protocol/binary_codec.py" for _, path, _ in found)
+
+
+def test_codec_not_using_registry_flagged(tmp_path):
+    blind = "def encode(msg):\n    return b''\n"
+    write_tree(tmp_path, xml=blind)
+    found = rep004(tmp_path)
+    assert any(path == "protocol/xml_codec.py" for _, path, _ in found)
+
+
+def test_negotiation_table_missing_codec_flagged(tmp_path):
+    partial = textwrap.dedent("""\
+    from . import xml_codec
+
+    _CODECS = {
+        "xml": (xml_codec.encode, xml_codec.decode),
+    }
+    """)
+    write_tree(tmp_path, codecs=partial)
+    found = rep004(tmp_path)
+    assert any(path == "protocol/codecs.py" for _, path, _ in found)
+
+
+def test_silent_when_protocol_absent(tmp_path):
+    (tmp_path / "other.py").write_text("x = 1\n")
+    assert rep004(tmp_path) == []

@@ -1,0 +1,258 @@
+"""Per-rule fixtures: clean and violating snippets for every REP rule.
+
+Each violating snippet asserts the exact rule id AND line number, and
+each rule has a suppression case proving ``# reprolint: disable=REPxxx``
+works where the catalog says it does.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_text
+
+
+def findings(source: str, path: str, select=None):
+    result = lint_text(textwrap.dedent(source), path, select=select)
+    return [(f.rule, f.line) for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# REP001 — injected time and randomness
+# ---------------------------------------------------------------------------
+
+class TestRep001:
+    def test_time_time_flagged_with_line(self):
+        src = """\
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert findings(src, "repro/sim/users.py") == [("REP001", 4)]
+
+    @pytest.mark.parametrize("call", [
+        "time.monotonic()", "time.perf_counter()", "time.time_ns()",
+    ])
+    def test_other_clock_reads_flagged(self, call):
+        src = f"import time\nx = {call}\n"
+        assert findings(src, "repro/server/app.py") == [("REP001", 2)]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nwhen = datetime.now()\n"
+        assert findings(src, "repro/analyzer/evidence.py") == [("REP001", 2)]
+
+    def test_module_level_random_flagged(self):
+        src = "import random\npick = random.choice([1, 2])\n"
+        assert findings(src, "repro/client/app.py") == [("REP001", 2)]
+
+    def test_unseeded_random_flagged_seeded_ok(self):
+        bad = "import random\nrng = random.Random()\n"
+        good = "import random\nrng = random.Random(42)\n"
+        assert findings(bad, "repro/sim/community.py") == [("REP001", 2)]
+        assert findings(good, "repro/sim/community.py") == []
+
+    def test_bare_import_does_not_dodge(self):
+        src = "from time import monotonic\nx = monotonic()\n"
+        assert findings(src, "repro/core/policy.py") == [("REP001", 2)]
+
+    def test_injected_rng_methods_clean(self):
+        src = """\
+        def pick(rng):
+            return rng.choice([1, 2])
+        """
+        assert findings(src, "repro/sim/users.py") == []
+
+    def test_clock_py_and_crypto_exempt(self):
+        src = "import time\nx = time.time()\n"
+        assert findings(src, "repro/clock.py") == []
+        assert findings(src, "repro/crypto/puzzles.py") == []
+
+    def test_suppression(self):
+        src = "import time\nx = time.time()  # reprolint: disable=REP001\n"
+        result = lint_text(src, "repro/sim/users.py")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# REP002 — no blocking work under storage locks
+# ---------------------------------------------------------------------------
+
+class TestRep002:
+    def test_open_under_write_lock_flagged(self):
+        src = """\
+        def checkpoint(self):
+            with self._lock.write_locked():
+                with open("snap.json", "w") as handle:
+                    handle.write("{}")
+        """
+        assert ("REP002", 3) in findings(src, "repro/storage/engine.py")
+
+    def test_sleep_under_read_lock_flagged(self):
+        src = """\
+        import time
+
+        def slow(self):
+            with self._lock.read_locked():
+                time.sleep(1)
+        """
+        rules = findings(src, "repro/storage/table.py", select=["REP002"])
+        assert rules == [("REP002", 5)]
+
+    def test_socket_call_under_transaction_flagged(self):
+        src = """\
+        def publish(self, sock):
+            with self._db.transaction():
+                sock.sendall(b"update")
+        """
+        assert findings(src, "repro/server/votes.py") == [("REP002", 3)]
+
+    def test_plain_with_not_flagged(self):
+        src = """\
+        def load(self):
+            with self._mutex:
+                return open("f").read()
+        """
+        assert findings(src, "repro/server/cache.py", select=["REP002"]) == []
+
+    def test_nested_def_not_flagged(self):
+        src = """\
+        def build(self):
+            with self._lock.write_locked():
+                def later():
+                    return open("f").read()
+                return later
+        """
+        assert findings(src, "repro/storage/engine.py", select=["REP002"]) == []
+
+    def test_suppression_on_with_line_covers_block(self):
+        src = """\
+        def checkpoint(self):
+            with self._lock.write_locked():  # reprolint: disable=REP002
+                open("snap.json", "w").close()
+        """
+        result = lint_text(textwrap.dedent(src), "repro/storage/engine.py")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# REP003 — no silent over-broad excepts in net/server/storage
+# ---------------------------------------------------------------------------
+
+class TestRep003:
+    def test_bare_except_pass_flagged(self):
+        src = """\
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert findings(src, "repro/net/tcp.py") == [("REP003", 3)]
+
+    def test_bare_colon_except_flagged(self):
+        src = """\
+        try:
+            risky()
+        except:
+            result = None
+        """
+        assert findings(src, "repro/storage/wal.py") == [("REP003", 3)]
+
+    def test_logged_handler_clean(self):
+        src = """\
+        import logging
+        log = logging.getLogger(__name__)
+        try:
+            risky()
+        except Exception:
+            log.exception("risky failed")
+        """
+        assert findings(src, "repro/net/tcp.py") == []
+
+    def test_reraise_clean(self):
+        src = """\
+        try:
+            risky()
+        except BaseException:
+            undo()
+            raise
+        """
+        assert findings(src, "repro/storage/transactions.py") == []
+
+    def test_narrow_except_clean(self):
+        src = """\
+        try:
+            risky()
+        except OSError:
+            pass
+        """
+        assert findings(src, "repro/net/tcp.py") == []
+
+    def test_out_of_scope_packages_not_checked(self):
+        src = """\
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert findings(src, "repro/sim/community.py") == []
+
+    def test_suppression(self):
+        src = """\
+        try:
+            risky()
+        except Exception:  # reprolint: disable=REP003
+            pass
+        """
+        result = lint_text(textwrap.dedent(src), "repro/net/tcp.py")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# REP005 — tracked locks only, outside locks.py and net/
+# ---------------------------------------------------------------------------
+
+class TestRep005:
+    def test_raw_lock_flagged(self):
+        src = "import threading\nlock = threading.Lock()\n"
+        assert findings(src, "repro/server/cache.py") == [("REP005", 2)]
+
+    def test_raw_thread_flagged(self):
+        src = """\
+        import threading
+
+        worker = threading.Thread(target=print)
+        """
+        assert findings(src, "repro/analyzer/sandbox.py") == [("REP005", 3)]
+
+    def test_from_import_does_not_dodge(self):
+        src = "from threading import RLock\nlock = RLock()\n"
+        assert findings(src, "repro/server/votes.py") == [("REP005", 2)]
+
+    def test_locks_py_and_net_exempt(self):
+        src = "import threading\nlock = threading.Lock()\n"
+        assert findings(src, "repro/storage/locks.py") == []
+        assert findings(src, "repro/net/evloop.py") == []
+
+    def test_tracked_factories_clean(self):
+        src = """\
+        from repro.storage.locks import create_lock
+
+        lock = create_lock("cache")
+        """
+        assert findings(src, "repro/server/cache.py") == []
+
+    def test_get_ident_not_flagged(self):
+        src = "import threading\nme = threading.get_ident()\n"
+        assert findings(src, "repro/server/cache.py") == []
+
+    def test_suppression(self):
+        src = "import threading\nlock = threading.Lock()  # reprolint: disable=REP005\n"
+        result = lint_text(src, "repro/server/cache.py")
+        assert result.findings == []
+        assert result.suppressed == 1
