@@ -24,9 +24,21 @@ from .ui import (
 )
 from .app import ReputationClient, ClientConfig
 from .lookup import CoalescingLookupClient
+from .resilience import (
+    CircuitBreaker,
+    ResilienceMetrics,
+    ResilientCaller,
+    ResilientTransport,
+    RetryPolicy,
+)
 
 __all__ = [
     "CoalescingLookupClient",
+    "CircuitBreaker",
+    "ResilienceMetrics",
+    "ResilientCaller",
+    "ResilientTransport",
+    "RetryPolicy",
     "SoftwareList",
     "SignerList",
     "RatingPrompter",

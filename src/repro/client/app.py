@@ -22,7 +22,12 @@ from ..core.policy import Policy, PolicyVerdict, SoftwareFacts
 from ..core.subscriptions import SubscriptionManager
 from ..crypto.puzzles import Puzzle, solve_puzzle
 from ..crypto.signatures import SignatureVerifier, VerificationResult
-from ..errors import ClientError, NetworkError
+from ..errors import (
+    CircuitOpenError,
+    ClientError,
+    NetworkError,
+    RetryBudgetExceededError,
+)
 from ..net import AnonymityNetwork, Circuit, Network
 from ..protocol import (
     ActivateRequest,
@@ -48,6 +53,11 @@ from ..winsim import ExecutionRequest, HookDecision, Machine
 from .cache import ScoreCache
 from .lists import SignerList, SoftwareList
 from .prompter import PrompterConfig, RatingPrompter
+from .resilience import (
+    REASON_CIRCUIT_OPEN,
+    REASON_RETRIES_EXHAUSTED,
+    ResilientCaller,
+)
 from .ui import (
     DialogContext,
     RatingResponder,
@@ -81,6 +91,11 @@ class ClientStats:
     server_queries: int = 0
     batch_queries: int = 0
     batched_lookups: int = 0
+    #: Degraded-mode outcomes (server unreachable / breaker open).
+    degraded_stale_cache: int = 0
+    degraded_default_decisions: int = 0
+    #: Why lookups degraded, by reason ("retries-exhausted", ...).
+    degradation_reasons: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -100,6 +115,11 @@ class ClientConfig:
     #: Cache server answers for this long (0 disables; the default of a
     #: day matches the aggregation period — scores cannot move sooner).
     score_cache_ttl: int = 24 * 3600
+    #: Last rung of the degradation ladder: when the server is
+    #: unreachable, no cached score survives, the lists and the policy
+    #: are silent — decide "allow" or "deny" without a dialog.  ``None``
+    #: (the default) keeps the paper's behaviour: ask the user blind.
+    degraded_decision: Optional[str] = None
 
 
 class ReputationClient:
@@ -116,7 +136,13 @@ class ReputationClient:
         signature_verifier: Optional[SignatureVerifier] = None,
         anonymity: Optional[AnonymityNetwork] = None,
         prompter_config: Optional[PrompterConfig] = None,
+        resilience: Optional[ResilientCaller] = None,
     ):
+        if config.degraded_decision not in (None, "allow", "deny"):
+            raise ClientError(
+                f"degraded_decision must be 'allow', 'deny', or None, "
+                f"not {config.degraded_decision!r}"
+            )
         self.config = config
         self.machine = machine
         self.network = network
@@ -132,6 +158,11 @@ class ReputationClient:
         self.prompter = RatingPrompter(prompter_config)
         self.cache = ScoreCache(ttl=config.score_cache_ttl)
         self.stats = ClientStats()
+        #: Retry/backoff + circuit breaker around every RPC (optional —
+        #: None keeps the historical one-shot behaviour).
+        self.resilience = resilience
+        #: Why the most recent lookup degraded (None while healthy).
+        self.last_degradation: Optional[str] = None
         self._session: Optional[str] = None
         self._circuit: Optional[Circuit] = None
         if config.use_circuit:
@@ -232,6 +263,18 @@ class ReputationClient:
             if decision.verdict is PolicyVerdict.DENY:
                 self.stats.policy_denied += 1
                 return HookDecision.DENY
+        # 4b. Degraded default: the server is unreachable, nothing is
+        # cached, the lists and the policy were silent — apply the
+        # configured decision instead of asking the user blind.
+        if (
+            info is None
+            and self.last_degradation is not None
+            and self.config.degraded_decision is not None
+        ):
+            self.stats.degraded_default_decisions += 1
+            if self.config.degraded_decision == "allow":
+                return HookDecision.ALLOW
+            return HookDecision.DENY
         # 5. The interactive dialog.
         answer = self._show_dialog(request, info)
         if answer.allow:
@@ -257,6 +300,7 @@ class ReputationClient:
     def _query_software(
         self, request: ExecutionRequest
     ) -> Optional[SoftwareInfoResponse]:
+        self.last_degradation = None
         if self._session is None:
             return None
         if self.config.score_cache_ttl > 0:
@@ -275,13 +319,37 @@ class ReputationClient:
         )
         try:
             response = self._rpc(message)
+        except CircuitOpenError:
+            return self._degrade(request, REASON_CIRCUIT_OPEN)
+        except RetryBudgetExceededError:
+            return self._degrade(request, REASON_RETRIES_EXHAUSTED)
         except NetworkError:
-            return None
+            return self._degrade(request, "network-error")
         self.stats.server_queries += 1
         if isinstance(response, SoftwareInfoResponse):
             if self.config.score_cache_ttl > 0:
                 self.cache.put(response, request.timestamp)
             return response
+        return None
+
+    def _degrade(
+        self, request: ExecutionRequest, reason: str
+    ) -> Optional[SoftwareInfoResponse]:
+        """The server is unreachable: record why, try the stale cache.
+
+        First rung of the degradation ladder (the local lists already
+        had their say before the query; the default decision, if
+        configured, is applied by the hook when this returns ``None``).
+        """
+        self.last_degradation = reason
+        self.stats.degradation_reasons[reason] = (
+            self.stats.degradation_reasons.get(reason, 0) + 1
+        )
+        if self.config.score_cache_ttl > 0:
+            stale = self.cache.get_stale(request.software_id)
+            if stale is not None:
+                self.stats.degraded_stale_cache += 1
+                return stale
         return None
 
     def prefetch_scores(self, executables, now: int) -> int:
@@ -477,7 +545,21 @@ class ReputationClient:
     # -- transport ------------------------------------------------------------------------
 
     def _rpc(self, message: object):
-        """One request/response round trip (optionally through a circuit)."""
+        """One request/response round trip (optionally through a circuit).
+
+        With a :class:`~repro.client.resilience.ResilientCaller`
+        configured, transient network failures are retried inside its
+        backoff/deadline budget and its circuit breaker guards the
+        server; without one, the historical single-shot behaviour.
+        Retrying a delivered-but-unacknowledged request is safe because
+        every mutating message is idempotent server-side (duplicate
+        votes, registrations, and activations are refused by key).
+        """
+        if self.resilience is None:
+            return self._rpc_once(message)
+        return self.resilience.call(lambda: self._rpc_once(message))
+
+    def _rpc_once(self, message: object):
         payload = encode(message)
         if self._circuit is not None and self.anonymity is not None:
             raw = self.anonymity.request(

@@ -47,11 +47,16 @@ class ScoreCache:
         self.ttl = ttl
         self.max_entries = max_entries
         self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+        #: Entries that expired (TTL or epoch) but may still serve a
+        #: *degraded* lookup: when the server is unreachable, yesterday's
+        #: score beats no score (the ladder in ``client/app.py``).
+        self._stale: OrderedDict[str, _CacheEntry] = OrderedDict()
         #: Highest aggregation epoch seen in any server answer.
         self._epoch = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stale_hits = 0
 
     @property
     def epoch(self) -> int:
@@ -68,18 +73,18 @@ class ScoreCache:
             if 0 < entry.epoch < epoch
         ]
         for software_id in stale:
-            del self._entries[software_id]
+            self._retire(software_id)
 
     def get(self, software_id: str, now: int) -> Optional[SoftwareInfoResponse]:
         """A fresh cached answer, or ``None`` (and a recorded miss)."""
         entry = self._entries.get(software_id)
         if entry is not None and 0 < entry.epoch < self._epoch:
             # A newer answer proved the batch ran since this was stored.
-            del self._entries[software_id]
+            self._retire(software_id)
             entry = None
         if entry is None or now - entry.stored_at >= self.ttl:
             if entry is not None:
-                del self._entries[software_id]
+                self._retire(software_id)
             self.misses += 1
             return None
         self._entries.move_to_end(software_id)
@@ -97,7 +102,32 @@ class ScoreCache:
         elif len(self._entries) >= self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+        self._stale.pop(info.software_id, None)
         self._entries[info.software_id] = _CacheEntry(info, now, epoch)
+
+    def _retire(self, software_id: str) -> None:
+        """Move an expired entry to the stale store (bounded LRU)."""
+        entry = self._entries.pop(software_id, None)
+        if entry is None:
+            return
+        self._stale.pop(software_id, None)
+        while len(self._stale) >= self.max_entries:
+            self._stale.popitem(last=False)
+        self._stale[software_id] = entry
+
+    def get_stale(self, software_id: str) -> Optional[SoftwareInfoResponse]:
+        """The last known answer, *ignoring* TTL and epoch freshness.
+
+        Degraded mode only (server unreachable, retries exhausted, or
+        the circuit open): a score from the previous aggregation period
+        still beats asking the user blind.  Never consulted while the
+        server answers.
+        """
+        entry = self._entries.get(software_id) or self._stale.get(software_id)
+        if entry is None:
+            return None
+        self.stale_hits += 1
+        return entry.info
 
     def peek(self, software_id: str, now: int) -> bool:
         """True if a fresh entry exists — without touching the counters.
@@ -115,9 +145,11 @@ class ScoreCache:
     def invalidate(self, software_id: str) -> None:
         """Drop one entry (e.g. right after the user voted on it)."""
         self._entries.pop(software_id, None)
+        self._stale.pop(software_id, None)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._stale.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

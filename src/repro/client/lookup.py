@@ -21,11 +21,13 @@ carries whatever codec the connection negotiated (the transport's
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from ..errors import EndpointUnreachableError
 from ..storage.locks import create_lock
 from ..protocol import DEFAULT_CODEC, decode_with, encode_with
+from .resilience import ResilientCaller, RetryPolicy
 
 
 class _LookupSlot:
@@ -49,6 +51,8 @@ class CoalescingLookupClient:
         session: str = "",
         timeout: float = 10.0,
         transport=None,
+        retry: Optional[RetryPolicy] = None,
+        resilience: Optional[ResilientCaller] = None,
     ):
         if transport is None:
             from ..net.tcp import TcpClient  # local: avoid import cycle
@@ -57,8 +61,11 @@ class CoalescingLookupClient:
                 raise ValueError("need host and port when no transport is given")
             transport = TcpClient(host, port, timeout=timeout)
         self._client = transport
-        #: The transport's negotiated codec (plain TcpClient speaks XML).
-        self.codec = getattr(transport, "codec", DEFAULT_CODEC)
+        #: Retries a *failed* batch — always the same frozen batch; new
+        #: waiters queue for the next leader (see _ship_batch).
+        if resilience is None and retry is not None:
+            resilience = ResilientCaller(policy=retry, rng=random.Random(0))
+        self._resilience = resilience
         self._session = session
         #: Guards the pending queue.
         self._mutex = create_lock("lookup-pending")
@@ -67,6 +74,17 @@ class CoalescingLookupClient:
         self._pending: list = []  # (QuerySoftwareItem, _LookupSlot)
         self.batches_sent = 0
         self.items_sent = 0
+
+    @property
+    def codec(self) -> str:
+        """The transport's negotiated codec, read *per use*.
+
+        A reconnecting transport (:class:`ResilientTransport`) may
+        renegotiate after a server restart, so the codec is whatever
+        the connection in use speaks — never a cached construction-time
+        value.  A plain TcpClient has no ``codec`` and pins XML.
+        """
+        return getattr(self._client, "codec", DEFAULT_CODEC)
 
     @property
     def round_trips(self) -> int:
@@ -90,25 +108,47 @@ class CoalescingLookupClient:
 
     def _ship_pending(self) -> None:
         """Leader duty: send every queued item as one batch frame."""
+        with self._mutex:
+            batch, self._pending = self._pending, []
+        if batch:
+            self._ship_batch(batch)
+
+    def _ship_batch(self, batch: list) -> None:
+        """Ship (and, if configured, retry) one **frozen** batch.
+
+        A retried batch is always re-sent with exactly its original
+        items: new waiters that queue while a retry is in flight stay
+        in ``_pending`` for the next leader.  Re-coalescing them here
+        would tie their fate to a batch that has already burned part of
+        its retry budget — and, worse, a failure would fail callers
+        whose lookups were never sent at all.  Each batch succeeds or
+        fails atomically for its own slots only.  (Retrying is safe:
+        batch lookups are read-only, hence idempotent.)
+        """
         from ..protocol import (
             ErrorResponse,
             QuerySoftwareBatchRequest,
             QuerySoftwareBatchResponse,
         )
 
-        with self._mutex:
-            batch, self._pending = self._pending, []
-        if not batch:
-            return
         request = QuerySoftwareBatchRequest(
             session=self._session,
             items=tuple(item for item, _ in batch),
         )
-        try:
-            response = decode_with(
-                self.codec,
-                self._client.request(encode_with(self.codec, request)),
+
+        def wire():
+            # The codec is re-read per attempt: a reconnecting
+            # transport may have renegotiated since the last try.
+            codec = self.codec
+            return decode_with(
+                codec, self._client.request(encode_with(codec, request))
             )
+
+        try:
+            if self._resilience is not None:
+                response = self._resilience.call(wire)
+            else:
+                response = wire()
         except Exception as exc:
             self._fail(batch, exc)
             return

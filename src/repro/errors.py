@@ -89,6 +89,14 @@ class FrameError(NetworkError):
     """A TCP frame was oversized or truncated mid-transfer."""
 
 
+class CircuitOpenError(NetworkError):
+    """The per-server circuit breaker is open: the request was not sent."""
+
+
+class RetryBudgetExceededError(NetworkError):
+    """Every retry failed, or the per-request deadline budget ran out."""
+
+
 # --------------------------------------------------------------------------
 # Server-side application errors
 # --------------------------------------------------------------------------

@@ -148,7 +148,11 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[tuple]:
     """Yield ``(abs_path, rel_path)`` for every .py under *paths*."""
     for path in paths:
         if os.path.isfile(path):
-            yield path, os.path.basename(path)
+            # Keep the full (normalized) path, not the basename: rule
+            # scoping matches markers like "/net/" against it, and a
+            # directly-named file must scope the same as when its tree
+            # is scanned.
+            yield path, os.path.normpath(path)
             continue
         for dirpath, dirnames, filenames in os.walk(path):
             dirnames[:] = sorted(

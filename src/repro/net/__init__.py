@@ -12,9 +12,13 @@ multiplexing thousands of persistent connections).  Both share the frame
 grammar, HELLO codec negotiation, and correlation-id pipelining of
 :mod:`~repro.net.framing`; :mod:`~repro.net.pipelining` is the client
 side that keeps many requests in flight on one connection.
+:mod:`~repro.net.chaos` is the deterministic fault-injection harness
+that sits in front of either real server (or the simulated network)
+and replays scripted failure schedules.
 """
 
 from .transport import Network, Endpoint, DeliveryStats, LatencyModel
+from .chaos import ChaosNetwork, ChaosProxy, ChaosSchedule, Fault
 from .anonymity import AnonymityNetwork, Circuit
 from .framing import (
     MAX_FRAME_BYTES,
@@ -40,6 +44,10 @@ __all__ = [
     "Endpoint",
     "DeliveryStats",
     "LatencyModel",
+    "ChaosNetwork",
+    "ChaosProxy",
+    "ChaosSchedule",
+    "Fault",
     "AnonymityNetwork",
     "Circuit",
     "TcpTransportServer",

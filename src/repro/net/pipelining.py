@@ -202,6 +202,14 @@ class PipeliningClient:
             self._closed = True
             sock, self._sock = self._sock, None
         if sock is not None:
+            # shutdown() before close(): close() alone does not wake a
+            # reader thread blocked in recv() (the kernel keeps the fd
+            # alive until the recv returns), which would leak the reader
+            # and hold the connection open from the peer's perspective.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 sock.close()
             except OSError:

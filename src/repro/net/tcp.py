@@ -54,6 +54,12 @@ Handler = Callable[[str, bytes], bytes]
 class _ConnectionHandler(socketserver.BaseRequestHandler):
     """One thread per connection: frame in, protocol, frame out, repeat."""
 
+    def setup(self) -> None:
+        self.server._track(self.request)
+
+    def finish(self) -> None:
+        self.server._untrack(self.request)
+
     def handle(self) -> None:
         protocol = ConnectionProtocol(
             source=self.client_address[0],
@@ -100,6 +106,16 @@ class TcpTransportServer(socketserver.ThreadingTCPServer):
         self.app_handler = handler
         self.codec_aware = handler_accepts_codec(handler)
         self._thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    def _track(self, connection: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(connection)
+
+    def _untrack(self, connection: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(connection)
 
     @property
     def address(self) -> tuple:
@@ -117,11 +133,23 @@ class TcpTransportServer(socketserver.ThreadingTCPServer):
         return self
 
     def stop(self) -> None:
-        """Stop accepting, close the listening socket, join the thread."""
+        """Stop accepting, sever live connections, join the thread.
+
+        Established connections are shut down too — a stopped server
+        that silently keeps answering old connections would make
+        restart behaviour untestable (and unlike a real process exit).
+        """
         if self._thread is not None:
             self.shutdown()
             self._thread.join()
             self._thread = None
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
         self.server_close()
 
     def __enter__(self) -> "TcpTransportServer":

@@ -216,3 +216,127 @@ class TestOverPipelinedBinary:
                     assert info.known
                 assert client.codec == "binary"
                 assert client.batches_sent == 4
+
+
+class _FailingThenOkTransport:
+    """Fails the first N requests, then answers like the scripted one.
+
+    ``on_failure`` runs inside the failing request — the retry-window
+    hook the atomicity regression test uses to queue a late waiter
+    while the original batch is mid-retry.
+    """
+
+    def __init__(self, failures, responses, codec="xml", on_failure=None):
+        self.codec = codec
+        self._failures = failures
+        self._responses = list(responses)
+        self.requests = []
+        self.round_trips = 0
+        self._on_failure = on_failure
+
+    def request(self, payload: bytes) -> bytes:
+        self.requests.append(decode_with(self.codec, payload))
+        self.round_trips += 1
+        if self._failures > 0:
+            self._failures -= 1
+            if self._on_failure is not None:
+                hook, self._on_failure = self._on_failure, None
+                hook()
+            raise EndpointUnreachableError("chaos: transport failed")
+        return encode_with(self.codec, self._responses.pop(0))
+
+    def close(self) -> None:
+        pass
+
+
+class TestAtomicBatchRetry:
+    """A retried batch never re-coalesces with waiters that queued
+    mid-flight: it succeeds or fails for its original slots only."""
+
+    def _client(self, transport, attempts=3):
+        from repro.client.resilience import ResilientCaller, RetryPolicy
+
+        return CoalescingLookupClient(
+            transport=transport,
+            resilience=ResilientCaller(
+                policy=RetryPolicy(max_attempts=attempts, deadline=60.0),
+                rng=random.Random(0),
+                sleep=lambda seconds: None,
+                now=SimClock().now,
+            ),
+        )
+
+    def test_retry_resends_exactly_the_original_items(self):
+        late_arrival = threading.Event()
+        late_done = threading.Event()
+        results = {}
+
+        transport = _FailingThenOkTransport(
+            failures=1,
+            responses=[
+                QuerySoftwareBatchResponse(results=(_info(0),)),
+                QuerySoftwareBatchResponse(results=(_info(1),)),
+            ],
+            on_failure=late_arrival.set,
+        )
+        client = self._client(transport)
+
+        def late_waiter():
+            late_arrival.wait(timeout=5.0)
+            results["late"] = client.query(_item(1))
+            late_done.set()
+
+        thread = threading.Thread(target=late_waiter, daemon=True)
+        thread.start()
+        results["original"] = client.query(_item(0))
+        assert late_done.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+
+        # Attempt 1 and its retry carried ONLY the original item; the
+        # late waiter rode a separate batch afterwards.
+        sent = [
+            tuple(item.software_id for item in request.items)
+            for request in transport.requests
+        ]
+        original, late = _item(0).software_id, _item(1).software_id
+        assert sent[0] == (original,)
+        assert sent[1] == (original,)  # the retry did not grow
+        assert (late,) in sent[2:]
+        assert results["original"].software_id == original
+        assert results["late"].software_id == late
+
+    def test_exhausted_retries_fail_only_the_original_slots(self):
+        late_arrival = threading.Event()
+        late_done = threading.Event()
+        outcome = {}
+
+        transport = _FailingThenOkTransport(
+            failures=2,  # both attempts of the original batch die
+            responses=[QuerySoftwareBatchResponse(results=(_info(1),))],
+            on_failure=late_arrival.set,
+        )
+        client = self._client(transport, attempts=2)
+
+        def late_waiter():
+            late_arrival.wait(timeout=5.0)
+            outcome["late"] = client.query(_item(1))
+            late_done.set()
+
+        thread = threading.Thread(target=late_waiter, daemon=True)
+        thread.start()
+        from repro.errors import RetryBudgetExceededError
+
+        with pytest.raises(RetryBudgetExceededError):
+            client.query(_item(0))
+        assert late_done.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+
+        # The late caller was untouched by the doomed batch's fate.
+        assert outcome["late"].software_id == _item(1).software_id
+
+    def test_without_resilience_behaviour_is_single_shot(self):
+        transport = _FailingThenOkTransport(failures=1, responses=[])
+        client = CoalescingLookupClient(transport=transport)
+        with pytest.raises(EndpointUnreachableError):
+            client.query(_item(0))
+        assert transport.round_trips == 1

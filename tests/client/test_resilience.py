@@ -1,0 +1,289 @@
+"""Retry policy, circuit breaker, and the reconnecting transport."""
+
+import random
+
+import pytest
+
+from repro.client.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    ResilientCaller,
+    ResilientTransport,
+    RetryPolicy,
+)
+from repro.errors import (
+    CircuitOpenError,
+    EndpointUnreachableError,
+    RetryBudgetExceededError,
+)
+
+
+class FakeTime:
+    """An advanceable now()/sleep() pair — no real waiting anywhere."""
+
+    def __init__(self):
+        self.now_value = 0.0
+        self.sleeps = []
+
+    def now(self):
+        return self.now_value
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now_value += seconds
+
+
+def caller(policy=None, breaker=None, seed=0):
+    fake = FakeTime()
+    return (
+        ResilientCaller(
+            policy=policy or RetryPolicy(),
+            breaker=breaker,
+            rng=random.Random(seed),
+            sleep=fake.sleep,
+            now=fake.now,
+        ),
+        fake,
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        raws = [policy.backoff(n) for n in range(1, 6)]
+        assert raws == [0.1, 0.2, 0.4, 0.5, 0.5]
+        assert raws == sorted(raws)
+
+    def test_delays_are_deterministic_under_a_seed(self):
+        policy = RetryPolicy(max_attempts=6)
+        first = list(policy.delays(random.Random(7)))
+        second = list(policy.delays(random.Random(7)))
+        assert first == second
+        assert first != list(policy.delays(random.Random(8)))
+
+    def test_total_sleep_never_exceeds_the_deadline(self):
+        policy = RetryPolicy(
+            max_attempts=50, base_delay=0.5, multiplier=2.0, deadline=2.0
+        )
+        total = sum(policy.delays(random.Random(3)))
+        assert total <= policy.deadline + 1e-9
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, reset=10.0):
+        fake = FakeTime()
+        return CircuitBreaker(
+            failure_threshold=threshold, reset_timeout=reset, now=fake.now
+        ), fake
+
+    def test_opens_after_threshold_failures(self):
+        breaker, _ = self._breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_after_reset_timeout(self):
+        breaker, fake = self._breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        fake.now_value = 10.0
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # one probe at a time
+
+    def test_probe_success_closes(self):
+        breaker, fake = self._breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        fake.now_value = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_rearms_the_timer(self):
+        breaker, fake = self._breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        fake.now_value = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        fake.now_value = 19.0  # 9s after the re-open: still refused
+        assert not breaker.allow()
+        fake.now_value = 20.0
+        assert breaker.allow()
+
+
+class TestResilientCaller:
+    def test_transient_failures_are_retried_to_success(self):
+        resilient, fake = caller()
+        outcomes = iter([EndpointUnreachableError("down"), None])
+
+        def operation():
+            error = next(outcomes)
+            if error is not None:
+                raise error
+            return "answer"
+
+        assert resilient.call(operation) == "answer"
+        assert resilient.metrics.retries == 1
+        assert len(fake.sleeps) == 1
+
+    def test_exhausted_attempts_raise_budget_error(self):
+        resilient, _ = caller(policy=RetryPolicy(max_attempts=3))
+
+        def operation():
+            raise EndpointUnreachableError("down")
+
+        with pytest.raises(RetryBudgetExceededError):
+            resilient.call(operation)
+        assert resilient.metrics.attempts == 3
+        assert resilient.metrics.reasons == {"retries-exhausted": 1}
+
+    def test_deadline_budget_cuts_retries_short(self):
+        # Attempts are instant; sleeps alone would exceed the deadline.
+        policy = RetryPolicy(
+            max_attempts=100, base_delay=1.0, multiplier=1.0,
+            jitter=0.0, deadline=3.0,
+        )
+        resilient, fake = caller(policy=policy)
+
+        def operation():
+            raise EndpointUnreachableError("down")
+
+        with pytest.raises(RetryBudgetExceededError):
+            resilient.call(operation)
+        assert sum(fake.sleeps) < policy.deadline
+
+    def test_application_errors_are_not_retried(self):
+        resilient, _ = caller()
+
+        def operation():
+            raise ValueError("a real answer, not a network failure")
+
+        with pytest.raises(ValueError):
+            resilient.call(operation)
+        assert resilient.metrics.attempts == 1
+
+    def test_open_breaker_short_circuits(self):
+        fake = FakeTime()
+        breaker = CircuitBreaker(failure_threshold=1, now=fake.now)
+        breaker.record_failure()
+        resilient = ResilientCaller(
+            breaker=breaker, rng=random.Random(0),
+            sleep=fake.sleep, now=fake.now,
+        )
+        calls = []
+        with pytest.raises(CircuitOpenError):
+            resilient.call(lambda: calls.append(1))
+        assert calls == []  # never even attempted
+        assert resilient.metrics.breaker_rejections == 1
+        assert resilient.metrics.reasons == {"circuit-open": 1}
+
+    def test_breaker_closes_again_after_a_good_probe(self):
+        fake = FakeTime()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, now=fake.now
+        )
+        breaker.record_failure()
+        resilient = ResilientCaller(
+            breaker=breaker, rng=random.Random(0),
+            sleep=fake.sleep, now=fake.now,
+        )
+        fake.now_value = 5.0
+        assert resilient.call(lambda: "back") == "back"
+        assert breaker.state == CLOSED
+
+
+class _FlakyTransport:
+    """Dies after a configurable number of requests; factory-rebuildable."""
+
+    built = 0
+
+    def __init__(self, lives, codec="binary"):
+        self.lives = lives
+        self.codec = codec
+        self.closed = False
+        type(self).built += 1
+
+    def request(self, payload):
+        if self.lives <= 0:
+            raise EndpointUnreachableError("connection lost")
+        self.lives -= 1
+        return b"pong:" + payload
+
+    def close(self):
+        self.closed = True
+
+
+class TestResilientTransport:
+    def _transport(self, lives_sequence, **policy_kwargs):
+        fake = FakeTime()
+        lives = iter(lives_sequence)
+        _FlakyTransport.built = 0
+        transport = ResilientTransport(
+            factory=lambda: _FlakyTransport(next(lives)),
+            caller=ResilientCaller(
+                policy=RetryPolicy(**policy_kwargs),
+                rng=random.Random(0),
+                sleep=fake.sleep,
+                now=fake.now,
+            ),
+        )
+        return transport, fake
+
+    def test_reconnects_and_redials_after_a_drop(self):
+        transport, _ = self._transport([1, 5])
+        assert transport.request(b"a") == b"pong:a"
+        # the first connection is spent; the next request redials
+        assert transport.request(b"b") == b"pong:b"
+        assert _FlakyTransport.built == 2
+        assert transport.metrics.reconnects == 2
+
+    def test_dead_factory_exhausts_the_budget(self):
+        def factory():
+            raise EndpointUnreachableError("server is down")
+
+        fake = FakeTime()
+        transport = ResilientTransport(
+            factory=factory,
+            caller=ResilientCaller(
+                policy=RetryPolicy(max_attempts=3),
+                rng=random.Random(0), sleep=fake.sleep, now=fake.now,
+            ),
+        )
+        with pytest.raises(RetryBudgetExceededError):
+            transport.request(b"x")
+        assert transport.metrics.attempts == 3
+
+    def test_codec_tracks_the_live_connection(self):
+        transport, _ = self._transport([5])
+        assert transport.codec == "binary"
+
+    def test_codec_defaults_to_xml_when_unreachable(self):
+        def factory():
+            raise EndpointUnreachableError("down")
+
+        transport = ResilientTransport(factory=factory)
+        assert transport.codec == "xml"

@@ -1,0 +1,121 @@
+"""Property tests: RetryPolicy invariants and breaker state machine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=20),
+    base_delay=st.floats(min_value=0.001, max_value=5.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=0.001, max_value=10.0),
+    jitter=st.floats(min_value=0.0, max_value=2.0),
+    deadline=st.floats(min_value=0.01, max_value=30.0),
+)
+
+
+class TestRetryPolicyProperties:
+    @given(policy=policies)
+    def test_raw_backoff_is_monotone_and_bounded(self, policy):
+        raws = [policy.backoff(n) for n in range(1, policy.max_attempts + 1)]
+        assert all(a <= b for a, b in zip(raws, raws[1:]))
+        assert all(raw <= policy.max_delay for raw in raws)
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32))
+    def test_jittered_delays_are_deterministic_under_a_seed(self, policy, seed):
+        assert list(policy.delays(random.Random(seed))) == list(
+            policy.delays(random.Random(seed))
+        )
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32))
+    def test_total_sleep_never_exceeds_the_deadline(self, policy, seed):
+        delays = list(policy.delays(random.Random(seed)))
+        assert sum(delays) <= policy.deadline + 1e-9
+        assert len(delays) <= policy.max_attempts - 1
+
+    @given(policy=policies, seed=st.integers(min_value=0, max_value=2**32))
+    def test_jitter_never_shrinks_a_delay_below_raw(self, policy, seed):
+        # ... except when the deadline clips it: each yielded delay is
+        # at least the raw backoff or exactly the remaining budget.
+        remaining = policy.deadline
+        for attempt, delay in enumerate(
+            policy.delays(random.Random(seed)), start=1
+        ):
+            raw = policy.backoff(attempt)
+            assert delay >= min(raw, remaining) - 1e-9
+            assert delay <= raw * (1.0 + policy.jitter) + 1e-9
+            remaining -= delay
+
+
+# Breaker events: a sequence of (kind, at_time) drives the machine.
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["failure", "success", "allow", "advance"]),
+        st.floats(min_value=0.0, max_value=5.0),
+    ),
+    max_size=60,
+)
+
+
+class TestBreakerProperties:
+    @given(
+        events=events,
+        threshold=st.integers(min_value=1, max_value=5),
+        reset=st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=200)
+    def test_state_machine_invariants(self, events, threshold, reset):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout=reset,
+            now=lambda: clock["now"],
+        )
+        opened_at = None
+        for kind, delta in events:
+            state_before = breaker.state
+            if kind == "advance":
+                clock["now"] += delta
+            elif kind == "failure":
+                breaker.record_failure()
+                if breaker.state == OPEN and state_before != OPEN:
+                    opened_at = clock["now"]
+            elif kind == "success":
+                breaker.record_success()
+                assert breaker.state == CLOSED
+            else:  # allow
+                admitted = breaker.allow()
+                if state_before == CLOSED:
+                    assert admitted
+                if state_before == OPEN and opened_at is not None:
+                    elapsed = clock["now"] - opened_at
+                    if elapsed < reset:
+                        # inside the cool-off the breaker always refuses
+                        assert not admitted
+                        assert breaker.state == OPEN
+                    elif admitted:
+                        # past the cool-off an admission is the probe
+                        assert breaker.state == HALF_OPEN
+            assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+
+    @given(
+        failures=st.integers(min_value=0, max_value=10),
+        threshold=st.integers(min_value=1, max_value=5),
+    )
+    def test_closed_never_opens_below_threshold(self, failures, threshold):
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, now=lambda: 0.0
+        )
+        for _ in range(min(failures, threshold - 1)):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
