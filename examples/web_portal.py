@@ -8,7 +8,6 @@ score from its write-ahead log.
 Run:  python examples/web_portal.py
 """
 
-import os
 import tempfile
 
 from repro import Behavior, ReputationServer, SimClock, WebView, build_executable, days
@@ -83,8 +82,9 @@ def main():
     print("---- stats page ----")
     print(fetch("/stats") + "\n")
 
-    wal_size = os.path.getsize(os.path.join(directory, "wal.jsonl"))
+    wal_size = database.wal_size_bytes()
     print(f"write-ahead log size before restart: {wal_size} bytes")
+    database.close()
 
     # --- simulate a server restart: recover from the WAL ------------------
     recovered_db = Database(directory=directory)
@@ -99,8 +99,11 @@ def main():
 
     # checkpoint: snapshot + truncate the log
     recovered_db.checkpoint()
-    wal_size = os.path.getsize(os.path.join(directory, "wal.jsonl"))
-    print(f"write-ahead log size after checkpoint: {wal_size} bytes")
+    print(
+        f"write-ahead log size after checkpoint: "
+        f"{recovered_db.wal_size_bytes()} bytes"
+    )
+    recovered_db.close()
 
 
 if __name__ == "__main__":

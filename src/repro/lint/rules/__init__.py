@@ -13,6 +13,7 @@ from .rep002_blocking_under_lock import BlockingUnderLockRule
 from .rep003_silent_except import SilentExceptRule
 from .rep004_codec_exhaustive import CodecExhaustiveRule
 from .rep005_raw_threading import RawThreadingRule
+from .rep006_storage_files import StorageFileAccessRule
 
 ALL_RULES = (
     WallClockRule(),
@@ -20,6 +21,7 @@ ALL_RULES = (
     SilentExceptRule(),
     CodecExhaustiveRule(),
     RawThreadingRule(),
+    StorageFileAccessRule(),
 )
 
 __all__ = [
@@ -29,4 +31,5 @@ __all__ = [
     "SilentExceptRule",
     "CodecExhaustiveRule",
     "RawThreadingRule",
+    "StorageFileAccessRule",
 ]

@@ -37,6 +37,7 @@ from typing import Any
 
 from ..errors import MalformedMessageError, ProtocolError, UnknownMessageError
 from .registry import class_for, tag_for
+from .varint import Cursor, write_varint as _write_varint, zigzag as _zigzag, unzigzag as _unzigzag
 
 # Value type bytes.
 T_NONE = 0x00
@@ -52,83 +53,15 @@ T_MSG = 0x08
 _DOUBLE = struct.Struct(">d")
 
 
-# ---------------------------------------------------------------------------
-# Varints
-# ---------------------------------------------------------------------------
+def _Reader(data: bytes) -> Cursor:
+    """A bounds-checked cursor whose failures speak this codec's error type.
 
-def _write_varint(out: bytearray, value: int) -> None:
-    """Unsigned LEB128."""
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return
-
-
-def _zigzag(value: int) -> int:
-    """Map signed to unsigned so small magnitudes stay small on the wire."""
-    return (value << 1) if value >= 0 else ((-value) << 1) - 1
-
-
-def _unzigzag(value: int) -> int:
-    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
-
-
-class _Reader:
-    """A bounds-checked cursor over the wire bytes."""
-
-    __slots__ = ("data", "pos")
-
-    def __init__(self, data: bytes):
-        self.data = data
-        self.pos = 0
-
-    @property
-    def remaining(self) -> int:
-        return len(self.data) - self.pos
-
-    def take(self, count: int) -> bytes:
-        if count < 0 or count > self.remaining:
-            raise MalformedMessageError(
-                f"truncated buffer: wanted {count} bytes, {self.remaining} left"
-            )
-        chunk = self.data[self.pos : self.pos + count]
-        self.pos += count
-        return chunk
-
-    def byte(self) -> int:
-        if self.pos >= len(self.data):
-            raise MalformedMessageError("truncated buffer: wanted a type byte")
-        value = self.data[self.pos]
-        self.pos += 1
-        return value
-
-    def varint(self) -> int:
-        shift = 0
-        value = 0
-        while True:
-            if self.pos >= len(self.data):
-                raise MalformedMessageError("truncated varint")
-            # Arbitrary-precision ints are legal (python), but a varint
-            # longer than the buffer that carried it is an attack.
-            if shift > 8 * len(self.data):
-                raise MalformedMessageError("runaway varint")
-            byte = self.data[self.pos]
-            self.pos += 1
-            value |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return value
-            shift += 7
-
-    def utf8(self) -> str:
-        length = self.varint()
-        try:
-            return self.take(length).decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise MalformedMessageError(f"bad utf-8: {exc}") from None
+    The LEB128/zigzag/cursor machinery itself lives in
+    :mod:`repro.protocol.varint`, shared with the storage engine's binary
+    WAL format (:mod:`repro.storage.records`) so the two byte grammars
+    cannot drift.
+    """
+    return Cursor(data, error=MalformedMessageError)
 
 
 # ---------------------------------------------------------------------------

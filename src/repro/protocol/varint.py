@@ -1,0 +1,104 @@
+"""Shared varint machinery: LEB128, zigzag, and a bounds-checked cursor.
+
+Two subsystems speak the same low-level byte grammar: the negotiated
+binary wire codec (:mod:`repro.protocol.binary_codec`) and the storage
+engine's binary WAL/snapshot format (:mod:`repro.storage.records`).
+Both length-prefix with unsigned LEB128 varints, store signed integers
+zigzag-mapped so small magnitudes stay small, and parse hostile bytes
+through a cursor that refuses to read past the buffer.  This module is
+the single home of that machinery so the two formats cannot drift.
+
+The cursor raises :class:`TruncatedBufferError` by default; callers
+that need their own error taxonomy (the wire codec raises
+``MalformedMessageError``, the WAL raises ``WalCorruptionError``) pass
+``error=`` and every bounds/format failure surfaces as that type.
+"""
+
+from __future__ import annotations
+
+
+class TruncatedBufferError(ValueError):
+    """A read ran past the end of the buffer (or a varint ran away)."""
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append *value* (unsigned) to *out* as LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def zigzag(value: int) -> int:
+    """Map signed to unsigned so small magnitudes stay small on the wire."""
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+class Cursor:
+    """A bounds-checked read cursor over immutable bytes.
+
+    Every read validates against the remaining buffer; a short buffer,
+    a runaway varint, or malformed UTF-8 raises the *error* type the
+    cursor was constructed with (default
+    :class:`TruncatedBufferError`).
+    """
+
+    __slots__ = ("data", "pos", "_error")
+
+    def __init__(self, data: bytes, error: type = TruncatedBufferError):
+        self.data = data
+        self.pos = 0
+        self._error = error
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or count > self.remaining:
+            raise self._error(
+                f"truncated buffer: wanted {count} bytes, {self.remaining} left"
+            )
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise self._error("truncated buffer: wanted a type byte")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def varint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            if self.pos >= len(self.data):
+                raise self._error("truncated varint")
+            # Arbitrary-precision ints are legal (python), but a varint
+            # longer than the buffer that carried it is an attack.
+            if shift > 8 * len(self.data):
+                raise self._error("runaway varint")
+            byte = self.data[self.pos]
+            self.pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def utf8(self) -> str:
+        length = self.varint()
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise self._error(f"bad utf-8: {exc}") from None

@@ -54,6 +54,7 @@ from ..protocol import (
     DEFAULT_CODEC,
     encode_with,
 )
+from ..storage import DURABILITY_BATCHED, Database
 from .accounts import AccountManager
 from .cache import DEFAULT_MAX_ENTRIES, ScoreResponseCache
 from .pipeline import (
@@ -95,6 +96,9 @@ __all__ = [
     "E_SERVER",
 ]
 
+#: Default WAL-size trigger for the server's background checkpointer.
+DEFAULT_CHECKPOINT_WAL_BYTES = 4 * 1024 * 1024
+
 #: Message types a client may send before it has a session (the account
 #: lifecycle itself).  Everything else must authenticate.
 PRE_AUTH_MESSAGES = (
@@ -120,8 +124,31 @@ class ReputationServer:
         analysis_delay: int = 0,
         adaptive_puzzles: bool = False,
         score_cache_size: int = DEFAULT_MAX_ENTRIES,
+        data_directory: Optional[str] = None,
+        durability: str = DURABILITY_BATCHED,
+        checkpoint_wal_bytes: Optional[int] = DEFAULT_CHECKPOINT_WAL_BYTES,
+        checkpoint_commits: Optional[int] = None,
     ):
         rng = rng or random.Random(0)
+        self._owns_database = False
+        if engine is None and data_directory is not None:
+            # The server's own durable stack: group-commit WAL (batched
+            # durability by default — a vote lost in a crash costs one
+            # client re-vote, a fsync stall on every vote costs the
+            # fleet) with background checkpointing.
+            database = Database(
+                directory=data_directory,
+                durability=durability,
+                clock=clock,
+                checkpoint_wal_bytes=checkpoint_wal_bytes,
+                checkpoint_commits=checkpoint_commits,
+            )
+            engine = ReputationEngine(database=database, clock=clock)
+            self._owns_database = True
+        elif engine is not None and data_directory is not None:
+            raise ValueError(
+                "pass either a prebuilt engine or data_directory, not both"
+            )
         self.engine = engine or ReputationEngine(clock=clock)
         self.clock = self.engine.clock
         self.analysis = None
@@ -185,6 +212,15 @@ class ReputationServer:
             ],
             registry=registry,
         )
+        if self._owns_database:
+            # Every subsystem above has re-declared its schemas; now the
+            # on-disk state (snapshot + WAL, legacy or binary) can load.
+            self.engine.db.recover()
+
+    def close(self) -> None:
+        """Flush and release the server-owned database, if any."""
+        if self._owns_database:
+            self.engine.db.close()
 
     # -- wire entry point ---------------------------------------------------
 

@@ -46,16 +46,26 @@ from .locks import (
     LockUpgradeError,
     PotentialDeadlockError,
     ReadWriteLock,
+    create_event,
     create_lock,
     create_rlock,
     disable_lock_order_detection,
     enable_lock_order_detection,
     lock_order_detection,
     lock_order_detector,
+    spawn_thread,
 )
 from .transactions import Transaction
-from .wal import WriteAheadLog
-from .engine import Database
+from .checkpointer import Checkpointer
+from .wal import (
+    DURABILITY_ASYNC,
+    DURABILITY_BATCHED,
+    DURABILITY_FSYNC,
+    CommitTicket,
+    LegacyJsonWriteAheadLog,
+    WriteAheadLog,
+)
+from .engine import WAL_FORMAT_BINARY, WAL_FORMAT_JSON, Database
 
 __all__ = [
     "Column",
@@ -66,7 +76,17 @@ __all__ = [
     "SortedIndex",
     "Transaction",
     "WriteAheadLog",
+    "LegacyJsonWriteAheadLog",
+    "CommitTicket",
+    "Checkpointer",
+    "DURABILITY_FSYNC",
+    "DURABILITY_BATCHED",
+    "DURABILITY_ASYNC",
+    "WAL_FORMAT_BINARY",
+    "WAL_FORMAT_JSON",
     "Database",
+    "create_event",
+    "spawn_thread",
     "ReadWriteLock",
     "ExclusiveLock",
     "LockUpgradeError",

@@ -2,12 +2,23 @@
 
 :class:`Database` is the facade the server code uses.  It can run purely
 in memory (the default, used by most simulations) or attached to a
-directory, in which case every committed mutation is WAL-logged and
-:meth:`checkpoint` writes a full snapshot and truncates the log.
+directory, in which case every committed mutation is WAL-logged through
+the segmented binary log in :mod:`repro.storage.wal` and
+:meth:`checkpoint` streams a binary snapshot and drops the covered WAL
+segments.
 
 Schemas are code, not data: on reopen the caller re-declares its tables
 (with their check constraints, which are Python callables) and then calls
-:meth:`recover` to reload the snapshot and replay the log.
+:meth:`recover` to reload the snapshot and replay the log.  Data
+directories written by the pre-binary engine (``wal.jsonl`` +
+``snapshot.json``) are detected and recovered transparently; the first
+binary checkpoint migrates them away.
+
+Durability is a knob (``durability=``): ``fsync`` blocks each commit on
+a group-coalesced fsync, ``batched`` bounds data loss to a small window
+of commits without blocking anyone, ``async`` leaves fsync to the
+kernel.  ``wal_format="json"`` rebuilds the pre-PR write path (one
+``open``+``fsync`` per commit) for A/B benchmarks.
 
 Concurrency: the engine owns one writer-preferring reader–writer lock
 (:class:`~repro.storage.locks.ReadWriteLock`) shared by every table it
@@ -15,7 +26,9 @@ creates.  Single-statement reads take the shared side inside the table
 layer and proceed in parallel; mutations take the exclusive side, and a
 :class:`~repro.storage.transactions.Transaction` holds the exclusive side
 for its whole scope, so parallel server workers can never interleave two
-transactions' mutations or split a WAL commit unit.  Passing
+transactions' mutations or split a WAL commit unit.  Committers wait for
+durability only *after* releasing the exclusive side, which is what lets
+concurrent commits coalesce into one fsync.  Passing
 ``exclusive_lock=True`` rebuilds the PR 1 discipline (reads serialise
 too) for A/B benchmarks.
 """
@@ -26,20 +39,36 @@ import json
 import os
 from typing import Optional
 
+from ..clock import SimClock
 from ..errors import (
     StorageError,
     TableExistsError,
     TableNotFoundError,
     TransactionError,
 )
-from .locks import ExclusiveLock, ReadWriteLock
+from . import records
+from .checkpointer import Checkpointer
+from .locks import ExclusiveLock, ReadWriteLock, create_lock
 from .schema import Schema
 from .table import MutationEvent, OP_DELETE, OP_INSERT, OP_UPDATE, Table
 from .transactions import Transaction, invert
-from .wal import WriteAheadLog, decode_row, decode_value, encode_row, encode_value
+from .wal import (
+    DEFAULT_BATCH_DELAY,
+    DEFAULT_BATCH_SIZE,
+    DURABILITY_FSYNC,
+    CommitTicket,
+    LegacyJsonWriteAheadLog,
+    WriteAheadLog,
+    decode_row,
+    encode_row,
+    fsync_directory,
+)
 
-_SNAPSHOT_FILE = "snapshot.json"
-_WAL_FILE = "wal.jsonl"
+_SNAPSHOT_FILE = "snapshot.bin"
+_LEGACY_SNAPSHOT_FILE = "snapshot.json"
+
+WAL_FORMAT_BINARY = "binary"
+WAL_FORMAT_JSON = "json"
 
 
 class Database:
@@ -53,6 +82,13 @@ class Database:
         self,
         directory: Optional[str] = None,
         exclusive_lock: bool = False,
+        durability: str = DURABILITY_FSYNC,
+        wal_format: str = WAL_FORMAT_BINARY,
+        clock: Optional[SimClock] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_delay: int = DEFAULT_BATCH_DELAY,
+        checkpoint_wal_bytes: Optional[int] = None,
+        checkpoint_commits: Optional[int] = None,
     ):
         #: Engine-level reader–writer lock: shared with every table; the
         #: write side is held for the whole scope of a transaction.  Both
@@ -64,10 +100,38 @@ class Database:
         self._tx_buffer: list = []
         self._suppress_log = False
         self._directory = directory
-        self._wal: Optional[WriteAheadLog] = None
+        self._wal = None
+        #: Serialises checkpoints (manual vs. background); ordered
+        #: before the engine lock, which checkpointing takes inside.
+        self._checkpoint_mutex = create_lock("db-checkpoint")
+        self._checkpointer: Optional[Checkpointer] = None
+        self._checkpoint_wal_bytes = checkpoint_wal_bytes
+        self._checkpoint_commits = checkpoint_commits
+        self._commits_since_checkpoint = 0
+        self._closed = False
+        if wal_format not in (WAL_FORMAT_BINARY, WAL_FORMAT_JSON):
+            raise ValueError(
+                f"unknown wal_format {wal_format!r}; "
+                f"pick {WAL_FORMAT_BINARY!r} or {WAL_FORMAT_JSON!r}"
+            )
+        self._wal_format = wal_format
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
-            self._wal = WriteAheadLog(os.path.join(directory, _WAL_FILE))
+            if wal_format == WAL_FORMAT_JSON:
+                if durability != DURABILITY_FSYNC:
+                    raise ValueError(
+                        "the JSON write path fsyncs every commit; "
+                        f"durability={durability!r} needs wal_format='binary'"
+                    )
+                self._wal = LegacyJsonWriteAheadLog(directory)
+            else:
+                self._wal = WriteAheadLog(
+                    directory,
+                    durability=durability,
+                    clock=clock,
+                    batch_size=batch_size,
+                    batch_delay=batch_delay,
+                )
 
     # -- schema management --------------------------------------------------
 
@@ -125,13 +189,18 @@ class Database:
         self._transaction = transaction
         self._tx_buffer = []
 
-    def _commit(self, transaction: Transaction, undo_log: list) -> None:
+    def _commit(
+        self, transaction: Transaction, undo_log: list
+    ) -> Optional[CommitTicket]:
         if self._transaction is not transaction:
             raise TransactionError("commit from a non-current transaction")
         buffered, self._tx_buffer = self._tx_buffer, []
         self._transaction = None
         if self._wal is not None and buffered:
-            self._wal.append_commit_unit(buffered)
+            ticket = self._wal.append_commit_unit(buffered)
+            self._note_commit_locked()
+            return ticket
+        return None
 
     def _rollback(self, transaction: Transaction, undo_log: list) -> None:
         if self._transaction is not transaction:
@@ -160,18 +229,75 @@ class Database:
         if self._transaction is not None:
             self._transaction.record(event)
             if self._wal is not None:
-                self._tx_buffer.append(self._encode_event(event))
+                self._tx_buffer.append(self._event_to_record(event))
         elif self._wal is not None:
-            self._wal.append_commit_unit([self._encode_event(event)])
+            # Auto-commit: a single-statement write outside any
+            # transaction.  The caller holds the exclusive side (table
+            # mutations notify under it), and is the only possible
+            # writer, so waiting for durability inline cannot starve a
+            # peer — there isn't one until the lock is released.
+            ticket = self._wal.append_commit_unit([self._event_to_record(event)])
+            self._note_commit_locked()
+            self._await_durability(ticket)
 
     @staticmethod
-    def _encode_event(event: MutationEvent) -> dict:
+    def _event_to_record(event: MutationEvent) -> dict:
         return {
             "op": event.op,
             "table": event.table,
-            "pk": encode_value(event.pk),
-            "row": encode_row(event.row),
+            "pk": event.pk,
+            "row": dict(event.row) if event.row is not None else None,
         }
+
+    def _await_durability(self, ticket: Optional[CommitTicket]) -> None:
+        """Block until *ticket* is durable — only in ``fsync`` mode.
+
+        Batched and async modes return immediately: their contract is
+        precisely that commit does not wait on the platter.
+        """
+        if ticket is None or self._wal is None:
+            return
+        if self._wal.durability == DURABILITY_FSYNC:
+            self._wal.wait_durable(ticket)
+
+    def _note_commit_locked(self) -> None:
+        """Count a commit and poke the checkpointer if a threshold trips.
+
+        Callers hold the exclusive side, which guards the counter.  The
+        poke is a non-blocking event set; the actual checkpoint happens
+        on the daemon thread.
+        """
+        self._commits_since_checkpoint += 1
+        if self._checkpoint_commits is None and self._checkpoint_wal_bytes is None:
+            return
+        due = (
+            self._checkpoint_commits is not None
+            and self._commits_since_checkpoint >= self._checkpoint_commits
+        )
+        if (
+            not due
+            and self._checkpoint_wal_bytes is not None
+            and self._wal.size_bytes() >= self._checkpoint_wal_bytes
+        ):
+            due = True
+        if due:
+            if self._checkpointer is None:
+                self._checkpointer = Checkpointer(self)
+            self._checkpointer.poke()
+
+    @property
+    def last_checkpoint_error(self) -> Optional[BaseException]:
+        """The background checkpointer's last failure, if any."""
+        checkpointer = self._checkpointer
+        return checkpointer.last_error if checkpointer is not None else None
+
+    def wal_size_bytes(self) -> int:
+        """Bytes of write-ahead log on disk (zero for in-memory databases).
+
+        The public face of the log's footprint — callers must not poke
+        at the files themselves (REP006): the layout is the engine's.
+        """
+        return self._wal.size_bytes() if self._wal is not None else 0
 
     # -- durability ----------------------------------------------------------------
 
@@ -180,8 +306,11 @@ class Database:
 
         Must be called after all schemas have been re-declared and before
         any new writes.  Returns the number of replayed mutations.
+        Understands both the binary layout (``snapshot.bin`` + WAL
+        segments) and a directory left by the pre-binary engine
+        (``snapshot.json`` + ``wal.jsonl``).
         """
-        if self._directory is None:
+        if self._directory is None or self._wal is None:
             raise StorageError("recover() requires a durable database")
         # Snapshot/WAL reads must happen under the exclusive section:
         # recovery rebuilds table state and nothing may observe it torn.
@@ -191,30 +320,52 @@ class Database:
             applied = 0
             self._suppress_log = True
             try:
-                snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
-                if os.path.exists(snapshot_path):
-                    with open(
-                        snapshot_path, "r", encoding="utf-8"
-                    ) as snapshot_file:
-                        snapshot = json.load(snapshot_file)
-                    for table_name, rows in snapshot.get("tables", {}).items():
-                        if table_name not in self._tables:
-                            raise StorageError(
-                                "snapshot references undeclared table "
-                                f"{table_name!r}"
-                            )
-                        table = self._tables[table_name]
-                        for row in rows:
-                            table.insert(decode_row(row))
-                            applied += 1
-                assert self._wal is not None
-                for unit in self._wal.replay():
+                snapshot_lsn, loaded = self._load_snapshot()
+                applied += loaded
+                for unit in self._wal.replay(after_lsn=snapshot_lsn):
                     for record in unit:
                         self._apply_record(record)
                         applied += 1
             finally:
                 self._suppress_log = False
             return applied
+
+    def _load_snapshot(self) -> tuple:
+        """Load the newest snapshot; returns ``(checkpoint_lsn, nrows)``.
+
+        ``snapshot.bin`` wins when present (it postdates any legacy
+        ``snapshot.json`` — the checkpoint that wrote it deletes the
+        legacy pair once durable).  A legacy snapshot has no LSN: the
+        legacy engine truncated its WAL at every checkpoint, so whatever
+        remains in ``wal.jsonl`` postdates it and replays from 0.
+        """
+        applied = 0
+        binary_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+        if os.path.exists(binary_path):
+            lsn, tables = records.load_snapshot(binary_path)
+            for table_name, rows in tables.items():
+                table = self._snapshot_table(table_name)
+                for row in rows:
+                    table.insert(row)
+                    applied += 1
+            return lsn, applied
+        legacy_path = os.path.join(self._directory, _LEGACY_SNAPSHOT_FILE)
+        if os.path.exists(legacy_path):
+            with open(legacy_path, "r", encoding="utf-8") as snapshot_file:
+                snapshot = json.load(snapshot_file)
+            for table_name, rows in snapshot.get("tables", {}).items():
+                table = self._snapshot_table(table_name)
+                for row in rows:
+                    table.insert(decode_row(row))
+                    applied += 1
+        return 0, applied
+
+    def _snapshot_table(self, table_name: str) -> Table:
+        if table_name not in self._tables:
+            raise StorageError(
+                f"snapshot references undeclared table {table_name!r}"
+            )
+        return self._tables[table_name]
 
     def _apply_record(self, record: dict) -> None:
         table_name = record["table"]
@@ -224,23 +375,70 @@ class Database:
             )
         table = self._tables[table_name]
         op = record["op"]
-        pk = decode_value(record["pk"])
-        row = decode_row(record["row"])
         if op == OP_INSERT:
-            table.insert(row)
+            table.insert(record["row"])
         elif op == OP_UPDATE:
-            table.update(pk, row)
+            table.update(record["pk"], record["row"])
         elif op == OP_DELETE:
-            table.delete(pk)
+            table.delete(record["pk"])
         else:
             raise StorageError(f"unknown WAL operation {op!r}")
 
     def checkpoint(self) -> None:
-        """Write a full snapshot and truncate the WAL."""
+        """Write a full snapshot durably, then drop the WAL it covers.
+
+        Binary layout: the exclusive lock is held only for the
+        consistent-cut instant (WAL rotation + in-memory row copies);
+        the snapshot streams to disk — tmp file → fsync → ``os.replace``
+        → directory fsync — while readers and writers proceed.  Only
+        after the snapshot is durable are the covered WAL segments (and
+        any legacy-format files) deleted, so a crash at *any* point
+        leaves a directory that recovers to a committed state.
+        """
         if self._directory is None or self._wal is None:
             raise StorageError("checkpoint() requires a durable database")
-        # The snapshot write + WAL truncate must be atomic with respect
-        # to writers, so this is sanctioned blocking I/O under the lock.
+        with self._checkpoint_mutex:
+            if self._wal_format == WAL_FORMAT_JSON:
+                self._checkpoint_json()
+            else:
+                self._checkpoint_binary()
+
+    def _checkpoint_binary(self) -> None:
+        # Consistent cut: everyone's committed, nobody's mid-unit.
+        with self._lock.write_locked():  # reprolint: disable=REP002
+            if self._transaction is not None:
+                raise TransactionError("cannot checkpoint inside a transaction")
+            cut_lsn = self._wal.rotate()
+            tables = {
+                name: table.all() for name, table in self._tables.items()
+            }
+            self._commits_since_checkpoint = 0
+        # Everything below happens outside the engine lock.
+        snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+        temp_path = snapshot_path + ".tmp"
+        with open(temp_path, "wb") as snapshot_file:
+            writer = records.SnapshotWriter(snapshot_file, cut_lsn, len(tables))
+            for name in sorted(tables):
+                writer.table(name, tables[name])
+            writer.finish()
+            snapshot_file.flush()
+            os.fsync(snapshot_file.fileno())
+        os.replace(temp_path, snapshot_path)
+        fsync_directory(self._directory)
+        # The snapshot is durable: history before the cut is redundant.
+        self._wal.drop_segments_upto(cut_lsn)
+        legacy_snapshot = os.path.join(
+            self._directory, _LEGACY_SNAPSHOT_FILE
+        )
+        if os.path.exists(legacy_snapshot):
+            os.unlink(legacy_snapshot)
+            fsync_directory(self._directory)
+
+    def _checkpoint_json(self) -> None:
+        # The legacy protocol is stop-the-world, but with the atomicity
+        # holes fixed: tmp + fsync + replace + dir fsync, and the WAL is
+        # truncated (durably) only after the snapshot rename is on disk
+        # — snapshot-durable-before-truncate.
         with self._lock.write_locked():  # reprolint: disable=REP002
             if self._transaction is not None:
                 raise TransactionError("cannot checkpoint inside a transaction")
@@ -250,14 +448,36 @@ class Database:
                     for name, table in self._tables.items()
                 }
             }
-            snapshot_path = os.path.join(self._directory, _SNAPSHOT_FILE)
+            snapshot_path = os.path.join(
+                self._directory, _LEGACY_SNAPSHOT_FILE
+            )
             temp_path = snapshot_path + ".tmp"
             with open(temp_path, "w", encoding="utf-8") as snapshot_file:
                 json.dump(snapshot, snapshot_file, sort_keys=True)
                 snapshot_file.flush()
                 os.fsync(snapshot_file.fileno())
             os.replace(temp_path, snapshot_path)
+            fsync_directory(self._directory)
             self._wal.truncate()
+            self._commits_since_checkpoint = 0
+
+    def close(self) -> None:
+        """Flush everything pending and release file handles; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        checkpointer, self._checkpointer = self._checkpointer, None
+        if checkpointer is not None:
+            checkpointer.stop()
+        if self._wal is not None:
+            self._wal.sync()
+            self._wal.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -14,7 +14,10 @@ A transaction holds the exclusive (write) side of the engine's
 reader–writer lock from ``__enter__`` until commit or rollback completes,
 so its mutations — and its WAL commit unit — can never interleave with
 another thread's work, and no reader can observe a half-applied
-transaction.
+transaction.  In ``fsync`` durability mode, the wait for the commit
+unit to reach the platter happens *after* the lock is released: that is
+the group-commit window in which concurrent committers coalesce into a
+single fsync.
 """
 
 from __future__ import annotations
@@ -75,10 +78,16 @@ class Transaction:
     def commit(self) -> None:
         """Make the transaction's effects durable."""
         self._require_active()
+        ticket = None
         try:
-            self._database._commit(self, self._undo_log)
+            ticket = self._database._commit(self, self._undo_log)
         finally:
             self._close()
+        # Wait for durability *after* releasing the exclusive lock:
+        # concurrent committers pile up in the WAL's pending buffer and
+        # settle under one group fsync, instead of serialising their
+        # syncs one-per-commit behind the engine lock.
+        self._database._await_durability(ticket)
 
     def rollback(self) -> None:
         """Undo every mutation performed inside the transaction."""

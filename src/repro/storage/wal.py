@@ -1,24 +1,98 @@
 """Write-ahead log: durability for the reputation database.
 
-The log is a line-oriented JSON file.  Every committed unit of work is a
-sequence of ``mutation`` records terminated by one ``commit`` record; a
-replay applies only complete units, so a crash mid-write (simulated by
-truncating the file) can never surface a half-applied transaction.
+The log is a sequence of **binary segment files** (``wal-<seq>.bin``,
+grammar in :mod:`repro.storage.records`): length-prefixed records with a
+per-record CRC-32, where every committed unit of work is a run of
+``MUTATION`` records closed by one ``COMMIT`` record carrying the unit's
+monotonically increasing LSN.  Replay applies only complete, CRC-clean,
+LSN-consecutive units, so a crash mid-write can never surface a torn or
+half-applied transaction.
 
-Byte values (salts, digests) are JSON-encoded as ``{"__bytes__": "<hex>"}``.
+The write path provides real **group commit** over one persistent file
+handle.  Every ``append_commit_unit`` writes its unit into the active
+segment (through to the OS) and returns a :class:`CommitTicket`; what
+happens next depends on the log's durability mode:
+
+``fsync``
+    Callers block in :meth:`wait_durable` until their unit is fsynced.
+    Waiters coalesce: whichever thread grabs the sync lock first fsyncs
+    once for *every* pending unit, so N concurrent commits cost far
+    fewer than N fsyncs.
+``batched``
+    Nobody waits.  The log fsyncs when ``batch_size`` units are pending
+    or the sim-clock deadline (``clock.now() + batch_delay``, never
+    wall-clock) set by the oldest pending unit has passed — plus on
+    rotation, checkpoint, and close.  A machine crash can lose at most
+    the bounded un-fsynced window; replay's prefix rule keeps what
+    survives consistent.
+``async``
+    Commits are pushed to the OS but never explicitly fsynced outside
+    rotation/close.  Maximum throughput, durability left to the kernel.
+
+**Checkpoint support**: :meth:`rotate` seals the active segment at a
+consistent cut (the caller holds the engine's exclusive lock for that
+instant) and returns the cut LSN; once the caller has a durable
+snapshot at that LSN, :meth:`drop_segments_upto` deletes every sealed
+segment — and the legacy JSON log — whose units the snapshot covers,
+fsyncing the directory.  Snapshot-durable-before-truncate is therefore
+enforced structurally: nothing here ever shortens a live segment.
+
+**Legacy format**: a data directory written by the JSON-lines engine
+(``wal.jsonl``) is detected automatically.  Its units replay first, with
+synthetic LSNs ``1..N``, and new binary segments continue the sequence
+at ``N+1``; the legacy file is deleted by the first checkpoint that
+covers it.  :class:`LegacyJsonWriteAheadLog` keeps the old write path
+alive for A/B benchmarks (``Database(wal_format="json")``) and for
+authoring migration fixtures.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, List, Optional, Tuple
 
+from ..clock import SimClock
 from ..errors import WalCorruptionError
+from ..protocol.varint import Cursor
+from . import records
+from .locks import create_lock
+
+#: Durability modes for the binary log.
+DURABILITY_FSYNC = "fsync"
+DURABILITY_BATCHED = "batched"
+DURABILITY_ASYNC = "async"
+DURABILITIES = (DURABILITY_FSYNC, DURABILITY_BATCHED, DURABILITY_ASYNC)
+
+#: Batched mode: fsync after this many pending units...
+DEFAULT_BATCH_SIZE = 64
+#: ...or this many sim-clock seconds after the oldest pending unit.
+DEFAULT_BATCH_DELAY = 1
+
+#: Legacy JSON-lines artifacts (the pre-binary engine).
+LEGACY_WAL_FILE = "wal.jsonl"
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".bin"
 
 KIND_MUTATION = "mutation"
 KIND_COMMIT = "commit"
 
+
+def fsync_directory(path: str) -> None:
+    """Durably record directory-entry changes (renames, unlinks)."""
+    if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - non-POSIX
+        return
+    fd = os.open(path, os.O_RDONLY | os.O_DIRECTORY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Legacy JSON value encoding (kept for the JSON log and old snapshots)
+# ---------------------------------------------------------------------------
 
 def encode_value(value: Any) -> Any:
     """Make a column value JSON-safe."""
@@ -48,95 +122,534 @@ def decode_row(row: Optional[dict]) -> Optional[dict]:
     return {column: decode_value(value) for column, value in row.items()}
 
 
-class WriteAheadLog:
-    """Append-only JSON-lines log with group-commit semantics."""
+class CommitTicket:
+    """One commit unit's durability handle.
 
-    def __init__(self, path: str):
-        self.path = path
-        directory = os.path.dirname(path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
+    ``lsn`` is the unit's log sequence number (``0`` for an empty unit
+    that wrote nothing).  ``durable`` flips to True once the unit is
+    fsynced — or immediately, in modes where nobody waits.
+    """
+
+    __slots__ = ("lsn", "durable")
+
+    def __init__(self, lsn: int, durable: bool = False):
+        self.lsn = lsn
+        self.durable = durable
+
+
+class WriteAheadLog:
+    """Segmented binary write-ahead log with group commit.
+
+    Lock order (after the engine's reader–writer lock, which callers on
+    the write path already hold): ``wal-sync`` before ``wal-buffer``.
+    The buffer lock serialises appends and bookkeeping; the sync lock
+    serialises fsyncs and rotation, so a flush never races a seal.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        durability: str = DURABILITY_FSYNC,
+        clock: Optional[SimClock] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_delay: int = DEFAULT_BATCH_DELAY,
+    ):
+        if durability not in DURABILITIES:
+            raise ValueError(
+                f"unknown durability {durability!r}; pick one of {DURABILITIES}"
+            )
+        self.directory = directory
+        self.durability = durability
+        os.makedirs(directory, exist_ok=True)
+        self._clock = clock if clock is not None else SimClock()
+        self._batch_size = max(1, int(batch_size))
+        self._batch_delay = batch_delay
+        self._buffer_lock = create_lock("wal-buffer")
+        self._sync_lock = create_lock("wal-sync")
+        self._handle = None
+        self._active_path: Optional[str] = None
+        #: Tickets written to the OS but not yet fsynced.
+        self._pending: List[CommitTicket] = []
+        self._deadline: Optional[int] = None
+        #: Next LSN to assign; ``None`` until the directory is scanned.
+        self._next_lsn: Optional[int] = None
+        #: Sealed segment path -> last LSN it contains (0 when empty).
+        self._segment_last_lsn: dict = {}
+        self._legacy_units: Optional[int] = None
+        self._seq = 0
+        self._approx_bytes: Optional[int] = None
+        #: Diagnostics: set when replay stopped at an LSN gap.
+        self.last_replay_gap: Optional[Tuple[int, int]] = None
+        for path in self._segment_files():
+            self._seq = max(self._seq, self._segment_seq(path))
+        #: Count of physical fsync() calls (observability + tests).
+        self.sync_count = 0
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def legacy_path(self) -> str:
+        return os.path.join(self.directory, LEGACY_WAL_FILE)
+
+    @property
+    def active_path(self) -> Optional[str]:
+        """The segment currently being appended to (``None`` before the
+        first append after open/rotate)."""
+        return self._active_path
+
+    def _segment_files(self) -> List[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in names
+            if name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)
+        )
+
+    @staticmethod
+    def _segment_seq(path: str) -> int:
+        stem = os.path.basename(path)[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError:
+            return 0
+
+    def exists(self) -> bool:
+        return bool(self._segment_files()) or os.path.exists(self.legacy_path)
+
+    def size_bytes(self) -> int:
+        """Total on-disk log size: all segments plus the legacy file."""
+        with self._buffer_lock:
+            if self._approx_bytes is None:
+                self._approx_bytes = self._measure()
+            return self._approx_bytes
+
+    def _measure(self) -> int:
+        total = 0
+        for path in self._segment_files() + [self.legacy_path]:
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass  # racing an unlink: a vanished file weighs nothing
+        return total
+
+    # -- LSN bookkeeping --------------------------------------------------
+
+    def _require_lsn_locked(self) -> None:
+        """Scan the directory once so appends continue the LSN sequence."""
+        if self._next_lsn is not None:
+            return
+        last = self._count_legacy_units()
+        for path in self._segment_files():
+            units, _ = self._parse_segment(path)
+            seg_last = units[-1][0] if units else 0
+            self._segment_last_lsn[path] = seg_last
+            last = max(last, seg_last)
+        self._next_lsn = last + 1
+
+    def _count_legacy_units(self) -> int:
+        if self._legacy_units is None:
+            if os.path.exists(self.legacy_path):
+                self._legacy_units = sum(
+                    1 for _ in _replay_legacy_json(self.legacy_path)
+                )
+            else:
+                self._legacy_units = 0
+        return self._legacy_units
+
+    @property
+    def last_lsn(self) -> int:
+        """Highest LSN assigned so far (0 for an empty log)."""
+        with self._buffer_lock:
+            self._require_lsn_locked()
+            return self._next_lsn - 1
 
     # -- writing ----------------------------------------------------------
 
-    def append_commit_unit(self, mutations: list) -> None:
-        """Durably append *mutations* (already-encoded dicts) plus a commit.
+    def append_commit_unit(self, mutations: list) -> CommitTicket:
+        """Write *mutations* (``{op, table, pk, row}`` dicts with native
+        values) plus a COMMIT record; returns the unit's ticket.
 
-        An empty mutation list writes nothing — empty transactions leave no
-        trace in the log.
+        The bytes always reach the OS before this returns; whether they
+        reach the *platter* is the durability mode's business.  An empty
+        mutation list writes nothing and returns an already-durable
+        ticket.
         """
         if not mutations:
+            return CommitTicket(0, durable=True)
+        flush_due = False
+        with self._buffer_lock:
+            self._require_lsn_locked()
+            self._ensure_open_locked()
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            buf = bytearray()
+            for mutation in mutations:
+                records.encode_mutation(buf, mutation)
+            records.encode_commit(buf, lsn, len(mutations))
+            self._handle.write(buf)
+            self._handle.flush()
+            if self._approx_bytes is not None:
+                self._approx_bytes += len(buf)
+            ticket = CommitTicket(lsn, durable=False)
+            if self.durability == DURABILITY_ASYNC:
+                # Never awaited and never batch-fsynced: the ticket is
+                # "done" as soon as the OS has the bytes.
+                ticket.durable = True
+            else:
+                self._pending.append(ticket)
+                if self.durability == DURABILITY_BATCHED:
+                    now = self._clock.now()
+                    if self._deadline is None:
+                        self._deadline = now + self._batch_delay
+                    flush_due = (
+                        len(self._pending) >= self._batch_size
+                        or now >= self._deadline
+                    )
+        if flush_due:
+            self.sync()
+        return ticket
+
+    def _ensure_open_locked(self) -> None:
+        if self._handle is not None:
             return
+        self._seq += 1
+        path = os.path.join(
+            self.directory,
+            f"{_SEGMENT_PREFIX}{self._seq:08d}{_SEGMENT_SUFFIX}",
+        )
+        handle = open(path, "ab")
+        if handle.tell() == 0:
+            handle.write(records.MAGIC_WAL)
+            handle.flush()
+        self._handle = handle
+        self._active_path = path
+        if self._approx_bytes is not None:
+            self._approx_bytes += len(records.MAGIC_WAL)
+
+    def wait_durable(self, ticket: CommitTicket) -> None:
+        """Block until *ticket*'s unit is fsynced (group-coalesced).
+
+        Whichever waiter reaches the sync lock first performs one fsync
+        covering every pending unit; the rest find their ticket already
+        durable.  Callers must NOT hold the engine's exclusive lock
+        unless they are the only possible writer (the engine's
+        auto-commit path), or waiters could starve each other.
+        """
+        while not ticket.durable:
+            with self._sync_lock:
+                if ticket.durable:
+                    return
+                self._sync_locked()
+
+    def sync(self) -> None:
+        """Fsync the active segment and settle every pending ticket."""
+        with self._sync_lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        with self._buffer_lock:
+            handle = self._handle
+            pending, self._pending = self._pending, []
+            self._deadline = None
+        if handle is not None:
+            os.fsync(handle.fileno())
+            self.sync_count += 1
+        for ticket in pending:
+            ticket.durable = True
+
+    # -- rotation / truncation -------------------------------------------
+
+    def rotate(self) -> int:
+        """Seal the active segment at a consistent cut; returns the cut LSN.
+
+        The caller holds the engine's exclusive lock for this instant,
+        so no unit can straddle the cut.  Everything up to the cut is
+        fsynced before the seal; the next append opens a fresh segment.
+        """
+        with self._sync_lock:
+            self._sync_locked()
+            with self._buffer_lock:
+                self._require_lsn_locked()
+                cut = self._next_lsn - 1
+                if self._handle is not None:
+                    self._handle.close()
+                    self._segment_last_lsn[self._active_path] = cut
+                    self._handle = None
+                    self._active_path = None
+                return cut
+
+    def drop_segments_upto(self, lsn: int) -> None:
+        """Delete sealed segments (and the legacy log) covered by a
+        durable snapshot at *lsn*; fsyncs the directory afterwards.
+
+        Only ever called *after* the caller has made its snapshot
+        durable — the active segment is never touched, so a crash at any
+        point leaves either the old segments (replayed and re-covered by
+        the next checkpoint) or nothing stale at all.
+        """
+        removed = False
+        with self._buffer_lock:
+            active = self._active_path
+        for path in self._segment_files():
+            if path == active:
+                continue
+            last = self._segment_last_lsn.get(path)
+            if last is None:
+                units, _ = self._parse_segment(path)
+                last = units[-1][0] if units else 0
+            if last <= lsn:
+                os.unlink(path)
+                self._segment_last_lsn.pop(path, None)
+                removed = True
+        if (
+            os.path.exists(self.legacy_path)
+            and self._count_legacy_units() <= lsn
+        ):
+            os.unlink(self.legacy_path)
+            removed = True
+        if removed:
+            fsync_directory(self.directory)
+            with self._buffer_lock:
+                self._approx_bytes = None  # recount lazily
+
+    def close(self) -> None:
+        """Flush, fsync, and release the active segment handle."""
+        with self._sync_lock:
+            self._sync_locked()
+            with self._buffer_lock:
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
+
+    # -- reading ----------------------------------------------------------
+
+    def replay(self, after_lsn: int = 0) -> Iterator[list]:
+        """Yield each committed unit with LSN > *after_lsn*, in order.
+
+        Units come from the legacy JSON log first (synthetic LSNs), then
+        every binary segment in sequence order.  The **prefix rule**: a
+        torn tail ends replay of the log; a gap in the LSN sequence ends
+        it too (recorded in :attr:`last_replay_gap`), because units
+        after a hole may depend on the lost one.  Mid-record corruption
+        in a *complete* record raises
+        :class:`~repro.errors.WalCorruptionError`.
+        """
+        self.last_replay_gap = None
+        expected = after_lsn + 1
+        last_seen = 0
+        for lsn, unit in self._iter_units():
+            last_seen = max(last_seen, lsn)
+            if lsn <= after_lsn:
+                continue
+            if lsn != expected:
+                self.last_replay_gap = (expected, lsn)
+                break
+            expected += 1
+            yield unit
+        with self._buffer_lock:
+            if self._next_lsn is None or last_seen >= self._next_lsn:
+                self._next_lsn = max(last_seen, after_lsn) + 1
+
+    def _iter_units(self) -> Iterator[tuple]:
+        if os.path.exists(self.legacy_path):
+            synthetic = 0
+            for unit in _replay_legacy_json(self.legacy_path):
+                synthetic += 1
+                yield synthetic, unit
+            self._legacy_units = synthetic
+        for path in self._segment_files():
+            units, torn = self._parse_segment(path)
+            if path != self._active_path:
+                self._segment_last_lsn[path] = (
+                    units[-1][0] if units else 0
+                )
+            for lsn, unit in units:
+                yield lsn, unit
+            if torn:
+                # Anything in later segments postdates a write the OS
+                # never finished; the prefix rule ends replay here.
+                return
+
+    def _parse_segment(self, path: str) -> tuple:
+        """Parse one segment; returns ``([(lsn, [mutations])...], torn)``."""
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return [], False
+        if not blob:
+            return [], False
+        if not blob.startswith(records.MAGIC_WAL):
+            if records.MAGIC_WAL.startswith(blob):
+                return [], True  # crash tore the header write
+            raise WalCorruptionError(
+                f"{path}: not a binary WAL segment"
+            )
+        cursor = Cursor(blob[len(records.MAGIC_WAL):])
+        units = []
+        pending: list = []
+        torn = False
+        while cursor.remaining:
+            try:
+                kind, decoded = records.read_record(cursor)
+            except records.TornTail:
+                torn = True
+                break
+            except WalCorruptionError as exc:
+                raise WalCorruptionError(f"{path}: {exc}") from None
+            if kind == records.REC_MUTATION:
+                pending.append(decoded)
+            else:
+                lsn, count = decoded
+                if count != len(pending):
+                    raise WalCorruptionError(
+                        f"{path}: commit {lsn} covers {count} mutations, "
+                        f"found {len(pending)}"
+                    )
+                units.append((lsn, pending))
+                pending = []
+        # Mutations with no commit record (crash before commit): discard.
+        return units, torn
+
+
+# ---------------------------------------------------------------------------
+# The legacy JSON-lines log
+# ---------------------------------------------------------------------------
+
+def _replay_legacy_json(path: str) -> Iterator[list]:
+    """Yield committed units from a JSON-lines log, values decoded.
+
+    A torn final line (or a trailing unit with no commit record) is
+    silently discarded; corruption *before* the last commit raises
+    :class:`WalCorruptionError`, because data loss there is real.
+    """
+    if not os.path.exists(path):
+        return
+    pending: list = []
+    tail_is_torn = False
+    with open(path, "r", encoding="utf-8") as log_file:
+        for line_number, line in enumerate(log_file, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                tail_is_torn = True
+                continue
+            if tail_is_torn:
+                raise WalCorruptionError(
+                    f"{path}: corrupt record before line {line_number}"
+                )
+            kind = record.get("kind")
+            if kind == KIND_MUTATION:
+                pending.append({
+                    "op": record["op"],
+                    "table": record["table"],
+                    "pk": decode_value(record["pk"]),
+                    "row": decode_row(record["row"]),
+                })
+            elif kind == KIND_COMMIT:
+                expected = record.get("count")
+                if expected != len(pending):
+                    raise WalCorruptionError(
+                        f"{path}: commit at line {line_number} covers "
+                        f"{expected} mutations, found {len(pending)}"
+                    )
+                yield pending
+                pending = []
+            else:
+                raise WalCorruptionError(
+                    f"{path}: unknown record kind {kind!r} "
+                    f"at line {line_number}"
+                )
+    # anything left in `pending` was never committed: discard.
+
+
+class LegacyJsonWriteAheadLog:
+    """The pre-binary write path: JSON lines, ``open``+``fsync`` per commit.
+
+    Kept as a faithful A/B baseline (``Database(wal_format="json")`` and
+    the P4 benchmark) and to author migration fixtures.  It presents the
+    same ticket-based interface as :class:`WriteAheadLog` but every
+    commit is synchronously durable, so tickets come back settled and
+    group commit never happens — exactly the seed engine's cost model.
+    """
+
+    def __init__(self, directory: str, **_ignored):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.path = os.path.join(directory, LEGACY_WAL_FILE)
+        self.durability = DURABILITY_FSYNC
+        self.sync_count = 0
+        self.last_replay_gap = None
+
+    # -- writing ----------------------------------------------------------
+
+    def append_commit_unit(self, mutations: list) -> CommitTicket:
+        if not mutations:
+            return CommitTicket(0, durable=True)
         lines = []
         for mutation in mutations:
-            record = dict(mutation)
-            record["kind"] = KIND_MUTATION
-            lines.append(json.dumps(record, sort_keys=True))
-        lines.append(json.dumps({"kind": KIND_COMMIT, "count": len(mutations)}))
+            lines.append(json.dumps({
+                "kind": KIND_MUTATION,
+                "op": mutation["op"],
+                "table": mutation["table"],
+                "pk": encode_value(mutation["pk"]),
+                "row": encode_row(mutation["row"]),
+            }, sort_keys=True))
+        lines.append(json.dumps({
+            "kind": KIND_COMMIT, "count": len(mutations),
+        }))
         with open(self.path, "a", encoding="utf-8") as log_file:
             log_file.write("\n".join(lines) + "\n")
             log_file.flush()
             os.fsync(log_file.fileno())
+        self.sync_count += 1
+        return CommitTicket(0, durable=True)
+
+    def wait_durable(self, ticket: CommitTicket) -> None:
+        """Every commit was fsynced inline; nothing to wait for."""
+
+    def sync(self) -> None:
+        """No deferred state exists in this mode."""
 
     def truncate(self) -> None:
-        """Discard all log content (after a checkpoint)."""
-        with open(self.path, "w", encoding="utf-8"):
-            pass
+        """Discard all log content — durably.
+
+        The seed implementation forgot both fsyncs here: a crash right
+        after a checkpoint could resurrect pre-checkpoint WAL content
+        (double-applying units over the snapshot) because neither the
+        truncated file nor the directory entry was on disk yet.
+        """
+        with open(self.path, "w", encoding="utf-8") as log_file:
+            log_file.flush()
+            os.fsync(log_file.fileno())
+        fsync_directory(self.directory)
+
+    def close(self) -> None:
+        """No persistent handle to release."""
 
     # -- reading ----------------------------------------------------------
 
-    def replay(self) -> Iterator[list]:
-        """Yield each *committed* unit as a list of mutation dicts.
-
-        A trailing unit with no commit record (torn write) is silently
-        discarded; a syntactically corrupt line *before* the last commit is
-        a :class:`WalCorruptionError`, because data loss there is real.
-        """
-        if not os.path.exists(self.path):
-            return
-        pending: list = []
-        tail_is_torn = False
-        with open(self.path, "r", encoding="utf-8") as log_file:
-            for line_number, line in enumerate(log_file, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn final write is expected after a crash; anything
-                    # after it would prove mid-file corruption.
-                    tail_is_torn = True
-                    continue
-                if tail_is_torn:
-                    raise WalCorruptionError(
-                        f"{self.path}: corrupt record before line {line_number}"
-                    )
-                kind = record.get("kind")
-                if kind == KIND_MUTATION:
-                    pending.append(record)
-                elif kind == KIND_COMMIT:
-                    expected = record.get("count")
-                    if expected != len(pending):
-                        raise WalCorruptionError(
-                            f"{self.path}: commit at line {line_number} covers "
-                            f"{expected} mutations, found {len(pending)}"
-                        )
-                    yield pending
-                    pending = []
-                else:
-                    raise WalCorruptionError(
-                        f"{self.path}: unknown record kind {kind!r} "
-                        f"at line {line_number}"
-                    )
-        # anything left in `pending` was never committed: discard.
+    def replay(self, after_lsn: int = 0) -> Iterator[list]:
+        for index, unit in enumerate(_replay_legacy_json(self.path), start=1):
+            if index > after_lsn:
+                yield unit
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
     def size_bytes(self) -> int:
-        """Current size of the log file (0 if absent)."""
         try:
             return os.path.getsize(self.path)
         except OSError:
             return 0
+
+    @property
+    def last_lsn(self) -> int:
+        return sum(1 for _ in _replay_legacy_json(self.path))

@@ -197,3 +197,54 @@ class TestDurableServer:
         database2.recover()
         with pytest.raises(DuplicateVoteError):
             engine2.cast_vote("alice", "sid", 3)
+
+
+class TestServerOwnedDatabase:
+    """The ``data_directory=`` knob: the server builds, recovers, and
+    owns its durable stack (batched group-commit durability by default)."""
+
+    def _restart(self, tmp_path, clock, **kwargs):
+        from repro.server import ReputationServer
+
+        return ReputationServer(
+            data_directory=str(tmp_path), clock=clock, **kwargs
+        )
+
+    def test_server_state_survives_restart(self, tmp_path, clock):
+        server = self._restart(tmp_path, clock)
+        server.engine.enroll_user("alice")
+        server.engine.register_software("sid", "p.exe", 10, vendor="V")
+        server.engine.cast_vote("alice", "sid", 7)
+        server.close()
+        server2 = self._restart(tmp_path, clock)
+        assert server2.engine.trust.get("alice") == 1.0
+        assert server2.engine.ratings.vote_count("sid") == 1
+        server2.close()
+
+    def test_batched_commits_survive_unclean_restart(self, tmp_path, clock):
+        # No close(): batched commits are still pushed to the OS per
+        # commit, so a process exit (not a machine crash) loses nothing.
+        server = self._restart(tmp_path, clock)
+        server.engine.enroll_user("alice")
+        server.engine.cast_vote("alice", "sid", 7)
+        server2 = self._restart(tmp_path, clock)
+        assert server2.engine.ratings.vote_count("sid") == 1
+        server2.close()
+
+    def test_fsync_durability_knob(self, tmp_path, clock):
+        server = self._restart(tmp_path, clock, durability="fsync")
+        server.engine.enroll_user("alice")
+        server.close()
+        server2 = self._restart(tmp_path, clock, durability="fsync")
+        assert server2.engine.trust.get("alice") == 1.0
+        server2.close()
+
+    def test_engine_and_data_directory_are_exclusive(self, tmp_path, clock):
+        from repro.core import ReputationEngine
+        from repro.server import ReputationServer
+
+        with pytest.raises(ValueError, match="not both"):
+            ReputationServer(
+                engine=ReputationEngine(clock=clock),
+                data_directory=str(tmp_path),
+            )

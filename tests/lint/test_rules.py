@@ -256,3 +256,45 @@ class TestRep005:
         result = lint_text(src, "repro/server/cache.py")
         assert result.findings == []
         assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# REP006 — Database-directory files are opened only inside storage/
+# ---------------------------------------------------------------------------
+
+class TestRep006:
+    def test_direct_wal_open_flagged(self):
+        src = """\
+        def peek(directory):
+            with open(directory + "/wal.jsonl") as f:
+                return f.read()
+        """
+        assert findings(src, "repro/server/app.py") == [("REP006", 2)]
+
+    def test_segment_open_via_join_flagged(self):
+        src = """\
+        import os
+
+        def peek(directory):
+            return open(os.path.join(directory, "wal-00000001.bin"), "rb")
+        """
+        assert findings(src, "repro/analysis/report.py") == [("REP006", 4)]
+
+    def test_snapshot_tmp_flagged(self):
+        src = 'handle = open("snapshot.bin.tmp", "wb")\n'
+        assert findings(src, "repro/core/reputation.py") == [("REP006", 1)]
+
+    def test_unrelated_open_clean(self):
+        src = 'config = open("settings.json").read()\n'
+        assert findings(src, "repro/server/app.py") == []
+
+    def test_storage_package_exempt(self):
+        src = 'handle = open("snapshot.bin", "rb")\n'
+        assert findings(src, "repro/storage/engine.py") == []
+
+    def test_suppression_honored(self):
+        src = (
+            'handle = open("wal.jsonl")'
+            "  # reprolint: disable=REP006\n"
+        )
+        assert findings(src, "repro/server/app.py") == []

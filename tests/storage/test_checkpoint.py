@@ -1,0 +1,193 @@
+"""Checkpointing: atomicity, WAL compaction, background triggering."""
+
+import os
+import time
+
+import pytest
+
+from repro.storage import Column, ColumnType, Database, Schema
+
+
+def _schema(name="t"):
+    return Schema(
+        name=name,
+        columns=[
+            Column("k", ColumnType.TEXT),
+            Column("v", ColumnType.INT),
+        ],
+        primary_key="k",
+    )
+
+
+def _reopen(directory, **kwargs):
+    db = Database(directory=str(directory), **kwargs)
+    table = db.create_table(_schema())
+    replayed = db.recover()
+    return db, table, replayed
+
+
+def _segments(directory):
+    return [
+        name for name in os.listdir(str(directory))
+        if name.startswith("wal-") and name.endswith(".bin")
+    ]
+
+
+class TestBinaryCheckpoint:
+    def test_checkpoint_writes_snapshot_and_drops_wal(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        for index in range(5):
+            table.insert({"k": f"k{index}", "v": index})
+        db.checkpoint()
+        assert (tmp_path / "snapshot.bin").exists()
+        assert _segments(tmp_path) == []
+        __, table2, replayed = _reopen(tmp_path)
+        assert replayed == 5  # from the snapshot
+        assert len(table2) == 5
+
+    def test_writes_after_checkpoint_replay_from_cut(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1})
+        db.checkpoint()
+        table.insert({"k": "b", "v": 2})
+        table.update("a", {"v": 10})
+        __, table2, replayed = _reopen(tmp_path)
+        assert replayed == 3  # 1 snapshot row + 2 WAL mutations
+        assert table2.get("a")["v"] == 10
+        assert len(table2) == 2
+
+    def test_repeated_checkpoints_keep_directory_bounded(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        for round_number in range(4):
+            table.insert({"k": f"k{round_number}", "v": round_number})
+            db.checkpoint()
+        # One snapshot, no dead segments accumulating.
+        assert _segments(tmp_path) == []
+        __, table2, __ = _reopen(tmp_path)
+        assert len(table2) == 4
+
+    def test_checkpoint_of_empty_database(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        db.create_table(_schema())
+        db.checkpoint()
+        __, __, replayed = _reopen(tmp_path)
+        assert replayed == 0
+
+
+class TestCheckpointAtomicity:
+    def test_crash_between_write_and_rename_keeps_old_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill the checkpoint after the tmp write but before the rename:
+        the previous snapshot must survive untouched and recovery must
+        still see every committed write (via the WAL)."""
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1})
+        db.checkpoint()  # good snapshot at LSN 1
+        table.insert({"k": "b", "v": 2})
+
+        real_replace = os.replace
+
+        def crash(src, dst):
+            if dst.endswith("snapshot.bin"):
+                raise OSError("simulated crash before rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            db.checkpoint()
+        monkeypatch.undo()
+
+        # The failed checkpoint rotated the WAL but dropped nothing; the
+        # old snapshot plus the surviving segments cover everything.
+        __, table2, __ = _reopen(tmp_path)
+        assert table2.get("a")["v"] == 1
+        assert table2.get("b")["v"] == 2
+
+    def test_failed_checkpoint_drops_no_wal(self, tmp_path, monkeypatch):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1})
+
+        def crash(src, dst):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError):
+            db.checkpoint()
+        monkeypatch.undo()
+        assert _segments(tmp_path)  # history intact
+        __, table2, __ = _reopen(tmp_path)
+        assert len(table2) == 1
+
+
+class TestBackgroundCheckpointer:
+    def _wait_for(self, predicate, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_commit_threshold_triggers_background_checkpoint(self, tmp_path):
+        db = Database(directory=str(tmp_path), checkpoint_commits=3)
+        table = db.create_table(_schema())
+        for index in range(3):
+            table.insert({"k": f"k{index}", "v": index})
+        assert self._wait_for(
+            lambda: (tmp_path / "snapshot.bin").exists()
+        ), f"no background checkpoint (error: {db.last_checkpoint_error!r})"
+        assert db.last_checkpoint_error is None
+        db.close()
+        __, table2, __ = _reopen(tmp_path)
+        assert len(table2) == 3
+
+    def test_wal_size_threshold_triggers_background_checkpoint(self, tmp_path):
+        db = Database(directory=str(tmp_path), checkpoint_wal_bytes=1)
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1})
+        assert self._wait_for(
+            lambda: (tmp_path / "snapshot.bin").exists()
+        ), f"no background checkpoint (error: {db.last_checkpoint_error!r})"
+        db.close()
+
+    def test_writers_proceed_while_checkpointing(self, tmp_path):
+        # Functional overlap check: keep writing while background
+        # checkpoints fire; nothing deadlocks and nothing is lost.
+        db = Database(
+            directory=str(tmp_path),
+            durability="batched",
+            checkpoint_commits=5,
+        )
+        table = db.create_table(_schema())
+        for index in range(50):
+            table.insert({"k": f"k{index}", "v": index})
+        db.close()
+        assert db.last_checkpoint_error is None
+        __, table2, __ = _reopen(tmp_path)
+        assert len(table2) == 50
+
+    def test_no_thread_without_thresholds(self, tmp_path):
+        db = Database(directory=str(tmp_path))
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1})
+        assert db._checkpointer is None
+        db.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        db = Database(directory=str(tmp_path), checkpoint_commits=1)
+        table = db.create_table(_schema())
+        table.insert({"k": "a", "v": 1})
+        db.close()
+        db.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        with Database(directory=str(tmp_path)) as db:
+            table = db.create_table(_schema())
+            table.insert({"k": "a", "v": 1})
+        assert db._closed

@@ -1,9 +1,19 @@
 """Database engine: table management, durability, recovery."""
 
+import os
+
 import pytest
 
 from repro.errors import StorageError, TableExistsError, TableNotFoundError
 from repro.storage import Column, ColumnType, Database, Schema
+
+
+def _only_segment(directory):
+    [name] = [
+        n for n in os.listdir(str(directory))
+        if n.startswith("wal-") and n.endswith(".bin")
+    ]
+    return os.path.join(str(directory), name)
 
 
 def _schema(name="t"):
@@ -190,12 +200,11 @@ class TestTornTailRecovery:
             table.insert({"k": "b", "v": 2, "blob": None})
         with db.transaction():
             table.insert({"k": "c", "v": 3, "blob": None})
-        # Tear the last commit unit mid-line, as a crash mid-write would.
-        with open(db._wal.path, "r", encoding="utf-8") as wal_file:
-            lines = wal_file.read().splitlines()
-        torn = lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]
-        with open(db._wal.path, "w", encoding="utf-8") as wal_file:
-            wal_file.write("\n".join(torn) + "\n")
+        db.close()
+        # Tear the last commit unit mid-record, as a crash mid-write would.
+        path = _only_segment(tmp_path)
+        with open(path, "r+b") as wal_file:
+            wal_file.truncate(os.path.getsize(path) - 3)
         db2 = Database(directory=str(tmp_path))
         table2 = db2.create_table(_schema())
         replayed = db2.recover()
@@ -210,8 +219,9 @@ class TestTornTailRecovery:
         table = db.create_table(_schema())
         with db.transaction():
             table.insert({"k": "a", "v": 1, "blob": None})
-        with open(db._wal.path, "a", encoding="utf-8") as wal_file:
-            wal_file.write('{"kind": "mutation", "op": "ins')
+        db.close()
+        with open(_only_segment(tmp_path), "ab") as wal_file:
+            wal_file.write(b"\x30\x01\x02")  # claims 48 bytes, has 2
         db2 = Database(directory=str(tmp_path))
         table2 = db2.create_table(_schema())
         assert db2.recover() == 1

@@ -1,0 +1,105 @@
+"""Property-based crash recovery: replay is always a clean unit prefix.
+
+Hypothesis builds arbitrary commit histories, then simulates a crash by
+truncating the on-disk segment at *every possible* byte offset (and by
+flipping bits, for the corruption property).  The invariant under test
+is the WAL's whole contract: replay yields an exact prefix of the
+committed units — never a half-applied unit, never an uncommitted
+mutation, never a unit out of order.
+"""
+
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import WriteAheadLog
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+_rows = st.dictionaries(
+    st.text(min_size=1, max_size=8), _scalars, min_size=0, max_size=4
+)
+
+_mutations = st.builds(
+    lambda op, table, pk, row: {
+        "op": op,
+        "table": table,
+        "pk": pk,
+        "row": None if op == "delete" else row,
+    },
+    st.sampled_from(["insert", "update", "delete"]),
+    st.text(min_size=1, max_size=8),
+    _scalars,
+    _rows,
+)
+
+_units = st.lists(
+    st.lists(_mutations, min_size=1, max_size=3), min_size=1, max_size=5
+)
+
+
+def _write_history(directory, units):
+    wal = WriteAheadLog(str(directory), durability="async")
+    for unit in units:
+        wal.append_commit_unit(unit)
+    wal.close()
+    [segment] = [
+        name for name in os.listdir(str(directory))
+        if name.startswith("wal-") and name.endswith(".bin")
+    ]
+    return os.path.join(str(directory), segment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(units=_units, cut_fraction=st.floats(min_value=0.0, max_value=1.0))
+def test_truncation_at_any_offset_yields_clean_prefix(
+    tmp_path_factory, units, cut_fraction
+):
+    directory = tmp_path_factory.mktemp("wal")
+    segment = _write_history(directory, units)
+    size = os.path.getsize(segment)
+    with open(segment, "r+b") as handle:
+        handle.truncate(int(size * cut_fraction))
+    replayed = list(WriteAheadLog(str(directory)).replay())
+    # The invariant: an exact prefix, unit-atomic, in commit order.
+    assert replayed == units[: len(replayed)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(units=_units, offset_fraction=st.floats(min_value=0.0, max_value=0.999))
+def test_single_flipped_bit_never_yields_a_wrong_unit(
+    tmp_path_factory, units, offset_fraction
+):
+    from repro.errors import WalCorruptionError
+
+    directory = tmp_path_factory.mktemp("wal")
+    segment = _write_history(directory, units)
+    size = os.path.getsize(segment)
+    offset = int(size * offset_fraction)
+    with open(segment, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0x01]))
+    # Corruption may be *detected* (the usual case) or may masquerade as
+    # a torn tail / shorter history — but whatever replays must still be
+    # committed units, bit-exact, in order.
+    try:
+        replayed = list(WriteAheadLog(str(directory)).replay())
+    except WalCorruptionError:
+        return
+    for got, expected in zip(replayed, units):
+        if got != expected:
+            # A flip inside one record can only corrupt that unit, and
+            # CRC-32 catches every single-bit error — so a mismatch here
+            # is a real bug.
+            raise AssertionError(
+                f"replay surfaced a corrupted unit: {got!r} != {expected!r}"
+            )
