@@ -9,7 +9,11 @@ converge.
 import pytest
 
 from benchmarks.exhibits import record_exhibit, run_once
-from repro.analysis.experiments import build_loaded_engine, run_e10_aggregation
+from repro.analysis.experiments import (
+    build_loaded_engine,
+    run_e10_aggregation,
+    run_e10_freshness,
+)
 from repro.clock import days
 
 
@@ -27,6 +31,31 @@ def test_e10_exhibit(benchmark):
     assert result["incremental"]["software_recomputed"] < 50
     assert result["polymorphic"]["max_votes_per_file"] == 1
     assert result["polymorphic"]["vendor_score"] == pytest.approx(2.0)
+
+
+def test_e10_freshness_exhibit(benchmark):
+    """Vote-to-visible latency: streaming must beat the 24h batch flat.
+
+    The acceptance bar: streaming p99 under one simulated second (it is
+    zero — scores publish inside the casting transaction) while the
+    batch waits out the nightly run, and the closing reconciliation
+    audit finds every running sum exactly equal to a full recompute.
+    """
+    result = run_once(
+        benchmark,
+        run_e10_freshness,
+        software_count=60,
+        user_count=50,
+        votes_per_day=200,
+        sim_days=2,
+        seed=47,
+    )
+    record_exhibit("E10F: vote-to-visible freshness", result["rendered"])
+    assert result["batch"]["p99_seconds"] > 3600  # hours, not seconds
+    assert result["streaming"]["p99_seconds"] < 1.0
+    audit = result["streaming"]["reconciliation"]
+    assert audit["mismatched"] == 0
+    assert audit["checked"] > 0
 
 
 def test_e10_full_batch_timing(benchmark):

@@ -1,9 +1,12 @@
-"""The web interface plus a durable server database.
+"""The web interface plus a durable server database, streaming scores.
 
 Shows the two operational faces of the server: the web pages users browse
 for detail beyond the client dialog (Sec. 3), and the storage engine's
 durability — the server restarts and recovers every account, vote, and
-score from its write-ahead log.
+score from its write-ahead log.  The engine runs the streaming score
+pipeline (the default for new deployments): every vote republishes the
+digest's score immediately, so the pages are current without waiting for
+the legacy 24-hour batch.
 
 Run:  python examples/web_portal.py
 """
@@ -44,8 +47,8 @@ def populate(engine):
         "user_0", kazaa.software_id, "bundles adware and shows popups"
     )
     engine.add_remark("user_1", comment.comment_id, positive=True)
-    engine.clock.advance(days(1))
-    engine.run_daily_aggregation()
+    # No nightly batch needed: the streaming pipeline already published
+    # every score, the moment its vote landed.
     return kazaa, winzip
 
 
@@ -54,8 +57,24 @@ def main():
     print(f"server database directory: {directory}\n")
 
     database = Database(directory=directory)
-    engine = ReputationEngine(database=database, clock=SimClock())
+    engine = ReputationEngine(
+        database=database, clock=SimClock(), scoring_mode="streaming"
+    )
     kazaa, winzip = populate(engine)
+
+    # Live updates: every committed publication fans out to listeners —
+    # the same hook the server's push subscriptions ride.
+    def announce(update):
+        print(
+            f"  [push] {update.software_id[:12]}... -> "
+            f"{update.score:.2f} (v{update.version})"
+        )
+
+    engine.add_score_listener(announce)
+    print("casting one more vote; the score republishes immediately:")
+    engine.enroll_user("late_voter")
+    engine.cast_vote("late_voter", kazaa.software_id, 1)
+    print()
 
     # Serve the pages through the web server, fetched over the network —
     # the way the paper's users actually browse them.
@@ -82,14 +101,21 @@ def main():
     print("---- stats page ----")
     print(fetch("/stats") + "\n")
 
+    engine.flush_scores()
     wal_size = database.wal_size_bytes()
     print(f"write-ahead log size before restart: {wal_size} bytes")
     database.close()
 
     # --- simulate a server restart: recover from the WAL ------------------
     recovered_db = Database(directory=directory)
-    recovered = ReputationEngine(database=recovered_db, clock=SimClock())
+    recovered = ReputationEngine(
+        database=recovered_db, clock=SimClock(), scoring_mode="streaming"
+    )
     replayed = recovered_db.recover()
+    # Recovery replaced the tables under the engine: rebuild the
+    # streaming derived state (running sums, score rows) from the
+    # recovered votes, exactly as the server does on startup.
+    recovered.bootstrap_scores(reload=True)
     print(f"recovered {replayed} mutations from the log")
     score = recovered.software_reputation(kazaa.software_id)
     print(

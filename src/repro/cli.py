@@ -65,9 +65,18 @@ _REGISTRY: dict = {
         lambda: experiments.run_e9_policy(population_size=150),
     ),
     "e10": (
-        "Daily aggregation batch + vendor ratings vs polymorphism",
+        "Legacy daily aggregation batch + vendor ratings vs polymorphism",
         lambda: experiments.run_e10_aggregation(software_count=500, user_count=100),
         lambda: experiments.run_e10_aggregation(software_count=120, user_count=30),
+    ),
+    "e10f": (
+        "Vote-to-visible freshness: streaming scoring vs the 24h batch",
+        lambda: experiments.run_e10_freshness(
+            software_count=60, user_count=50, votes_per_day=200, sim_days=2
+        ),
+        lambda: experiments.run_e10_freshness(
+            software_count=20, user_count=20, votes_per_day=60, sim_days=2
+        ),
     ),
     "a1": (
         "Ablation: trust-weighted aggregation vs plain mean",

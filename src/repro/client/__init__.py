@@ -24,6 +24,7 @@ from .ui import (
 )
 from .app import ReputationClient, ClientConfig
 from .lookup import CoalescingLookupClient
+from .watch import ScoreFeed
 from .resilience import (
     CircuitBreaker,
     ResilienceMetrics,
@@ -55,4 +56,5 @@ __all__ = [
     "render_dialog_text",
     "ReputationClient",
     "ClientConfig",
+    "ScoreFeed",
 ]

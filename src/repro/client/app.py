@@ -96,6 +96,12 @@ class ClientStats:
     degraded_default_decisions: int = 0
     #: Why lookups degraded, by reason ("retries-exhausted", ...).
     degradation_reasons: dict = field(default_factory=dict)
+    #: Server-pushed score updates folded into the cache / dropped
+    #: because nothing was cached to patch.
+    push_updates_applied: int = 0
+    push_updates_unmatched: int = 0
+    #: Pushed events carrying the resync marker (cached entry demoted).
+    push_resyncs: int = 0
 
 
 @dataclass(frozen=True)
@@ -163,6 +169,8 @@ class ReputationClient:
         self.resilience = resilience
         #: Why the most recent lookup degraded (None while healthy).
         self.last_degradation: Optional[str] = None
+        #: Per-digest observers registered via watch_software().
+        self._watchers: dict = {}
         self._session: Optional[str] = None
         self._circuit: Optional[Circuit] = None
         if config.use_circuit:
@@ -525,6 +533,58 @@ class ReputationClient:
                 return
             if not isinstance(comment_response, ErrorResponse):
                 self.stats.comments_submitted += 1
+
+    # -- streaming score updates ---------------------------------------------------
+
+    def watch_software(self, software_id: str, callback=None) -> None:
+        """Register local interest in pushed score updates for one digest.
+
+        *callback* (optional) is invoked with each
+        :class:`~repro.protocol.ScoreUpdateEvent` that lands for the
+        digest — after the cache has been patched, so a lookup from
+        inside the callback already sees the new score.
+        """
+        self._watchers.setdefault(software_id, []).append(callback)
+
+    def unwatch_software(self, software_id: str) -> None:
+        """Drop every local observer for one digest."""
+        self._watchers.pop(software_id, None)
+
+    def on_score_update(self, event, now: int = 0) -> None:
+        """The push-feed sink: fold one server-pushed update into the
+        client's view of the world.
+
+        Wire a transport feed straight in —
+        ``ScoreFeed(conn, session).watch(client.on_score_update)`` — or
+        call it directly from a simulation loop.  Updates patch the
+        score cache (including re-promoting stale entries: pushed data
+        is live), so the PR 5 degradation ladder's stale rung holds the
+        freshest pushed score if the server later goes dark.  A
+        ``resync`` event means the feed dropped updates for us; the
+        cached answer is demoted to stale rather than trusted.
+
+        The update also flows into the :class:`SubscriptionManager`
+        merge, so later policy checks and dialogs see the live community
+        score — still subordinate to any expert feed covering the
+        digest (feeds override, multiple feeds average).
+        """
+        self.subscriptions.observe_update(event.software_id, event.score)
+        if event.resync:
+            self.stats.push_resyncs += 1
+            self.cache.demote(event.software_id)
+        elif self.cache.apply_update(
+            event.software_id,
+            score=event.score,
+            vote_count=event.vote_count,
+            version=event.version,
+            now=now,
+        ):
+            self.stats.push_updates_applied += 1
+        else:
+            self.stats.push_updates_unmatched += 1
+        for callback in self._watchers.get(event.software_id, []):
+            if callback is not None:
+                callback(event)
 
     def submit_remark(self, comment_id: int, positive: bool) -> bool:
         """Grade another user's comment; returns True if the server accepted."""

@@ -21,6 +21,7 @@ the oldest timestamp on each insert into a full cache.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -141,6 +142,43 @@ class ScoreCache:
         if 0 < entry.epoch < self._epoch:
             return False
         return now - entry.stored_at < self.ttl
+
+    def apply_update(
+        self,
+        software_id: str,
+        score: Optional[float],
+        vote_count: int,
+        version: int,
+        now: int,
+    ) -> bool:
+        """Patch a cached answer with a server-pushed score update.
+
+        A push carries the score, not the full response (comments,
+        vendor score, behaviours), so it can only *amend* an answer we
+        already hold — fresh **or stale**: pushed data is live by
+        definition, so a stale entry it lands on is re-promoted with a
+        reset TTL.  Returns ``False`` (nothing cached to patch) when
+        the digest was never queried; the next lookup fetches the full
+        answer anyway.
+        """
+        entry = self._entries.get(software_id) or self._stale.get(software_id)
+        if entry is None:
+            return False
+        info = dataclasses.replace(
+            entry.info,
+            score=score,
+            vote_count=vote_count,
+            score_version=version,
+        )
+        self.put(info, now)
+        return True
+
+    def demote(self, software_id: str) -> None:
+        """Push feed signalled a resync: updates for this digest were
+        dropped, so the cached answer may have a hole in it.  Demote it
+        to the stale store — good enough for the degraded ladder, but
+        the next healthy lookup goes back to the server."""
+        self._retire(software_id)
 
     def invalidate(self, software_id: str) -> None:
         """Drop one entry (e.g. right after the user voted on it)."""

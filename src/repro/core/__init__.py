@@ -7,7 +7,9 @@ Subpackage layout (Sec. 3 of DESIGN.md):
 * :mod:`~repro.core.trust` — user trust factors with the weekly growth cap.
 * :mod:`~repro.core.ratings` — 1–10 votes, one per user per software.
 * :mod:`~repro.core.comments` — comments and positive/negative remarks.
-* :mod:`~repro.core.aggregation` — the daily trust-weighted batch.
+* :mod:`~repro.core.aggregation` — the daily trust-weighted batch
+  (legacy / baseline mode).
+* :mod:`~repro.core.scoring` — per-vote streaming delta aggregation.
 * :mod:`~repro.core.vendor` — vendor reputation (mean of software scores).
 * :mod:`~repro.core.bootstrap` — seeding the database from a prior corpus.
 * :mod:`~repro.core.moderation` — the admin moderation queue.
@@ -28,7 +30,8 @@ from .taxonomy import (
 from .trust import TrustPolicy, TrustLedger
 from .ratings import RatingBook, Vote, MIN_SCORE, MAX_SCORE
 from .comments import CommentBoard, Comment, Remark
-from .aggregation import Aggregator, SoftwareScore
+from .aggregation import Aggregator, ScoreUpdate, SoftwareScore
+from .scoring import ReconciliationReport, StreamingScorer
 from .vendor import VendorBook, VendorScore
 from .bootstrap import BootstrapCorpus, bootstrap_database
 from .moderation import ModerationQueue, ModerationDecision, AutoModerator
@@ -66,7 +69,10 @@ __all__ = [
     "Comment",
     "Remark",
     "Aggregator",
+    "ScoreUpdate",
     "SoftwareScore",
+    "StreamingScorer",
+    "ReconciliationReport",
     "VendorBook",
     "VendorScore",
     "BootstrapCorpus",

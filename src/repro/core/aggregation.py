@@ -1,4 +1,4 @@
-"""The daily aggregation batch.
+"""The daily aggregation batch — now the **legacy / baseline** mode.
 
 Section 3.2: *"Software ratings are calculated at fixed points in time
 (currently once in every 24-hour period).  During this work users' trust
@@ -13,27 +13,48 @@ Weighting by trust is the paper's first mitigation against incorrect
 information: "as soon as more experienced users give contradicting votes,
 their opinions will carry a higher weight, tipping the balance".
 
-The aggregator supports two modes, compared in experiment E10:
+.. note:: **Legacy / baseline.**  Since the streaming refactor the
+   periodic batch is retained as the E10 baseline and as the
+   full-recompute oracle for the streaming reconciliation pass
+   (:mod:`.scoring`).  New deployments run the engine with
+   ``scoring_mode="streaming"``, which publishes a fresh per-digest
+   score version on every vote or trust change instead of waiting for
+   the 24-hour window.
+
+The aggregator supports two batch modes, compared in experiment E10:
 
 * **full** — recompute every rated software (the paper's nightly batch);
 * **incremental** — recompute only software whose vote set changed since
   the previous run (the rating book's dirty set).
 
 Both modes are durable: ``last_run`` and the monotonically increasing
-**aggregation epoch** live in a meta table (and the dirty set in its own
-table, see :mod:`.ratings`), so an incremental run by a freshly
+**aggregation epoch** live in a meta table (and the dirty set in its
+own table, see :mod:`.ratings`), so an incremental run by a freshly
 constructed aggregator on a recovered database picks up exactly where
 the previous process stopped.  The epoch bumps whenever a batch
-republishes at least one score; it is the cache-invalidation key for the
-server-side score cache and the clients' epoch-aware caches — an
-unchanged epoch certifies that every published score is unchanged.
+republishes at least one score; the **per-digest score version** bumps
+on *every individual publish* of that digest and is stamped onto its
+score row, giving caches a per-digest invalidation key (an unchanged
+version certifies that one digest's published score is unchanged —
+strictly finer than the global epoch).
+
+Publishing supports two write modes.  The batch writes score rows
+through to the table as it always has.  The streaming path publishes
+with ``defer=True``: the row lands in the aggregator's in-memory row
+cache (which every reader consults first) and is flushed to the table
+in batches — at reconciliation, shutdown, or any explicit
+:meth:`Aggregator.flush_deferred`.  Scores are *derived* state: the
+WAL-durable votes and trust rows reproduce them exactly on rebuild, so
+deferring their table writes costs crash-freshness (repaired by the
+bootstrap reconciliation) but keeps the vote ingest path at one WAL
+mutation per vote.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..clock import SECONDS_PER_DAY
 from ..storage import Column, ColumnType, Database, Schema
@@ -68,6 +89,9 @@ def scores_schema() -> Schema:
             Column("vote_count", ColumnType.INT, check=lambda value: value >= 0),
             Column("total_weight", ColumnType.FLOAT, check=lambda value: value >= 0),
             Column("computed_at", ColumnType.INT, check=lambda value: value >= 0),
+            # Nullable for WAL/snapshot compatibility with pre-streaming
+            # databases: recovered rows without the column read as version 0.
+            Column("version", ColumnType.INT, nullable=True),
         ],
         primary_key="software_id",
     )
@@ -82,6 +106,27 @@ class SoftwareScore:
     vote_count: int
     total_weight: float
     computed_at: int
+    #: Per-digest publication version (globally monotonic across digests).
+    version: int = 0
+
+
+@dataclass(frozen=True)
+class ScoreUpdate:
+    """One score publication — the event pushed to subscribers.
+
+    Emitted by both the batch and the streaming paths whenever a score
+    row is (re)published.  ``previous_score`` is ``None`` for a digest's
+    first publication; policy-threshold subscriptions compare it against
+    ``score`` to detect crossings.
+    """
+
+    software_id: str
+    score: float
+    vote_count: int
+    total_weight: float
+    computed_at: int
+    version: int
+    previous_score: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -108,8 +153,20 @@ class Aggregator:
         ratings: RatingBook,
         trust: TrustLedger,
     ):
+        self._db = database
         self._ratings = ratings
         self._trust = trust
+        #: Callbacks invoked with a :class:`ScoreUpdate` on every publish
+        #: (batch and streaming).  The engine fans these out to the
+        #: server-push subscription registry and to experiment probes.
+        self.listeners: list = []
+        #: Write-through row cache: every publish lands here first and
+        #: every read consults it first, so deferred (not yet flushed to
+        #: the table) publications are immediately visible in-process.
+        self._row_cache: dict[str, dict] = {}
+        #: Digests published with ``defer=True`` whose rows still await
+        #: a table flush.
+        self._deferred: set = set()
         if database.has_table(SCORES_SCHEMA_NAME):
             self._scores = database.table(SCORES_SCHEMA_NAME)
         else:
@@ -121,36 +178,34 @@ class Aggregator:
 
     # -- reading scores ------------------------------------------------------
 
+    def _cached_row(self, software_id: str) -> Optional[dict]:
+        """The current score row: row cache first, then the table."""
+        row = self._row_cache.get(software_id)
+        if row is not None:
+            return row
+        row = self._scores.get_or_none(software_id)
+        if row is not None:
+            self._row_cache[software_id] = row
+        return row
+
     def score_of(self, software_id: str) -> Optional[SoftwareScore]:
         """The last published score of *software_id*, or ``None`` if unrated."""
-        row = self._scores.get_or_none(software_id)
+        row = self._cached_row(software_id)
         if row is None:
             return None
-        return SoftwareScore(
-            software_id=row["software_id"],
-            score=row["score"],
-            vote_count=row["vote_count"],
-            total_weight=row["total_weight"],
-            computed_at=row["computed_at"],
-        )
+        return self._row_to_score(row)
 
     def all_scores(self) -> list:
-        return [
-            SoftwareScore(
-                software_id=row["software_id"],
-                score=row["score"],
-                vote_count=row["vote_count"],
-                total_weight=row["total_weight"],
-                computed_at=row["computed_at"],
-            )
-            for row in self._scores.all()
-        ]
+        self.flush_deferred()
+        return [self._row_to_score(row) for row in self._scores.all()]
 
     def scored_count(self) -> int:
+        self.flush_deferred()
         return len(self._scores)
 
     def top_scores(self, limit: int = 10, min_votes: int = 1) -> list:
         """Best-rated software, highest first."""
+        self.flush_deferred()
         rows = self._scores.select(
             predicate=lambda row: row["vote_count"] >= min_votes,
             order_by="score",
@@ -161,6 +216,7 @@ class Aggregator:
 
     def bottom_scores(self, limit: int = 10, min_votes: int = 1) -> list:
         """Worst-rated software — the community's spyware warning list."""
+        self.flush_deferred()
         rows = self._scores.select(
             predicate=lambda row: row["vote_count"] >= min_votes,
             order_by="score",
@@ -177,6 +233,7 @@ class Aggregator:
             vote_count=row["vote_count"],
             total_weight=row["total_weight"],
             computed_at=row["computed_at"],
+            version=row.get("version") or 0,
         )
 
     # -- durable batch bookkeeping ----------------------------------------
@@ -204,6 +261,20 @@ class Aggregator:
         """
         return self._meta_get(_META_EPOCH) or 0
 
+    def version_of(self, software_id: str) -> int:
+        """The published score version of one digest (0 if never published).
+
+        This is the per-digest cache key: equal versions guarantee an
+        unchanged published score for *this* digest, without the global
+        flush semantics of the epoch.  Versions are monotonic per digest
+        (each publish bumps its own counter), which is all a per-digest
+        key needs — no global allocator on the hot path.
+        """
+        row = self._cached_row(software_id)
+        if row is None:
+            return 0
+        return row.get("version") or 0
+
     def is_due(self, now: int) -> bool:
         """True if a batch should run (period elapsed or never run)."""
         last_run = self.last_run
@@ -211,10 +282,108 @@ class Aggregator:
             return True
         return now - last_run >= self.period_seconds
 
+    def mark_ran(self, now: int) -> None:
+        """Record a periodic-job run (streaming reconciliation uses the
+        same 24-hour scheduling slot as the legacy batch)."""
+        self._meta_put(_META_LAST_RUN, now)
+
+    # -- publishing ------------------------------------------------------------
+
+    def add_listener(self, listener: Callable) -> None:
+        """Register a callback invoked with every published :class:`ScoreUpdate`."""
+        self.listeners.append(listener)
+
+    def publish(
+        self,
+        software_id: str,
+        score: float,
+        vote_count: int,
+        total_weight: float,
+        now: int,
+        defer: bool = False,
+    ) -> ScoreUpdate:
+        """Publish one score row under the digest's next version.
+
+        The single write path for the score table (lint rule REP007
+        keeps it that way): both the batch loop and the streaming
+        scorer land here, so versioning and listener notification are
+        uniform across modes.
+
+        ``defer=True`` (the streaming hot path) publishes into the row
+        cache only — visible to every in-process reader at once — and
+        leaves the table write to :meth:`flush_deferred`.  Score rows
+        are derived state: a crash before the flush loses no votes, and
+        the bootstrap reconciliation republishes from the recovered
+        vote table.
+        """
+        previous = self._cached_row(software_id)
+        version = (0 if previous is None else (previous.get("version") or 0)) + 1
+        row = {
+            "software_id": software_id,
+            "score": score,
+            "vote_count": vote_count,
+            "total_weight": total_weight,
+            "computed_at": now,
+            "version": version,
+        }
+        self._row_cache[software_id] = row
+        if defer:
+            self._deferred.add(software_id)
+        else:
+            self._scores.upsert(row)
+            self._deferred.discard(software_id)
+        update = ScoreUpdate(
+            software_id=software_id,
+            score=score,
+            vote_count=vote_count,
+            total_weight=total_weight,
+            computed_at=now,
+            version=version,
+            previous_score=None if previous is None else previous["score"],
+        )
+        for listener in self.listeners:
+            listener(update)
+        return update
+
+    @property
+    def deferred_count(self) -> int:
+        """Published rows not yet flushed to the score table."""
+        return len(self._deferred)
+
+    def reset_cache(self) -> None:
+        """Drop the row cache (pending deferred rows included).
+
+        For use after :meth:`~repro.storage.Database.recover` replaces
+        the table contents underneath a constructed aggregator — any
+        cached (or deferred) row predates the recovered state and must
+        be re-read or republished, never flushed.
+        """
+        self._row_cache.clear()
+        self._deferred.clear()
+
+    def flush_deferred(self) -> int:
+        """Write every deferred publication to the score table.
+
+        Groups the rows into one transaction when none is already open
+        (callers inside a transaction just add to its commit unit).
+        Returns the number of rows flushed.
+        """
+        if not self._deferred:
+            return 0
+        deferred, self._deferred = self._deferred, set()
+        if self._db.in_transaction:
+            for software_id in sorted(deferred):
+                self._scores.upsert(self._row_cache[software_id])
+        else:
+            with self._db.transaction():
+                for software_id in sorted(deferred):
+                    self._scores.upsert(self._row_cache[software_id])
+        return len(deferred)
+
     # -- running the batch ------------------------------------------------------
 
     def run(self, now: int, incremental: bool = False) -> AggregationReport:
-        """Execute the batch and publish scores.
+        """Execute the batch and publish scores (legacy / E10 baseline).
 
         *incremental* restricts recomputation to software with new votes
         since the last run; a full run also drains the dirty set so the
@@ -236,15 +405,7 @@ class Aggregator:
             if score is None:
                 continue
             value, total_weight = score
-            self._scores.upsert(
-                {
-                    "software_id": software_id,
-                    "score": value,
-                    "vote_count": len(votes),
-                    "total_weight": total_weight,
-                    "computed_at": now,
-                }
-            )
+            self.publish(software_id, value, len(votes), total_weight, now)
             published += 1
         self._meta_put(_META_LAST_RUN, now)
         if published:

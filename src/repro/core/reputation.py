@@ -7,22 +7,30 @@ behaviours the paper describes:
 
 * remarks on a comment move the *comment author's* trust factor
   (Sec. 2.1's reliability profile / Sec. 3.2's trust factors);
-* the daily batch publishes trust-weighted software scores (Sec. 3.2);
+* scores are trust-weighted means of votes (Sec. 3.2), published either
+  by the legacy daily batch (``scoring_mode="batch"``) or immediately
+  per vote/trust change by the streaming pipeline
+  (``scoring_mode="streaming"``, see :mod:`.scoring`);
 * vendor reputations derive from published software scores (Sec. 3.2).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..clock import SimClock
+from ..errors import ServerError
 from ..storage import Database
-from .aggregation import AggregationReport, Aggregator, SoftwareScore
+from .aggregation import AggregationReport, Aggregator, ScoreUpdate, SoftwareScore
 from .comments import Comment, CommentBoard, Remark
 from .moderation import ModerationQueue
 from .ratings import RatingBook, Vote
+from .scoring import ReconciliationReport, StreamingScorer
 from .trust import TrustLedger, TrustPolicy
 from .vendor import SoftwareRecord, VendorBook, VendorScore
+
+SCORING_BATCH = "batch"
+SCORING_STREAMING = "streaming"
 
 
 class ReputationEngine:
@@ -34,9 +42,13 @@ class ReputationEngine:
         clock: Optional[SimClock] = None,
         trust_policy: Optional[TrustPolicy] = None,
         moderated_comments: bool = False,
+        scoring_mode: str = SCORING_BATCH,
     ):
+        if scoring_mode not in (SCORING_BATCH, SCORING_STREAMING):
+            raise ServerError(f"unknown scoring mode {scoring_mode!r}")
         self.db = database or Database()
         self.clock = clock or SimClock()
+        self.scoring_mode = scoring_mode
         self.trust = TrustLedger(self.db, trust_policy)
         self.ratings = RatingBook(self.db)
         self.comments = CommentBoard(self.db, moderated=moderated_comments)
@@ -45,6 +57,49 @@ class ReputationEngine:
         self.moderation: Optional[ModerationQueue] = (
             ModerationQueue(self.comments) if moderated_comments else None
         )
+        # Score publications (both modes) buffer while a storage
+        # transaction is open and fan out to listeners only after it
+        # commits — subscribers never observe a state that rolls back.
+        self._score_listeners: list = []
+        self._pending_updates: list = []
+        self.aggregator.add_listener(self._on_score_published)
+        self.scorer: Optional[StreamingScorer] = None
+        if scoring_mode == SCORING_STREAMING:
+            self.scorer = StreamingScorer(
+                self.db, self.ratings, self.trust, self.aggregator
+            )
+            self.trust.add_listener(self._on_trust_changed)
+            self.bootstrap_scores()
+
+    # -- score publication fan-out ------------------------------------------
+
+    def add_score_listener(self, listener: Callable) -> None:
+        """Register a callback invoked with each committed :class:`ScoreUpdate`.
+
+        The server's push path hangs off this hook; experiment probes
+        (E10 freshness) use it too.  Listeners run outside the storage
+        write lock, after the publishing transaction committed.
+        """
+        self._score_listeners.append(listener)
+
+    def _on_score_published(self, update: ScoreUpdate) -> None:
+        if self.db.in_transaction:
+            self._pending_updates.append(update)
+        else:
+            self._dispatch_updates([update])
+
+    def _dispatch_updates(self, updates: list) -> None:
+        for update in updates:
+            for listener in self._score_listeners:
+                listener(update)
+
+    def _flush_pending_updates(self) -> None:
+        updates, self._pending_updates = self._pending_updates, []
+        self._dispatch_updates(updates)
+
+    def _on_trust_changed(self, username: str, old: float, new: float) -> None:
+        assert self.scorer is not None
+        self.scorer.apply_trust_change(username, old, new, self.clock.now())
 
     # -- membership ---------------------------------------------------------
 
@@ -75,8 +130,21 @@ class ReputationEngine:
     # -- feedback ---------------------------------------------------------------
 
     def cast_vote(self, username: str, software_id: str, score: int) -> Vote:
-        """Record a 1–10 vote (one per user per software)."""
-        return self.ratings.cast(username, software_id, score, self.clock.now())
+        """Record a 1–10 vote (one per user per software).
+
+        In streaming mode the new score version is visible (and pushed)
+        the instant this returns: the vote row is the only durable
+        write, and the running-sum delta plus the republished score are
+        in-memory derived state (see :mod:`.scoring` for the durability
+        model).
+        """
+        vote = self.ratings.cast(username, software_id, score, self.clock.now())
+        if self.scorer is not None:
+            # Memory-only: the vote insert above was the one durable
+            # write; the delta lands in the scorer's in-memory sums and
+            # the new score version in the aggregator's row cache.
+            self.scorer.apply_vote(vote)
+        return vote
 
     def add_comment(self, username: str, software_id: str, text: str) -> Comment:
         """Post a comment (pending if moderation is on)."""
@@ -92,6 +160,24 @@ class ReputationEngine:
         the votes and comments of well-known, reliable users more visible
         and influential".
         """
+        if self.scorer is None:
+            return self._add_remark_and_adjust_trust(
+                username, comment_id, positive
+            )
+        try:
+            with self.db.transaction():
+                remark = self._add_remark_and_adjust_trust(
+                    username, comment_id, positive
+                )
+        except BaseException:
+            self._pending_updates.clear()
+            raise
+        self._flush_pending_updates()
+        return remark
+
+    def _add_remark_and_adjust_trust(
+        self, username: str, comment_id: int, positive: bool
+    ) -> Remark:
         remark = self.comments.add_remark(
             username, comment_id, positive, self.clock.now()
         )
@@ -127,18 +213,70 @@ class ReputationEngine:
     # -- published reputations -------------------------------------------------------
 
     def run_daily_aggregation(self, incremental: bool = False) -> AggregationReport:
-        """Run the 24-hour batch at the current simulated time."""
+        """Run the 24-hour batch at the current simulated time (legacy mode)."""
         return self.aggregator.run(self.clock.now(), incremental=incremental)
 
     def maybe_run_aggregation(self) -> Optional[AggregationReport]:
-        """Run the batch only if the 24-hour period has elapsed."""
-        if self.aggregator.is_due(self.clock.now()):
-            return self.run_daily_aggregation()
-        return None
+        """Run the periodic job only if the 24-hour period has elapsed.
+
+        Batch mode runs the score batch; streaming mode — where every
+        score is already current — runs the reconciliation audit in the
+        same slot instead.
+        """
+        if not self.aggregator.is_due(self.clock.now()):
+            return None
+        if self.scorer is not None:
+            self.reconcile_scores()
+            return None
+        return self.run_daily_aggregation()
+
+    def reconcile_scores(self) -> ReconciliationReport:
+        """Audit streaming running sums against a full recompute; repair drift."""
+        if self.scorer is None:
+            raise ServerError("reconciliation requires streaming scoring mode")
+        report = self.scorer.reconcile(self.clock.now())
+        self.aggregator.mark_ran(self.clock.now())
+        return report
+
+    def bootstrap_scores(self, reload: bool = False) -> None:
+        """Bring streaming derived state in line with the vote table.
+
+        Sums and score rows are derived state flushed in batches, so a
+        crash (or a database that grew up under the batch) leaves the
+        persisted snapshot lagging the WAL-durable votes.  Reconcile
+        before serving: recompute from the votes, repair and republish
+        whatever moved.  Runs at engine construction; a server that
+        recovers its database *after* building the engine re-runs it
+        with ``reload=True`` to discard the pre-recovery caches first.
+        Batch mode needs none of this — it's a no-op there.
+        """
+        if self.scorer is None:
+            return
+        if reload:
+            self.aggregator.reset_cache()
+            self.scorer.reload()
+        if not self.scorer.in_sync_with_votes():
+            self.scorer.reconcile(self.clock.now())
+
+    def flush_scores(self) -> int:
+        """Persist in-memory derived score state (streaming write-back).
+
+        The streaming hot path defers sums/score-row table writes (the
+        vote itself is the only per-commit WAL mutation); this flushes
+        them in one grouped transaction.  Call before closing the
+        database.  Batch mode writes through, so this is a no-op there.
+        """
+        if self.scorer is None:
+            return 0
+        return self.scorer.flush()
 
     def software_reputation(self, software_id: str) -> Optional[SoftwareScore]:
         """The published score, or ``None`` for unrated software."""
         return self.aggregator.score_of(software_id)
+
+    def score_version(self, software_id: str) -> int:
+        """The digest's published score version (per-digest cache key)."""
+        return self.aggregator.version_of(software_id)
 
     def vendor_reputation(self, vendor: str) -> Optional[VendorScore]:
         """Derived vendor score, or ``None`` if nothing rated yet."""

@@ -71,10 +71,19 @@ class MergedOpinion:
 
 
 class SubscriptionManager:
-    """One user's feed subscriptions and the merge logic."""
+    """One user's feed subscriptions and the merge logic.
+
+    Besides the static publisher catalogues, the manager tracks the
+    **live community score** per software as the streaming server
+    pushes updates (:meth:`observe_update`), so :meth:`opinion` can be
+    asked at any time — from a push callback, a policy check, a dialog —
+    without the caller re-supplying the community side of the merge.
+    """
 
     def __init__(self):
         self._subscriptions: dict[str, FeedPublisher] = {}
+        #: Latest pushed community score per software id.
+        self._live_scores: dict[str, float] = {}
 
     def subscribe(self, publisher: FeedPublisher) -> None:
         self._subscriptions[publisher.name] = publisher
@@ -89,6 +98,28 @@ class SubscriptionManager:
     def subscription_names(self) -> tuple:
         return tuple(sorted(self._subscriptions))
 
+    def observe_update(
+        self, software_id: str, score: Optional[float]
+    ) -> MergedOpinion:
+        """Fold one pushed community score into the merge state.
+
+        Called from the client's push path on every
+        :class:`~repro.protocol.ScoreUpdateEvent`.  The score is
+        remembered as the live community view for the software, and the
+        freshly merged opinion comes back — still feed-first: an expert
+        feed covering the software keeps overriding no matter how many
+        community updates stream past.
+        """
+        if score is None:
+            self._live_scores.pop(software_id, None)
+        else:
+            self._live_scores[software_id] = score
+        return self.opinion(software_id, score)
+
+    def live_score(self, software_id: str) -> Optional[float]:
+        """The last community score pushed for *software_id*, if any."""
+        return self._live_scores.get(software_id)
+
     def opinion(
         self,
         software_id: str,
@@ -98,9 +129,13 @@ class SubscriptionManager:
 
         Feed entries, when present, take precedence (averaged across the
         user's subscribed publishers); behaviours reported by any feed are
-        unioned.  With no feed coverage the community score stands; with
-        neither, the software is simply unrated for this user.
+        unioned.  With no feed coverage the community score stands —
+        the explicit *community_score* argument, or failing that the
+        last score the push feed delivered (:meth:`observe_update`).
+        With neither, the software is simply unrated for this user.
         """
+        if community_score is None:
+            community_score = self._live_scores.get(software_id)
         feed_scores = []
         behaviors: set = set()
         for publisher in self._subscriptions.values():

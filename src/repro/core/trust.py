@@ -82,10 +82,25 @@ class TrustLedger:
 
     def __init__(self, database: Database, policy: TrustPolicy | None = None):
         self.policy = policy or TrustPolicy()
+        #: Callbacks ``(username, old_trust, new_trust)`` fired whenever a
+        #: ledger entry actually moves — the streaming scorer re-weights
+        #: the user's votes from these.
+        self.listeners: list = []
         if database.has_table(TRUST_SCHEMA_NAME):
             self._table = database.table(TRUST_SCHEMA_NAME)
         else:
             self._table = database.create_table(trust_schema())
+
+    def add_listener(self, listener) -> None:
+        """Register a ``(username, old, new)`` trust-change callback."""
+        self.listeners.append(listener)
+
+    def _set_trust(self, username: str, old_trust: float, new_trust: float) -> None:
+        if new_trust == old_trust:
+            return
+        self._table.update(username, {"trust": new_trust})
+        for listener in self.listeners:
+            listener(username, old_trust, new_trust)
 
     def enroll(self, username: str, signup_ts: int) -> float:
         """Open a ledger entry for a new member at the initial trust."""
@@ -120,7 +135,7 @@ class TrustLedger:
         cap = self.policy.cap_at(row["signup_ts"], now)
         new_trust = min(row["trust"] + amount, cap)
         new_trust = max(new_trust, row["trust"])  # cap never *lowers* trust
-        self._table.update(username, {"trust": new_trust})
+        self._set_trust(username, row["trust"], new_trust)
         return new_trust
 
     def debit(self, username: str, amount: float) -> float:
@@ -129,7 +144,7 @@ class TrustLedger:
             raise ValueError("debit amount must be non-negative")
         row = self._table.get(username)
         new_trust = max(row["trust"] - amount, self.policy.minimum)
-        self._table.update(username, {"trust": new_trust})
+        self._set_trust(username, row["trust"], new_trust)
         return new_trust
 
     def force_set(self, username: str, trust: float) -> None:
@@ -141,7 +156,7 @@ class TrustLedger:
         :meth:`credit` / :meth:`debit`.
         """
         clamped = min(max(trust, self.policy.minimum), self.policy.maximum)
-        self._table.update(username, {"trust": clamped})
+        self._set_trust(username, self._table.get(username)["trust"], clamped)
 
     def weight_of(self, username: str) -> float:
         """Aggregation weight of a voter (their current trust factor).

@@ -14,6 +14,7 @@ from .rep003_silent_except import SilentExceptRule
 from .rep004_codec_exhaustive import CodecExhaustiveRule
 from .rep005_raw_threading import RawThreadingRule
 from .rep006_storage_files import StorageFileAccessRule
+from .rep007_score_table_writes import ScoreTableWriteRule
 
 ALL_RULES = (
     WallClockRule(),
@@ -22,6 +23,7 @@ ALL_RULES = (
     CodecExhaustiveRule(),
     RawThreadingRule(),
     StorageFileAccessRule(),
+    ScoreTableWriteRule(),
 )
 
 __all__ = [
@@ -32,4 +34,5 @@ __all__ = [
     "CodecExhaustiveRule",
     "RawThreadingRule",
     "StorageFileAccessRule",
+    "ScoreTableWriteRule",
 ]

@@ -1,0 +1,108 @@
+"""REP007 — no direct score-table writes outside core/.
+
+The streaming refactor made :meth:`~repro.core.aggregation.Aggregator.
+publish` the single write path for published scores: it allocates the
+per-digest version, maintains the write-back row cache, and notifies
+the push subscribers.  The running sums (``score_sums``) have the same
+property — :class:`~repro.core.scoring.StreamingScorer` owns them, and
+its reconciliation pass assumes nothing else moves them.  A direct
+``insert``/``upsert``/``delete`` against either table from outside
+``core/`` bypasses versioning, the row cache, and the subscription
+fan-out: caches stop invalidating and subscribers silently miss the
+change.
+
+Flagged: mutation-method calls (``insert``, ``upsert``, ``delete``,
+``clear``) whose receiver mentions a score table — either inline
+(``db.table("software_scores").upsert(...)``) or through a name
+assigned from such an expression anywhere in the module (including
+``create_table(scores_schema())`` handles).
+
+Exempt: ``core/`` — the score pipeline's home.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..engine import Finding, Module, Rule
+
+#: The score-pipeline tables (and the schema factories that name them).
+_SCORE_TABLE_NAMES = ("software_scores", "score_sums")
+_SCORE_SCHEMA_FACTORIES = ("scores_schema", "sums_schema")
+_MUTATION_METHODS = ("insert", "upsert", "delete", "clear")
+
+
+class ScoreTableWriteRule(Rule):
+    id = "REP007"
+    title = "direct score-table write outside core/"
+    exempt = ("/core/",)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        tainted = _score_table_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATION_METHODS
+            ):
+                continue
+            receiver = func.value
+            if not (
+                _mentions_score_table(receiver)
+                or (isinstance(receiver, ast.Name) and receiver.id in tainted)
+                or (
+                    isinstance(receiver, ast.Attribute)
+                    and receiver.attr in tainted
+                )
+            ):
+                continue
+            yield Finding(
+                rule=self.id,
+                path=module.rel_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"direct {func.attr}() on a score table — published "
+                    "scores and running sums are written only by "
+                    "core/ (Aggregator.publish / StreamingScorer), "
+                    "which owns versioning, the row cache, and push "
+                    "fan-out"
+                ),
+            )
+
+
+def _score_table_names(tree: ast.AST) -> Set[str]:
+    """Names (variables or attributes) bound to a score-table handle."""
+    tainted: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None or not _mentions_score_table(value):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    tainted.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    tainted.add(target.attr)
+    return tainted
+
+
+def _mentions_score_table(expression: ast.AST) -> Optional[str]:
+    """The first score-table reference in the expression subtree."""
+    for node in ast.walk(expression):
+        if isinstance(node, ast.Constant) and node.value in _SCORE_TABLE_NAMES:
+            return node.value
+        if isinstance(node, ast.Name) and node.id in _SCORE_SCHEMA_FACTORIES:
+            return node.id
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in _SCORE_SCHEMA_FACTORIES
+        ):
+            return node.attr
+    return None

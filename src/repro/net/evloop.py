@@ -45,6 +45,7 @@ from .framing import (
     FrameAssembler,
     frame,
     handler_accepts_codec,
+    handler_accepts_push,
 )
 
 #: recv() chunk size: large enough to swallow a pipelined burst whole.
@@ -103,6 +104,11 @@ class _Loop:
         self.reaped = 0
         self._inbox: deque = deque()
         self._inbox_lock = threading.Lock()
+        # Server-push frames from foreign threads (the subscription
+        # dispatcher) land here and are enqueued on the loop thread —
+        # the same inbox+wake pattern as adopt().
+        self._push_inbox: deque = deque()
+        self._push_lock = threading.Lock()
         #: Reusable recv scratch: one 64 KiB allocation per loop, not
         #: one per read (recv(n) would malloc n bytes every call).
         self._recv_buffer = bytearray(RECV_SIZE)
@@ -131,6 +137,28 @@ class _Loop:
         except (BlockingIOError, OSError):
             pass  # a pending wake byte is wake enough
 
+    def push(self, connection: "_Connection", payload: bytes) -> bool:
+        """Queue one server-initiated frame payload for *connection*.
+
+        Callable from any thread.  Returns ``False`` — delivery
+        refused — when the connection is gone, the server is stopping,
+        or the connection's write queue is already over the cap (the
+        slow-consumer policy: the caller marks the subscription for
+        resync rather than buffering without bound).  The checks are
+        best-effort reads of loop-owned state; a race simply means the
+        frame is dropped on the loop thread instead of here.
+        """
+        if self.server._stopping.is_set():
+            return False
+        if self.connections.get(connection.fd) is not connection:
+            return False
+        if connection.pending_out > self.server.max_pending_out:
+            return False
+        with self._push_lock:
+            self._push_inbox.append((connection, payload))
+        self.wake()
+        return True
+
     # -- the loop ----------------------------------------------------------
 
     def _run(self) -> None:
@@ -146,6 +174,7 @@ class _Loop:
                 else:
                     self._service(data, mask)
             self._register_adopted()
+            self._drain_pushes()
             self._maybe_reap()
         self._shutdown()
 
@@ -172,6 +201,20 @@ class _Loop:
                 sock = self._inbox.popleft()
             self.register(sock)
 
+    def _drain_pushes(self) -> None:
+        """Enqueue cross-thread push frames (loop thread only)."""
+        while True:
+            with self._push_lock:
+                if not self._push_inbox:
+                    return
+                connection, payload = self._push_inbox.popleft()
+            # Identity check: the connection may have closed (and its
+            # fd been reused) between push() and this drain.
+            if self.connections.get(connection.fd) is not connection:
+                continue
+            self._enqueue(connection, frame(payload))
+            self._flush(connection)
+
     def register(self, sock: socket.socket) -> None:
         """Start serving one socket on this loop (loop thread only)."""
         try:
@@ -181,14 +224,26 @@ class _Loop:
         except OSError:
             sock.close()
             return
+        # The push sender closes over the connection object, which does
+        # not exist until the protocol does — late-bind through a cell.
+        connection_cell: list = []
+
+        def send_push(payload: bytes) -> bool:
+            if not connection_cell:
+                return False
+            return self.push(connection_cell[0], payload)
+
         connection = _Connection(
             sock,
             ConnectionProtocol(
                 source=source,
                 handler=self.server.app_handler,
                 codec_aware=self.server.codec_aware,
+                push_sender=send_push if self.server.push_aware else None,
+                push_aware=self.server.push_aware,
             ),
         )
+        connection_cell.append(connection)
         self.connections[connection.fd] = connection
         self._set_interest(connection)
         self.accepted += 1
@@ -346,6 +401,7 @@ class EventLoopServer:
     ):
         self.app_handler = handler
         self.codec_aware = handler_accepts_codec(handler)
+        self.push_aware = handler_accepts_push(handler)
         self.max_pending_out = max_pending_out
         self.idle_timeout = idle_timeout
         self.reap_interval = (

@@ -20,6 +20,13 @@ grammar, so the frame layer lives here exactly once:
   request they answer, which is what lets a client *pipeline* many
   in-flight requests on one connection and match answers as they land.
 
+* **Server-initiated frames** — the correlation-id space is split:
+  clients allocate request ids in ``[1, 0x7FFFFFFF]``; ids with the top
+  bit set (``0x80000000``) are reserved for **unsolicited events** the
+  server pushes (score-update subscriptions).  The low 31 bits of an
+  event id carry the subscription id, so a client dispatches events to
+  the right callback without decoding the body first.
+
 :class:`FrameAssembler` reassembles frames from an arbitrary byte
 stream (the event loop feeds it whatever ``recv`` returned), and
 :class:`ConnectionProtocol` is the transport-neutral per-connection
@@ -178,6 +185,29 @@ def parse_hello(payload: bytes) -> Optional[str]:
         raise FrameError("HELLO names a non-ascii codec") from None
 
 
+#: Correlation ids with this bit set are server-initiated events, never
+#: responses.  Clients must allocate request ids below it.
+EVENT_CORRELATION_BIT = 0x80000000
+
+#: Highest correlation id a client may use for a request.
+MAX_REQUEST_CORRELATION = 0x7FFFFFFF
+
+
+def is_event_correlation(correlation_id: int) -> bool:
+    """True for ids in the reserved server-push (event) space."""
+    return bool(correlation_id & EVENT_CORRELATION_BIT)
+
+
+def event_correlation_id(subscription_id: int) -> int:
+    """The event-space correlation id carrying *subscription_id*."""
+    return EVENT_CORRELATION_BIT | (subscription_id & MAX_REQUEST_CORRELATION)
+
+
+def event_subscription_id(correlation_id: int) -> int:
+    """Recover the subscription id from an event correlation id."""
+    return correlation_id & MAX_REQUEST_CORRELATION
+
+
 def pack_correlated(correlation_id: int, body: bytes) -> bytes:
     """An extended-mode frame payload: correlation id + message bytes."""
     return _CORRELATION.pack(correlation_id & 0xFFFFFFFF) + body
@@ -214,6 +244,67 @@ def handler_accepts_codec(handler: Callable) -> bool:
     )
 
 
+def handler_accepts_push(handler: Callable) -> bool:
+    """Whether *handler* takes a ``push`` keyword (a :class:`PushChannel`).
+
+    Probed once at construction, like :func:`handler_accepts_codec`: a
+    push-aware application (the server pipeline) receives the
+    connection's push channel per request so subscribe handlers can
+    register it; plain handlers never see it.
+    """
+    try:
+        parameters = inspect.signature(handler).parameters
+    except (TypeError, ValueError):
+        return False
+    if "push" in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+class PushChannel:
+    """A transport-neutral handle for pushing event frames down one
+    connection.
+
+    Wraps the connection's negotiated state (codec, extended mode) and
+    a transport-supplied ``send(frame_payload) -> bool`` callable that
+    must be safe to call from any thread (the subscription dispatcher
+    runs on its own).  ``send_event`` returns ``False`` when the frame
+    was not accepted — connection gone, legacy framing, or transport
+    backpressure — and the caller (the subscription registry) treats
+    that as delivery failure.
+    """
+
+    __slots__ = ("source", "_protocol", "_send")
+
+    def __init__(self, source: str, protocol: "ConnectionProtocol", send: Callable):
+        self.source = source
+        self._protocol = protocol
+        self._send = send
+
+    @property
+    def codec(self) -> str:
+        return self._protocol.codec
+
+    @property
+    def extended(self) -> bool:
+        return self._protocol.extended
+
+    def send_event(self, subscription_id: int, body: bytes) -> bool:
+        """Push one event body; True only if the transport accepted it."""
+        if not self._protocol.extended:
+            # Legacy framing has no correlation ids: an unsolicited
+            # frame would desynchronise the client's lockstep reader.
+            return False
+        payload = pack_correlated(event_correlation_id(subscription_id), body)
+        try:
+            return bool(self._send(payload))
+        except OSError:
+            return False
+
+
 # ---------------------------------------------------------------------------
 # The per-connection state machine
 # ---------------------------------------------------------------------------
@@ -231,10 +322,17 @@ class ConnectionProtocol:
     negotiated codec — the same guarantee on both transports.
     """
 
-    __slots__ = ("source", "codec", "extended", "_handler", "_codec_aware",
-                 "_first")
+    __slots__ = ("source", "codec", "extended", "push", "_handler",
+                 "_codec_aware", "_push_aware", "_first")
 
-    def __init__(self, source: str, handler: Callable, codec_aware: bool):
+    def __init__(
+        self,
+        source: str,
+        handler: Callable,
+        codec_aware: bool,
+        push_sender: Optional[Callable] = None,
+        push_aware: bool = False,
+    ):
         # Local import: the frame layer stays standalone; resolved once
         # here, not per request (respond() is the transports' hot path).
         from ..protocol import DEFAULT_CODEC
@@ -244,6 +342,12 @@ class ConnectionProtocol:
         self.extended = False
         self._handler = handler
         self._codec_aware = codec_aware
+        self._push_aware = push_aware and push_sender is not None
+        self.push: Optional[PushChannel] = (
+            PushChannel(source, self, push_sender)
+            if self._push_aware
+            else None
+        )
         self._first = True
 
     def respond(self, payload: bytes) -> bytes:
@@ -266,8 +370,14 @@ class ConnectionProtocol:
 
     def _invoke(self, body: bytes) -> bytes:
         try:
+            if self._codec_aware and self._push_aware:
+                return self._handler(
+                    self.source, body, codec=self.codec, push=self.push
+                )
             if self._codec_aware:
                 return self._handler(self.source, body, codec=self.codec)
+            if self._push_aware:
+                return self._handler(self.source, body, push=self.push)
             return self._handler(self.source, body)
         except Exception:
             from ..protocol import ErrorResponse, encode_with

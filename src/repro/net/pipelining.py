@@ -20,13 +20,17 @@ reply and refuses, rather than desynchronising the stream.
 from __future__ import annotations
 
 import itertools
+import logging
 import socket
 import threading
-from typing import Optional
+from typing import Callable, Optional
 
 from ..errors import EndpointUnreachableError, FrameError
 from ..protocol import CODEC_BINARY
 from .framing import (
+    MAX_REQUEST_CORRELATION,
+    event_subscription_id,
+    is_event_correlation,
     make_hello,
     pack_correlated,
     parse_hello,
@@ -34,6 +38,8 @@ from .framing import (
     unpack_correlated,
     write_frame,
 )
+
+log = logging.getLogger("repro.net")
 
 
 class PendingReply:
@@ -71,7 +77,16 @@ class PendingReply:
 
 
 class PipeliningClient:
-    """Thread-safe multiplexed requests over one persistent connection."""
+    """Thread-safe multiplexed requests over one persistent connection.
+
+    Request correlation ids stay in the client half of the id space
+    (``[1, 0x7FFFFFFF]``); frames arriving with the event bit set are
+    **server-initiated pushes** and are handed to *on_event* —
+    ``on_event(subscription_id, body_bytes)`` — on the reader thread
+    instead of being matched against pending requests.  Keep the
+    callback quick (decode and queue); it blocks response matching
+    while it runs.
+    """
 
     def __init__(
         self,
@@ -79,13 +94,21 @@ class PipeliningClient:
         port: int,
         codec: str = CODEC_BINARY,
         timeout: float = 10.0,
+        on_event: Optional[Callable] = None,
     ):
         self._timeout = timeout
         self._pending: dict[int, PendingReply] = {}
         self._lock = threading.Lock()
         self._write_lock = threading.Lock()
-        self._correlations = itertools.count(1)
+        self._correlations = itertools.count(0)
         self._closed = False
+        #: Server-push callback ``(subscription_id, body) -> None``; may
+        #: be (re)assigned any time before events start arriving.
+        self.on_event = on_event
+        #: Server-initiated event frames received.
+        self.events_received = 0
+        #: Event frames dropped because no ``on_event`` was set.
+        self.events_dropped = 0
         #: Responses delivered (matched to a correlation id).
         self.round_trips = 0
         #: Responses bearing an unknown correlation id (dropped).
@@ -135,7 +158,11 @@ class PipeliningClient:
             if self._closed or self._sock is None:
                 raise EndpointUnreachableError("client connection is closed")
             sock = self._sock
-            correlation_id = next(self._correlations) & 0xFFFFFFFF
+            # Stay in the request half of the id space: the top bit
+            # marks server-initiated events (framing.py).
+            correlation_id = (
+                next(self._correlations) % MAX_REQUEST_CORRELATION
+            ) + 1
             self._pending[correlation_id] = reply
         framed = pack_correlated(correlation_id, payload)
         try:
@@ -180,6 +207,11 @@ class PipeliningClient:
                     )
                 )
                 return
+            if is_event_correlation(correlation_id):
+                self._dispatch_event(
+                    event_subscription_id(correlation_id), body
+                )
+                continue
             with self._lock:
                 reply = self._pending.pop(correlation_id, None)
             if reply is None:
@@ -187,6 +219,19 @@ class PipeliningClient:
                 continue
             self.round_trips += 1
             reply._resolve(body)
+
+    def _dispatch_event(self, subscription_id: int, body: bytes) -> None:
+        self.events_received += 1
+        callback = self.on_event
+        if callback is None:
+            self.events_dropped += 1
+            return
+        try:
+            callback(subscription_id, body)
+        except Exception:
+            # A subscriber callback must never kill the reader thread —
+            # pending responses would all fail with it.
+            log.exception("on_event callback failed; reader continues")
 
     def _fail_all(self, error: Exception) -> None:
         with self._lock:

@@ -26,6 +26,7 @@ from .framing import (
     MAX_FRAME_BYTES,
     ConnectionProtocol,
     handler_accepts_codec,
+    handler_accepts_push,
     read_frame,
     write_frame,
 )
@@ -52,19 +53,41 @@ Handler = Callable[[str, bytes], bytes]
 # ---------------------------------------------------------------------------
 
 class _ConnectionHandler(socketserver.BaseRequestHandler):
-    """One thread per connection: frame in, protocol, frame out, repeat."""
+    """One thread per connection: frame in, protocol, frame out, repeat.
+
+    A per-connection write lock serialises the handler thread's
+    responses with server-push frames arriving from the subscription
+    dispatcher thread, so the two can never interleave bytes on the
+    socket.
+    """
 
     def setup(self) -> None:
         self.server._track(self.request)
+        self._write_lock = threading.Lock()
+        self._closed = False
 
     def finish(self) -> None:
+        self._closed = True
         self.server._untrack(self.request)
+
+    def _send_push(self, payload: bytes) -> bool:
+        """Frame and send one server-initiated payload (any thread)."""
+        if self._closed:
+            return False
+        try:
+            with self._write_lock:
+                write_frame(self.request, payload)
+        except OSError:
+            return False
+        return True
 
     def handle(self) -> None:
         protocol = ConnectionProtocol(
             source=self.client_address[0],
             handler=self.server.app_handler,
             codec_aware=self.server.codec_aware,
+            push_sender=self._send_push,
+            push_aware=self.server.push_aware,
         )
         while True:
             try:
@@ -80,7 +103,8 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 # short for its id): nothing sane to answer with.
                 return
             try:
-                write_frame(self.request, response)
+                with self._write_lock:
+                    write_frame(self.request, response)
             except OSError:
                 return
 
@@ -105,6 +129,7 @@ class TcpTransportServer(socketserver.ThreadingTCPServer):
         super().__init__((host, port), _ConnectionHandler)
         self.app_handler = handler
         self.codec_aware = handler_accepts_codec(handler)
+        self.push_aware = handler_accepts_push(handler)
         self._thread: Optional[threading.Thread] = None
         self._connections: set = set()
         self._connections_lock = threading.Lock()

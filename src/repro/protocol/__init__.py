@@ -32,6 +32,10 @@ from .messages import (
     SearchRequest,
     SearchResponse,
     SoftwareSummary,
+    SubscribeRequest,
+    SubscribeResponse,
+    UnsubscribeRequest,
+    ScoreUpdateEvent,
     VendorQueryRequest,
     VendorInfoResponse,
     StatsRequest,
@@ -73,6 +77,10 @@ __all__ = [
     "SearchRequest",
     "SearchResponse",
     "SoftwareSummary",
+    "SubscribeRequest",
+    "SubscribeResponse",
+    "UnsubscribeRequest",
+    "ScoreUpdateEvent",
     "VendorQueryRequest",
     "VendorInfoResponse",
     "StatsRequest",

@@ -166,6 +166,10 @@ class SoftwareInfoResponse(Message):
     #: (client and server side) key their freshness on it.  0 means the
     #: server never published scores (or predates epochs).
     epoch: int = 0
+    #: Per-digest score version (streaming pipeline): equal versions
+    #: guarantee an unchanged published score for *this* digest.  0
+    #: means never published (or a pre-streaming server).
+    score_version: int = 0
 
 
 @message("query-software-item")
@@ -230,6 +234,67 @@ class RemarkRequest(Message):
     session: str
     comment_id: int
     positive: bool
+
+
+# ---------------------------------------------------------------------------
+# Score subscriptions (Sec. 4.2 subscription feeds, as a live protocol)
+# ---------------------------------------------------------------------------
+
+@message("subscribe-request")
+@dataclass(frozen=True)
+class SubscribeRequest(Message):
+    """Subscribe this connection to server-push score updates.
+
+    ``digest_prefix`` filters by software-id prefix (empty = every
+    digest).  A non-negative ``threshold`` narrows the feed further to
+    *policy-threshold crossings*: events fire only when a score moves
+    from one side of the threshold to the other ("rating crossed policy
+    threshold", Sec. 4.2).  Events arrive as unsolicited
+    :class:`ScoreUpdateEvent` frames carrying the subscription id in
+    the reserved correlation-id space.
+    """
+
+    session: str
+    digest_prefix: str = ""
+    #: Policy threshold to watch for crossings; negative = no threshold
+    #: filter (every matching publish is pushed).
+    threshold: float = -1.0
+
+
+@message("subscribe-response")
+@dataclass(frozen=True)
+class SubscribeResponse(Message):
+    """Subscription accepted; events carry *subscription_id*."""
+
+    subscription_id: int
+
+
+@message("unsubscribe-request")
+@dataclass(frozen=True)
+class UnsubscribeRequest(Message):
+    session: str
+    subscription_id: int
+
+
+@message("score-update-event")
+@dataclass(frozen=True)
+class ScoreUpdateEvent(Message):
+    """A server-initiated push: one score publication.
+
+    ``resync`` set means the subscriber's bounded event queue
+    overflowed and older updates were dropped — the client must treat
+    its cached state for this subscription as stale and re-query
+    anything it cares about.
+    """
+
+    subscription_id: int
+    software_id: str
+    score: float
+    vote_count: int
+    version: int
+    previous_score: float | None = None
+    crossed_threshold: bool = False
+    resync: bool = False
 
 
 # ---------------------------------------------------------------------------

@@ -22,10 +22,10 @@ import random
 from typing import Optional
 
 from ..clock import SimClock
-from ..core.reputation import ReputationEngine
+from ..core.reputation import SCORING_BATCH, SCORING_STREAMING, ReputationEngine
 from ..crypto.puzzles import PuzzleIssuer
 from ..crypto.secrets import SecretPepper
-from ..errors import PuzzleError
+from ..errors import MalformedMessageError, PuzzleError
 from ..protocol import (
     ActivateRequest,
     CommentInfo,
@@ -48,6 +48,9 @@ from ..protocol import (
     SoftwareSummary,
     StatsRequest,
     StatsResponse,
+    SubscribeRequest,
+    SubscribeResponse,
+    UnsubscribeRequest,
     VendorQueryRequest,
     VendorInfoResponse,
     VoteRequest,
@@ -57,6 +60,7 @@ from ..protocol import (
 from ..storage import DURABILITY_BATCHED, Database
 from .accounts import AccountManager
 from .cache import DEFAULT_MAX_ENTRIES, ScoreResponseCache
+from .subscriptions import SubscriptionRegistry
 from .pipeline import (
     E_ACTIVATION,
     E_AUTH,
@@ -128,9 +132,15 @@ class ReputationServer:
         durability: str = DURABILITY_BATCHED,
         checkpoint_wal_bytes: Optional[int] = DEFAULT_CHECKPOINT_WAL_BYTES,
         checkpoint_commits: Optional[int] = None,
+        scoring_mode: Optional[str] = None,
     ):
         rng = rng or random.Random(0)
         self._owns_database = False
+        if engine is not None and scoring_mode is not None:
+            raise ValueError(
+                "scoring_mode configures the server-built engine; a"
+                " prebuilt engine already fixed its own mode"
+            )
         if engine is None and data_directory is not None:
             # The server's own durable stack: group-commit WAL (batched
             # durability by default — a vote lost in a crash costs one
@@ -143,13 +153,22 @@ class ReputationServer:
                 checkpoint_wal_bytes=checkpoint_wal_bytes,
                 checkpoint_commits=checkpoint_commits,
             )
-            engine = ReputationEngine(database=database, clock=clock)
+            engine = ReputationEngine(
+                database=database,
+                clock=clock,
+                scoring_mode=scoring_mode or SCORING_BATCH,
+            )
             self._owns_database = True
         elif engine is not None and data_directory is not None:
             raise ValueError(
                 "pass either a prebuilt engine or data_directory, not both"
             )
-        self.engine = engine or ReputationEngine(clock=clock)
+        if engine is None:
+            engine = ReputationEngine(
+                clock=clock,
+                scoring_mode=scoring_mode or SCORING_BATCH,
+            )
+        self.engine = engine
         self.clock = self.engine.clock
         self.analysis = None
         if runtime_analysis:
@@ -177,8 +196,12 @@ class ReputationServer:
         # Registrations per origin address: burst of 3, ~6/day sustained.
         self.registration_limiter = RateLimiter(3.0, 6.0 / 86400.0)
         #: Read-through cache of assembled software-info responses,
-        #: keyed by the aggregation epoch (size 0 disables it).
+        #: keyed by the per-digest score version (size 0 disables it).
         self.score_cache = ScoreResponseCache(max_entries=score_cache_size)
+        #: Server-push subscriptions: every committed score publication
+        #: fans out to matching connections (Sec. 4.2 as live protocol).
+        self.subscriptions = SubscriptionRegistry()
+        self.engine.add_score_listener(self.subscriptions.publish)
 
         registry = HandlerRegistry()
         for message_type, handler in (
@@ -192,6 +215,8 @@ class ReputationServer:
             (VoteRequest, self._handle_vote),
             (CommentRequest, self._handle_comment),
             (RemarkRequest, self._handle_remark),
+            (SubscribeRequest, self._handle_subscribe),
+            (UnsubscribeRequest, self._handle_unsubscribe),
             (SearchRequest, self._handle_search),
             (VendorQueryRequest, self._handle_vendor_query),
             (StatsRequest, self._handle_stats),
@@ -216,16 +241,27 @@ class ReputationServer:
             # Every subsystem above has re-declared its schemas; now the
             # on-disk state (snapshot + WAL, legacy or binary) can load.
             self.engine.db.recover()
+            # Recovery replaced the tables under the engine; rebuild the
+            # streaming derived state (running sums, score rows) from
+            # the recovered votes before serving the first query.
+            self.engine.bootstrap_scores(reload=True)
 
     def close(self) -> None:
-        """Flush and release the server-owned database, if any."""
+        """Stop push delivery, then flush and release the server-owned
+        database, if any."""
+        self.subscriptions.close()
         if self._owns_database:
+            self.engine.flush_scores()
             self.engine.db.close()
 
     # -- wire entry point ---------------------------------------------------
 
     def handle_bytes(
-        self, source: str, payload: bytes, codec: str = DEFAULT_CODEC
+        self,
+        source: str,
+        payload: bytes,
+        codec: str = DEFAULT_CODEC,
+        push=None,
     ) -> bytes:
         """The network endpoint handler: encoded bytes in and out.
 
@@ -234,8 +270,13 @@ class ReputationServer:
         wire.  Transports probe for this keyword
         (:func:`repro.net.framing.handler_accepts_codec`) to decide
         whether they may negotiate at all.
+
+        *push* is the connection's :class:`~repro.net.framing.PushChannel`
+        when the transport can deliver server-initiated frames; probed
+        the same way (:func:`~repro.net.framing.handler_accepts_push`).
+        Subscribe requests are refused when it is absent.
         """
-        return self.pipeline.run(source, payload, codec=codec)
+        return self.pipeline.run(source, payload, codec=codec, push=push)
 
     def handle(self, source: str, request: object):
         """Handle one decoded request; always returns a message."""
@@ -246,6 +287,7 @@ class ReputationServer:
         latency, and the read-path score-cache effectiveness."""
         stats = self.metrics.snapshot()
         stats["score_cache"] = self.score_cache.stats()
+        stats["subscriptions"] = self.subscriptions.stats()
         return stats
 
     # -- account lifecycle ----------------------------------------------------
@@ -343,24 +385,30 @@ class ReputationServer:
         )
 
     def _software_info(self, software_id: str) -> SoftwareInfoResponse:
-        """Read-through: serve from the score cache when the epoch holds.
+        """Read-through: serve from the score cache while this digest's
+        score version holds.
 
-        Repeated lookups between aggregation batches never touch the
-        storage engine; a batch run bumps the epoch and flushes.
+        The cache key is the **per-digest score version** the streaming
+        pipeline stamps on every publish, so a vote against one digest
+        invalidates exactly one entry.  In batch mode versions advance
+        only when a batch republishes — repeated lookups between batches
+        never touch the storage engine.
         """
-        epoch = self.engine.aggregator.epoch
-        cached = self.score_cache.get(software_id, epoch)
+        version = self.engine.score_version(software_id)
+        cached = self.score_cache.get(software_id, version)
         if cached is not None:
             return cached
-        info = self._build_software_info(software_id, epoch)
+        info = self._build_software_info(
+            software_id, self.engine.aggregator.epoch, version
+        )
         if info.known:
             # Unknown software is not cached: its first query registers
             # it, so the not-found answer is already stale.
-            self.score_cache.put(software_id, epoch, info)
+            self.score_cache.put(software_id, version, info)
         return info
 
     def _build_software_info(
-        self, software_id: str, epoch: int
+        self, software_id: str, epoch: int, version: int
     ) -> SoftwareInfoResponse:
         record = self.engine.vendors.get_or_none(software_id)
         if record is None:
@@ -405,6 +453,7 @@ class ReputationServer:
             reported_behaviors=reported_behaviors,
             analyzed=analyzed,
             epoch=epoch,
+            score_version=version,
         )
 
     def _handle_vote(self, ctx: RequestContext):
@@ -430,6 +479,32 @@ class ReputationServer:
         commented = self.engine.comments.get_comment(request.comment_id)
         self.score_cache.invalidate(commented.software_id)
         return OkResponse(detail="remark recorded")
+
+    # -- push subscriptions -------------------------------------------------------
+
+    def _handle_subscribe(self, ctx: RequestContext):
+        """Open a push subscription on this connection.
+
+        Requires a push-capable transport connection: the in-process
+        path and legacy-framed connections have nowhere to deliver
+        events, so they are refused outright rather than silently
+        registered and immediately dropped as dead.
+        """
+        request = ctx.request
+        if ctx.push is None or not ctx.push.extended:
+            raise MalformedMessageError(
+                "subscriptions need an extended-framing connection"
+            )
+        threshold = None if request.threshold < 0 else request.threshold
+        subscription_id = self.subscriptions.subscribe(
+            ctx.push, digest_prefix=request.digest_prefix, threshold=threshold
+        )
+        return SubscribeResponse(subscription_id=subscription_id)
+
+    def _handle_unsubscribe(self, ctx: RequestContext):
+        request = ctx.request
+        self.subscriptions.unsubscribe(request.subscription_id)
+        return OkResponse(detail="subscription closed")
 
     # -- web-interface queries ---------------------------------------------------
 

@@ -3,17 +3,25 @@
 Assembling a :class:`~repro.protocol.SoftwareInfoResponse` is the most
 expensive read in the system: a registry lookup, the published score, a
 vendor-score derivation (which walks every executable of the vendor),
-and the trust-ranked comment list.  Scores only move when the
-aggregation batch publishes — signalled by the aggregator's epoch — so
-between batches the assembled response can be served straight from
-memory.
+and the trust-ranked comment list.  A digest's assembled response stays
+valid exactly until its published score moves — signalled by the
+**per-digest score version** the streaming pipeline stamps on every
+publish — so entries are keyed individually instead of flushing the
+whole cache on a global epoch (the pre-streaming design: one batch
+publish emptied every entry, even for digests whose score never moved).
 
 Invalidation is two-tier:
 
-* **epoch change** — the whole cache empties (every score may have
-  moved);
-* **explicit** — a new comment or remark touches one software between
-  batches, so the handler invalidates just that entry.
+* **version change** — a lookup presenting a newer (or older, after
+  reconciliation repair) version than the entry was built at drops just
+  that entry, lazily;
+* **explicit** — a new comment or remark changes the response body
+  without moving the score, so the handler invalidates that digest's
+  entry outright.  This drops the *whole* entry — the assembled
+  response **and every negotiated-codec wire encoding** attached to it
+  — so an XML-connected commenter also evicts the binary bytes served
+  to other connections (the PR 3 per-codec cache made that a latent
+  staleness hazard for any eviction path that forgot a codec).
 
 The cache is LRU-bounded and thread-safe; hit/miss/eviction counters
 feed :meth:`~repro.server.app.ReputationServer.pipeline_stats` so the
@@ -41,18 +49,25 @@ class _CachedResponse:
     send and the codec serves them verbatim from then on.  Connections
     negotiate their codec (XML or binary), so the bytes are kept **per
     codec name** — the first XML reader and the first binary reader each
-    pay one encode, everyone after them pays none.
+    pay one encode, everyone after them pays none.  The entry is the
+    unit of eviction: dropping it drops every codec's bytes at once.
     """
 
-    __slots__ = ("info", "wire")
+    __slots__ = ("info", "version", "wire")
 
-    def __init__(self, info: SoftwareInfoResponse):
+    def __init__(self, info: SoftwareInfoResponse, version: int):
         self.info = info
+        self.version = version
         self.wire: dict = {}  # codec name -> encoded bytes
 
 
 class ScoreResponseCache:
-    """Epoch-keyed LRU cache of assembled software-info responses.
+    """Version-keyed LRU cache of assembled software-info responses.
+
+    Each entry remembers the digest's score version it was built at;
+    a ``get`` presenting a different version treats the entry as stale
+    and drops it.  Streaming publishes touch only the digest they
+    changed — the rest of the cache stays warm.
 
     A ``max_entries`` of 0 disables the cache entirely (every ``get``
     misses, ``put`` is a no-op) — used by benchmarks to measure the
@@ -65,46 +80,51 @@ class ScoreResponseCache:
         self.max_entries = max_entries
         self._lock = create_lock("score-response-cache")
         self._entries: OrderedDict[str, _CachedResponse] = OrderedDict()
-        self._epoch: Optional[int] = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Entries dropped because a lookup presented a different score
+        #: version (the streaming pipeline's lazy invalidation).
+        self.version_evictions = 0
 
     @property
     def enabled(self) -> bool:
         return self.max_entries > 0
 
-    def get(self, software_id: str, epoch: int) -> Optional[SoftwareInfoResponse]:
-        """The cached response, or ``None``; an epoch change flushes."""
+    def get(self, software_id: str, version: int) -> Optional[SoftwareInfoResponse]:
+        """The response cached at exactly *version*, or ``None``.
+
+        A version mismatch (the digest's score republished since the
+        entry was assembled) drops the stale entry on the way out.
+        """
         with self._lock:
-            if epoch != self._epoch:
-                # The batch republished scores since our entries were
-                # built: every cached response is potentially stale.
-                self._entries.clear()
-                self._epoch = epoch
             entry = self._entries.get(software_id)
             if entry is None:
+                self.misses += 1
+                return None
+            if entry.version != version:
+                del self._entries[software_id]
+                self.version_evictions += 1
                 self.misses += 1
                 return None
             self._entries.move_to_end(software_id)
             self.hits += 1
             return entry.info
 
-    def put(self, software_id: str, epoch: int, info: SoftwareInfoResponse) -> None:
-        """Cache one assembled response under the epoch it was built at."""
+    def put(
+        self, software_id: str, version: int, info: SoftwareInfoResponse
+    ) -> None:
+        """Cache one assembled response under the digest's score version."""
         if not self.enabled:
             return
         with self._lock:
-            if epoch != self._epoch:
-                self._entries.clear()
-                self._epoch = epoch
             if software_id in self._entries:
                 self._entries.move_to_end(software_id)
             elif len(self._entries) >= self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
-            self._entries[software_id] = _CachedResponse(info)
+            self._entries[software_id] = _CachedResponse(info, version)
 
     def wire_for(
         self, software_id: str, info: SoftwareInfoResponse, codec: str
@@ -131,7 +151,13 @@ class ScoreResponseCache:
                 entry.wire[codec] = wire
 
     def invalidate(self, software_id: str) -> None:
-        """Drop one entry (a comment or remark changed it mid-epoch)."""
+        """Drop one digest's entry — response and **all** codec wire bytes.
+
+        Comments and remarks change the response body without moving
+        the score version, so the handler evicts explicitly.  Eviction
+        is whole-entry: every negotiated codec's cached encoding dies
+        with it, never just the requesting connection's.
+        """
         with self._lock:
             if self._entries.pop(software_id, None) is not None:
                 self.invalidations += 1
@@ -155,11 +181,11 @@ class ScoreResponseCache:
             return {
                 "enabled": self.enabled,
                 "entries": len(self._entries),
-                "epoch": self._epoch if self._epoch is not None else 0,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "version_evictions": self.version_evictions,
                 "hit_rate": (
                     self.hits / (self.hits + self.misses)
                     if (self.hits + self.misses)

@@ -93,6 +93,11 @@ class RequestContext:
     encoded_response: Optional[tuple] = None
     #: Set by the auth middleware for session-bearing requests.
     username: Optional[str] = None
+    #: The connection's push channel (server-initiated event frames),
+    #: supplied by push-capable transports in extended framing mode.
+    #: ``None`` on legacy connections and in-process calls — subscribe
+    #: handlers must refuse in that case.
+    push: Optional[object] = None
     started: float = 0.0
     duration_ms: float = 0.0
 
@@ -342,7 +347,11 @@ class Pipeline:
     # -- entry points -----------------------------------------------------
 
     def run(
-        self, source: str, payload: bytes, codec: str = DEFAULT_CODEC
+        self,
+        source: str,
+        payload: bytes,
+        codec: str = DEFAULT_CODEC,
+        push: Optional[object] = None,
     ) -> bytes:
         """The wire entry point: encoded bytes in, encoded bytes out."""
         ctx = RequestContext(
@@ -350,6 +359,7 @@ class Pipeline:
             request_id=next(self._request_ids),
             codec=codec,
             raw_request=payload,
+            push=push,
             started=perf_now(),
         )
         self._call(self.middlewares, 0, ctx)

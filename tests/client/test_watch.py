@@ -1,0 +1,245 @@
+"""The client half of the push path: ScoreFeed routing, cache patching,
+and the ReputationClient's ``on_score_update`` sink."""
+
+import pytest
+
+from repro.client import ScoreFeed
+from repro.client.cache import ScoreCache
+from repro.errors import ClientError
+from repro.protocol import (
+    CODEC_BINARY,
+    ErrorResponse,
+    ScoreUpdateEvent,
+    SoftwareInfoResponse,
+    SubscribeRequest,
+    SubscribeResponse,
+    UnsubscribeRequest,
+    decode_with,
+    encode_with,
+)
+from tests.conftest import make_client
+
+DIGEST = "ab" * 20
+
+
+def _event(software_id=DIGEST, score=7.0, version=2, **kwargs):
+    kwargs.setdefault("subscription_id", 1)
+    return ScoreUpdateEvent(
+        software_id=software_id,
+        score=score,
+        vote_count=3,
+        version=version,
+        **kwargs,
+    )
+
+
+class FakePipeliningClient:
+    """Just the surface ScoreFeed touches: codec, request(), on_event."""
+
+    def __init__(self):
+        self.codec = CODEC_BINARY
+        self.on_event = None
+        self.requests: list = []
+        self.refuse_subscribe = False
+        self._next_id = 1
+
+    def request(self, raw: bytes) -> bytes:
+        message = decode_with(self.codec, raw)
+        self.requests.append(message)
+        if isinstance(message, SubscribeRequest):
+            if self.refuse_subscribe:
+                response = ErrorResponse(code="bad-request", detail="no")
+            else:
+                response = SubscribeResponse(subscription_id=self._next_id)
+                self._next_id += 1
+        else:
+            response = ErrorResponse(code="ok", detail="unsubscribed")
+        return encode_with(self.codec, response)
+
+    def push(self, subscription_id: int, message) -> None:
+        """What the reader thread does when an event frame arrives."""
+        self.on_event(subscription_id, encode_with(self.codec, message))
+
+
+class TestScoreFeed:
+    def test_one_feed_per_connection(self):
+        client = FakePipeliningClient()
+        ScoreFeed(client, "session")
+        with pytest.raises(ClientError):
+            ScoreFeed(client, "session")
+
+    def test_watch_subscribes_and_routes(self):
+        client = FakePipeliningClient()
+        feed = ScoreFeed(client, "session")
+        received = []
+        subscription_id = feed.watch(
+            received.append, digest_prefix="ab", threshold=5.0
+        )
+        request = client.requests[-1]
+        assert request.digest_prefix == "ab"
+        assert request.threshold == 5.0
+        client.push(subscription_id, _event(score=6.5))
+        assert [event.score for event in received] == [6.5]
+        assert feed.events_delivered == 1
+        assert feed.watch_count() == 1
+
+    def test_no_threshold_encodes_as_sentinel(self):
+        client = FakePipeliningClient()
+        feed = ScoreFeed(client, "session")
+        feed.watch(lambda event: None)
+        assert client.requests[-1].threshold == -1.0
+
+    def test_refused_subscribe_raises(self):
+        client = FakePipeliningClient()
+        client.refuse_subscribe = True
+        feed = ScoreFeed(client, "session")
+        with pytest.raises(ClientError):
+            feed.watch(lambda event: None)
+        assert feed.watch_count() == 0
+
+    def test_unknown_subscription_is_counted_not_routed(self):
+        client = FakePipeliningClient()
+        feed = ScoreFeed(client, "session")
+        received = []
+        feed.watch(received.append)
+        client.push(99, _event())
+        assert received == []
+        assert feed.events_unrouted == 1
+        assert feed.events_delivered == 0
+
+    def test_resyncs_counted_and_still_delivered(self):
+        client = FakePipeliningClient()
+        feed = ScoreFeed(client, "session")
+        received = []
+        subscription_id = feed.watch(received.append)
+        client.push(subscription_id, _event(resync=True))
+        assert feed.resyncs_seen == 1
+        assert received[0].resync is True
+
+    def test_non_event_frame_is_ignored(self):
+        client = FakePipeliningClient()
+        feed = ScoreFeed(client, "session")
+        received = []
+        subscription_id = feed.watch(received.append)
+        client.push(
+            subscription_id, ErrorResponse(code="weird", detail="frame")
+        )
+        assert received == []
+        assert feed.events_delivered == 0
+
+    def test_unwatch_sends_request_and_unbinds(self):
+        client = FakePipeliningClient()
+        feed = ScoreFeed(client, "session")
+        received = []
+        subscription_id = feed.watch(received.append)
+        feed.unwatch(subscription_id)
+        assert isinstance(client.requests[-1], UnsubscribeRequest)
+        assert client.requests[-1].subscription_id == subscription_id
+        client.push(subscription_id, _event())
+        assert received == []
+        assert feed.events_unrouted == 1
+
+    def test_close_detaches_from_connection(self):
+        client = FakePipeliningClient()
+        feed = ScoreFeed(client, "session")
+        feed.watch(lambda event: None)
+        feed.close()
+        assert client.on_event is None
+        assert feed.watch_count() == 0
+        # The slot is free for a new feed now.
+        ScoreFeed(client, "session")
+
+
+def _info(score=5.0, vote_count=2, version=1):
+    return SoftwareInfoResponse(
+        software_id=DIGEST,
+        known=True,
+        score=score,
+        vote_count=vote_count,
+        score_version=version,
+    )
+
+
+class TestCachePushPatching:
+    def test_apply_update_patches_cached_answer(self):
+        cache = ScoreCache(ttl=100)
+        cache.put(_info(score=5.0), now=0)
+        assert cache.apply_update(
+            DIGEST, score=7.5, vote_count=3, version=2, now=10
+        )
+        patched = cache.get(DIGEST, now=10)
+        assert patched.score == 7.5
+        assert patched.vote_count == 3
+        assert patched.score_version == 2
+
+    def test_apply_update_repromotes_stale_entry(self):
+        """Pushed data is live by definition: it resets the TTL."""
+        cache = ScoreCache(ttl=100)
+        cache.put(_info(), now=0)
+        assert cache.get(DIGEST, now=150) is None  # expired, retired
+        assert cache.apply_update(
+            DIGEST, score=9.0, vote_count=4, version=3, now=150
+        )
+        fresh = cache.get(DIGEST, now=200)
+        assert fresh is not None
+        assert fresh.score == 9.0
+
+    def test_apply_update_without_cached_answer(self):
+        cache = ScoreCache(ttl=100)
+        assert not cache.apply_update(
+            DIGEST, score=7.5, vote_count=3, version=2, now=10
+        )
+
+    def test_demote_moves_entry_to_the_stale_store(self):
+        cache = ScoreCache(ttl=100)
+        cache.put(_info(), now=0)
+        cache.demote(DIGEST)
+        assert cache.get(DIGEST, now=1) is None
+        # Still reachable on the degraded ladder's stale rung.
+        assert cache.get_stale(DIGEST) is not None
+
+
+class TestClientSink:
+    """ReputationClient.on_score_update: cache + merge + watchers."""
+
+    @pytest.fixture
+    def client(self, wired_server):
+        server, network = wired_server
+        client, __ = make_client(server, network)
+        return client
+
+    def test_update_patches_cache_and_stats(self, client):
+        client.cache.put(_info(score=5.0), now=0)
+        client.on_score_update(_event(score=7.5, version=2), now=1)
+        assert client.stats.push_updates_applied == 1
+        assert client.cache.get(DIGEST, now=2).score == 7.5
+        # The live community score flows into the subscription merge.
+        assert client.subscriptions.live_score(DIGEST) == 7.5
+        assert client.subscriptions.opinion(DIGEST).score == 7.5
+
+    def test_update_for_unqueried_digest_is_unmatched(self, client):
+        client.on_score_update(_event(), now=0)
+        assert client.stats.push_updates_unmatched == 1
+        assert client.cache.get(DIGEST, now=0) is None
+
+    def test_resync_demotes_the_cached_answer(self, client):
+        client.cache.put(_info(score=5.0), now=0)
+        client.on_score_update(_event(resync=True), now=1)
+        assert client.stats.push_resyncs == 1
+        assert client.cache.get(DIGEST, now=1) is None
+        assert client.cache.get_stale(DIGEST).score == 5.0
+
+    def test_watchers_fire_after_cache_patch(self, client):
+        client.cache.put(_info(score=5.0), now=0)
+        seen = []
+
+        def watcher(event):
+            # The cache is already patched when the callback runs.
+            seen.append(client.cache.get(DIGEST, now=1).score)
+
+        client.watch_software(DIGEST, watcher)
+        client.on_score_update(_event(score=8.0), now=1)
+        assert seen == [8.0]
+        client.unwatch_software(DIGEST)
+        client.on_score_update(_event(score=2.0, version=3), now=2)
+        assert seen == [8.0]

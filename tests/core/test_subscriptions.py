@@ -87,6 +87,57 @@ class TestSubscriptions:
         assert opinion.score is None
         assert opinion.source == "none"
 
+    def test_live_update_remembered_for_later_opinions(self, publisher):
+        """The push path feeds observe_update; policy checks and dialogs
+        then get the live community score without re-supplying it."""
+        manager = SubscriptionManager()
+        merged = manager.observe_update("sid9", 6.0)
+        assert merged.score == 6.0
+        assert merged.source == "community"
+        assert manager.live_score("sid9") == 6.0
+        assert manager.opinion("sid9").score == 6.0
+
+    def test_live_updates_keep_the_latest_score(self):
+        manager = SubscriptionManager()
+        manager.observe_update("sid9", 6.0)
+        manager.observe_update("sid9", 3.5)
+        assert manager.opinion("sid9").score == 3.5
+
+    def test_feed_overrides_streamed_community_score(self, publisher):
+        """Expert feeds keep overriding no matter how many community
+        updates stream past — the point of trusting the publisher."""
+        manager = SubscriptionManager()
+        manager.subscribe(publisher)
+        merged = manager.observe_update("sid1", 9.5)
+        assert merged.score == 2.0
+        assert merged.source == "feeds"
+        # The live score is still tracked: unsubscribing falls back to it.
+        manager.unsubscribe("AV-experts")
+        assert manager.opinion("sid1").score == 9.5
+
+    def test_multiple_feeds_average_over_live_score(self, publisher):
+        other = FeedPublisher("Lab-2")
+        other.publish(FeedEntry(software_id="sid1", score=4.0))
+        manager = SubscriptionManager()
+        manager.subscribe(publisher)
+        manager.subscribe(other)
+        merged = manager.observe_update("sid1", 9.5)
+        assert merged.score == pytest.approx(3.0)
+        assert merged.feed_count == 2
+
+    def test_explicit_community_score_beats_the_live_one(self):
+        manager = SubscriptionManager()
+        manager.observe_update("sid9", 6.0)
+        assert manager.opinion("sid9", community_score=2.0).score == 2.0
+
+    def test_none_update_forgets_the_live_score(self):
+        manager = SubscriptionManager()
+        manager.observe_update("sid9", 6.0)
+        merged = manager.observe_update("sid9", None)
+        assert merged.score is None
+        assert merged.source == "none"
+        assert manager.live_score("sid9") is None
+
     def test_behaviors_unioned_across_feeds(self, publisher):
         other = FeedPublisher("Lab-2")
         other.publish(

@@ -298,3 +298,74 @@ class TestRep006:
             "  # reprolint: disable=REP006\n"
         )
         assert findings(src, "repro/server/app.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP007 — score tables are written only by core/
+# ---------------------------------------------------------------------------
+
+class TestRep007:
+    def test_inline_table_upsert_flagged(self):
+        src = """\
+        def backfill(db, row):
+            db.table("software_scores").upsert(row)
+        """
+        assert findings(src, "repro/server/app.py") == [("REP007", 2)]
+
+    def test_sums_delete_through_variable_flagged(self):
+        src = """\
+        def purge(db, software_id):
+            sums = db.table("score_sums")
+            sums.delete(software_id)
+        """
+        assert findings(src, "repro/analysis/report.py") == [("REP007", 3)]
+
+    def test_schema_factory_handle_flagged(self):
+        src = """\
+        from repro.core.aggregation import scores_schema
+
+        def install(db, row):
+            table = db.create_table(scores_schema())
+            table.insert(row)
+        """
+        assert findings(src, "repro/sim/community.py") == [("REP007", 5)]
+
+    def test_attribute_handle_flagged(self):
+        src = """\
+        class Backdoor:
+            def __init__(self, db):
+                self._scores = db.table("software_scores")
+
+            def poke(self, row):
+                self._scores.upsert(row)
+        """
+        assert findings(src, "repro/server/cache.py") == [("REP007", 6)]
+
+    def test_reads_clean(self):
+        src = """\
+        def peek(db, software_id):
+            return db.table("software_scores").get_or_none(software_id)
+        """
+        assert findings(src, "repro/server/app.py") == []
+
+    def test_unrelated_table_write_clean(self):
+        src = """\
+        def note(db, row):
+            db.table("comments").insert(row)
+        """
+        assert findings(src, "repro/server/app.py") == []
+
+    def test_core_exempt(self):
+        src = """\
+        def publish(self, row):
+            self._scores.upsert(row)
+            self._scores = db.table("software_scores")
+        """
+        assert findings(src, "repro/core/aggregation.py") == []
+
+    def test_suppression_honored(self):
+        src = (
+            'db.table("score_sums").delete("x")'
+            "  # reprolint: disable=REP007\n"
+        )
+        assert findings(src, "repro/server/app.py") == []

@@ -14,7 +14,10 @@ import pytest
 
 from repro.clock import SimClock
 from repro.protocol import (
+    CommentRequest,
+    ErrorResponse,
     QuerySoftwareRequest,
+    RemarkRequest,
     SoftwareInfoResponse,
     decode_with,
     encode_with,
@@ -62,6 +65,20 @@ class TestPerCodecWire:
         cache.put(SOFTWARE_ID, 1, new)  # replaces the entry object
         cache.attach_wire(SOFTWARE_ID, old, "xml", b"<stale/>")
         assert cache.wire_for(SOFTWARE_ID, new, "xml") is None
+
+    def test_version_mismatch_evicts_lazily(self):
+        """A streaming republish moves the digest's version; the next
+        lookup (either direction — reconciliation can repair a version
+        *down*) drops the stale entry and every wire encoding with it."""
+        cache = ScoreResponseCache()
+        info = _info()
+        cache.put(SOFTWARE_ID, 3, info)
+        cache.attach_wire(SOFTWARE_ID, info, "xml", b"<xml/>")
+        cache.attach_wire(SOFTWARE_ID, info, "binary", b"\x00bin")
+        assert cache.get(SOFTWARE_ID, 4) is None
+        assert cache.version_evictions == 1
+        assert cache.wire_for(SOFTWARE_ID, info, "xml") is None
+        assert cache.wire_for(SOFTWARE_ID, info, "binary") is None
 
 
 class TestNegotiatedServing:
@@ -125,8 +142,8 @@ class TestNegotiatedServing:
         server.handle_bytes(
             "10.0.0.1", encode_with("xml", request), codec="xml"
         )
-        epoch = server.engine.aggregator.epoch
-        cached = server.score_cache.get(SOFTWARE_ID, epoch)
+        version = server.engine.score_version(SOFTWARE_ID)
+        cached = server.score_cache.get(SOFTWARE_ID, version)
         assert cached is not None
         assert (
             server.score_cache.wire_for(SOFTWARE_ID, cached, "xml") is not None
@@ -143,3 +160,90 @@ class TestNegotiatedServing:
         assert (
             server.score_cache.wire_for(SOFTWARE_ID, cached, "xml") is not None
         )
+
+    def _warm_both_codecs(self, server, session):
+        """Query in both codecs; returns the shared cached entry object."""
+        request = self._query(session)
+        for codec in ("xml", "binary"):
+            server.handle_bytes(
+                "10.0.0.1", encode_with(codec, request), codec=codec
+            )
+        version = server.engine.score_version(SOFTWARE_ID)
+        cached = server.score_cache.get(SOFTWARE_ID, version)
+        assert cached is not None
+        for codec in ("xml", "binary"):
+            assert (
+                server.score_cache.wire_for(SOFTWARE_ID, cached, codec)
+                is not None
+            )
+        return cached
+
+    def test_comment_evicts_every_codec_wire(self, seeded):
+        """A comment changes the response body without moving the score
+        version, and it arrives on *one* connection — but the eviction
+        must take the assembled response and both codecs' bytes, or the
+        other codec's readers keep seeing a comment-less answer."""
+        server, session = seeded
+        cached = self._warm_both_codecs(server, session)
+        response = decode_with(
+            "xml",
+            server.handle_bytes(
+                "10.0.0.1",
+                encode_with(
+                    "xml",
+                    CommentRequest(
+                        session=session,
+                        software_id=SOFTWARE_ID,
+                        text="phones home on install",
+                    ),
+                ),
+                codec="xml",
+            ),
+        )
+        assert not isinstance(response, ErrorResponse)
+        for codec in ("xml", "binary"):
+            assert (
+                server.score_cache.wire_for(SOFTWARE_ID, cached, codec)
+                is None
+            ), codec
+        # Both codecs now reassemble an answer that carries the comment.
+        request = self._query(session)
+        for codec in ("xml", "binary"):
+            info = decode_with(
+                codec,
+                server.handle_bytes(
+                    "10.0.0.1", encode_with(codec, request), codec=codec
+                ),
+            )
+            assert any(
+                "phones home" in comment.text for comment in info.comments
+            ), codec
+
+    def test_remark_evicts_every_codec_wire(self, seeded):
+        server, session = seeded
+        server.engine.enroll_user("critic")
+        comment = server.engine.add_comment(
+            "critic", SOFTWARE_ID, "bundles a toolbar"
+        )
+        cached = self._warm_both_codecs(server, session)
+        response = decode_with(
+            "binary",
+            server.handle_bytes(
+                "10.0.0.1",
+                encode_with(
+                    "binary",
+                    RemarkRequest(
+                        session=session,
+                        comment_id=comment.comment_id,
+                        positive=True,
+                    ),
+                ),
+                codec="binary",
+            ),
+        )
+        assert not isinstance(response, ErrorResponse)
+        for codec in ("xml", "binary"):
+            assert (
+                server.score_cache.wire_for(SOFTWARE_ID, cached, codec)
+                is None
+            ), codec
