@@ -10,13 +10,33 @@ import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Result-file stems claimed this run, by the experiment that claimed
+#: them.  Two *different* experiments deriving the same stem would
+#: silently overwrite each other's archive (P7 publishes two exhibits,
+#: both titled "P7: ..."), so a conflicting claim is an error — pass an
+#: explicit ``stem`` to disambiguate.
+_CLAIMED_STEMS: dict = {}
 
-def record_exhibit(experiment_id: str, rendered: str) -> None:
-    """Print the exhibit and archive it under benchmarks/results/."""
+
+def record_exhibit(experiment_id: str, rendered: str, stem: str = None) -> None:
+    """Print the exhibit and archive it under benchmarks/results/.
+
+    The archive filename defaults to the first word of
+    *experiment_id*; experiments that publish more than one exhibit
+    under the same prefix pass a distinct ``stem`` per exhibit
+    (e.g. ``P7-scaling`` and ``P7-lag``).
+    """
     banner = f"\n{'=' * 72}\n{experiment_id}\n{'=' * 72}\n{rendered}\n"
     print(banner)
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    stem = experiment_id.split(" ")[0].rstrip(":").strip("()")
+    if stem is None:
+        stem = experiment_id.split(" ")[0].rstrip(":").strip("()")
+    claimant = _CLAIMED_STEMS.setdefault(stem, experiment_id)
+    if claimant != experiment_id:
+        raise ValueError(
+            f"exhibit stem {stem!r} already archived for {claimant!r};"
+            f" pass a distinct stem= for {experiment_id!r}"
+        )
     path = os.path.join(RESULTS_DIR, f"{stem}.txt")
     with open(path, "w", encoding="utf-8") as output:
         output.write(rendered + "\n")

@@ -76,6 +76,18 @@ class CoalescingLookupClient:
         self.items_sent = 0
 
     @property
+    def session(self) -> str:
+        """The session token stamped on every batch request."""
+        return self._session
+
+    @session.setter
+    def session(self, value: str) -> None:
+        # The cluster client re-logs-in after a leader restart (session
+        # stores are per-process memory); batches pick up the new token
+        # on their next ship.
+        self._session = value
+
+    @property
     def codec(self) -> str:
         """The transport's negotiated codec, read *per use*.
 
@@ -105,6 +117,27 @@ class CoalescingLookupClient:
         if slot.error is not None:
             raise slot.error
         return slot.result
+
+    def query_many(self, items) -> list:
+        """Look up several items; results come back in item order.
+
+        The bulk form of :meth:`query` — all items enqueue at once, so
+        a single leader ships them (plus anything else pending) in one
+        frame instead of one coalescing race per item.  The cluster
+        client's per-shard fan-out uses this for its sub-batches.
+        """
+        slots = [_LookupSlot() for _ in items]
+        with self._mutex:
+            self._pending.extend(zip(items, slots))
+        with self._io_lock:
+            if any(not slot.done for slot in slots):
+                self._ship_pending()
+        results = []
+        for slot in slots:
+            if slot.error is not None:
+                raise slot.error
+            results.append(slot.result)
+        return results
 
     def _ship_pending(self) -> None:
         """Leader duty: send every queued item as one batch frame."""

@@ -1,0 +1,59 @@
+"""Digest-sharded cluster: consistent-hash routing + WAL-shipped replicas.
+
+The paper's central server becomes an N-shard cluster here.  Software
+digest is the partition key (votes, comments, and score lookups are all
+digest-keyed): :mod:`.ring` hashes digests onto shards through a
+consistent-hash ring with virtual nodes, :mod:`.topology` names each
+shard's leader and follower endpoints, and :mod:`.shard` wraps one
+:class:`~repro.server.ReputationServer` per process as either a
+**leader** (accepts writes, ships its WAL) or a **follower** (applies
+the shipped WAL, serves lag-bounded reads).
+
+Replication (:mod:`.replication`) ships the PR 6 binary WAL commit
+units over the ordinary framed transport as ``ReplicateUnits``
+messages, with snapshot bootstrap when a follower is too far behind the
+retained log; :class:`~repro.storage.wal.RetentionHold` pins keep a
+connected follower's catch-up window safe from checkpoint truncation.
+
+The shard-aware client (:mod:`.client`) splits batch lookups by shard,
+fans out over per-shard pipelined connections, merges the results, and
+rides the PR 5 resilience ladder for leader failover.  :mod:`.proc`
+runs a whole cluster as real processes for benchmarks and chaos tests.
+"""
+
+from .ring import HashRing
+from .topology import ClusterTopology, ShardInfo
+from .replication import (
+    LeaderReplicator,
+    ReplicationError,
+    ReplicationSource,
+    decode_units,
+    encode_units,
+)
+from .shard import (
+    DERIVED_TABLES,
+    E_FOLLOWER_LAGGING,
+    E_NOT_LEADER,
+    FollowerApplier,
+    ShardServer,
+)
+from .client import ClusterClient
+from .proc import ProcessCluster
+
+__all__ = [
+    "HashRing",
+    "ClusterTopology",
+    "ShardInfo",
+    "LeaderReplicator",
+    "ReplicationError",
+    "ReplicationSource",
+    "encode_units",
+    "decode_units",
+    "DERIVED_TABLES",
+    "E_NOT_LEADER",
+    "E_FOLLOWER_LAGGING",
+    "FollowerApplier",
+    "ShardServer",
+    "ClusterClient",
+    "ProcessCluster",
+]

@@ -1,0 +1,58 @@
+"""Consistent hashing with virtual nodes over the software digest.
+
+Each shard contributes ``vnodes`` points on a 64-bit ring; a digest
+maps to the owner of the first point at or after its own hash.  Adding
+or removing one shard therefore moves only ``~1/N`` of the key space —
+the property that makes resharding incremental — and the virtual nodes
+smooth out the per-shard load imbalance a single point per shard would
+leave (with 64 vnodes the heaviest shard carries within a few percent
+of the mean on uniform digests; the ring test pins this).
+
+Hashes come from SHA-256, *not* Python's ``hash()``: placement must be
+identical across processes and runs (``PYTHONHASHSEED`` randomises
+``hash()``), and client and server must agree on it forever.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence, Tuple
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring position for *key*."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Maps string keys (software digests) onto a fixed set of nodes."""
+
+    def __init__(self, nodes: Sequence[int], vnodes: int = 64):
+        if not nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        self.nodes: Tuple[int, ...] = tuple(sorted(set(nodes)))
+        points: List[Tuple[int, int]] = []
+        for node in self.nodes:
+            for replica in range(vnodes):
+                points.append((_point(f"shard:{node}:vn:{replica}"), node))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [node for _, node in points]
+
+    def node_for(self, key: str) -> int:
+        """The node owning *key* (first ring point at or after its hash)."""
+        index = bisect.bisect_right(self._hashes, _point(key))
+        return self._owners[index % len(self._owners)]
+
+    def spread(self, keys: Sequence[str]) -> dict:
+        """``{node: count}`` for *keys* — load-balance diagnostics."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -1,0 +1,143 @@
+"""Cluster topology: which shard owns a digest, and where it lives.
+
+:class:`ClusterTopology` is the one mutable piece of cluster state the
+client and the process harness share: the digest → shard mapping (a
+:class:`~repro.cluster.ring.HashRing`, fixed for the cluster's life)
+plus each shard's current leader and follower addresses (mutable —
+:meth:`update_leader` is how failover "re-resolves the router": the
+resilient client re-reads the address on its next reconnect).
+
+Non-digest-keyed requests (register/login/stats) have no home shard;
+the client broadcasts them.  Where a single designated shard is wanted
+(e.g. a future global search index), :meth:`meta_shard` names the
+lowest shard id, deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..storage.locks import create_lock
+from .ring import HashRing
+
+Address = Tuple[str, int]
+
+
+class ShardInfo:
+    """One shard's endpoints: a leader plus zero or more followers."""
+
+    __slots__ = ("shard_id", "leader", "followers")
+
+    def __init__(
+        self,
+        shard_id: int,
+        leader: Address,
+        followers: Sequence[Address] = (),
+    ):
+        self.shard_id = shard_id
+        self.leader = (leader[0], int(leader[1]))
+        self.followers = tuple((h, int(p)) for h, p in followers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardInfo({self.shard_id}, leader={self.leader},"
+            f" followers={self.followers})"
+        )
+
+
+class ClusterTopology:
+    """Thread-safe shard map shared by clients and the process harness."""
+
+    def __init__(self, shards: Sequence[ShardInfo], vnodes: int = 64):
+        if not shards:
+            raise ValueError("a topology needs at least one shard")
+        self._mutex = create_lock("cluster-topology")
+        self._shards: Dict[int, ShardInfo] = {
+            info.shard_id: info for info in shards
+        }
+        if len(self._shards) != len(shards):
+            raise ValueError("duplicate shard ids in topology")
+        self.ring = HashRing(tuple(self._shards), vnodes=vnodes)
+
+    # -- routing ----------------------------------------------------------
+
+    def shard_for(self, software_id: str) -> ShardInfo:
+        """The shard owning *software_id*'s slice of the ring."""
+        return self.shard(self.ring.node_for(software_id))
+
+    def shard(self, shard_id: int) -> ShardInfo:
+        with self._mutex:
+            return self._shards[shard_id]
+
+    def shards(self) -> Tuple[ShardInfo, ...]:
+        """All shards, ordered by id."""
+        with self._mutex:
+            return tuple(
+                self._shards[shard_id] for shard_id in sorted(self._shards)
+            )
+
+    def shard_ids(self) -> Tuple[int, ...]:
+        with self._mutex:
+            return tuple(sorted(self._shards))
+
+    def meta_shard(self) -> ShardInfo:
+        """The designated shard for non-digest-keyed singleton duties."""
+        with self._mutex:
+            return self._shards[min(self._shards)]
+
+    # -- failover ---------------------------------------------------------
+
+    def update_leader(self, shard_id: int, leader: Address) -> None:
+        """Point *shard_id*'s leader at a new address.
+
+        The router's re-resolution step: resilient transports construct
+        connections through a factory that reads the topology, so the
+        next reconnect after a leader restart lands here.
+        """
+        with self._mutex:
+            old = self._shards[shard_id]
+            self._shards[shard_id] = ShardInfo(
+                shard_id, leader, old.followers
+            )
+
+    def update_followers(
+        self, shard_id: int, followers: Sequence[Address]
+    ) -> None:
+        with self._mutex:
+            old = self._shards[shard_id]
+            self._shards[shard_id] = ShardInfo(
+                shard_id, old.leader, tuple(followers)
+            )
+
+    # -- (de)serialisation for the process harness ------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "vnodes": self.ring.vnodes,
+            "shards": [
+                {
+                    "shard_id": info.shard_id,
+                    "leader": list(info.leader),
+                    "followers": [list(a) for a in info.followers],
+                }
+                for info in self.shards()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterTopology":
+        return cls(
+            [
+                ShardInfo(
+                    entry["shard_id"],
+                    tuple(entry["leader"]),
+                    [tuple(a) for a in entry["followers"]],
+                )
+                for entry in data["shards"]
+            ],
+            vnodes=data.get("vnodes", 64),
+        )
+
+    def get_or_none(self, shard_id: int) -> Optional[ShardInfo]:
+        with self._mutex:
+            return self._shards.get(shard_id)

@@ -191,6 +191,40 @@ class ReputationEngine:
             self.trust.debit(author, policy.debit_per_negative_remark)
         return remark
 
+    # -- replication (follower-side derived state) ---------------------------
+
+    def fold_replicated_vote(self, vote: Vote) -> None:
+        """Fold a leader-replicated vote row into the streaming sums.
+
+        Followers apply the leader's WAL records to the base tables and
+        then feed each vote through here — the same per-vote delta path
+        :meth:`cast_vote` uses, so follower scores are bit-identical to
+        the leader's (see :mod:`.scoring` on exactness) without shipping
+        any derived rows.  Publishes (and pushes) the new score version.
+        """
+        if self.scorer is None:
+            raise ServerError(
+                "replicated scoring requires streaming scoring mode"
+            )
+        self.scorer.apply_vote(vote)
+
+    def fold_replicated_trust(
+        self, username: str, old_weight: float, new_weight: float
+    ) -> None:
+        """Re-weight a replicated trust change into the streaming sums.
+
+        The follower reads the old weight before applying the leader's
+        trust-row mutation and the new weight after; this folds the
+        delta exactly like the leader's own trust listener did.
+        """
+        if self.scorer is None:
+            raise ServerError(
+                "replicated scoring requires streaming scoring mode"
+            )
+        self.scorer.apply_trust_change(
+            username, old_weight, new_weight, self.clock.now()
+        )
+
     def ranked_comments(self, software_id: str) -> list:
         """Visible comments, most credible first.
 

@@ -15,6 +15,7 @@ from .rep004_codec_exhaustive import CodecExhaustiveRule
 from .rep005_raw_threading import RawThreadingRule
 from .rep006_storage_files import StorageFileAccessRule
 from .rep007_score_table_writes import ScoreTableWriteRule
+from .rep008_replication_streams import ReplicationStreamRule
 
 ALL_RULES = (
     WallClockRule(),
@@ -24,6 +25,7 @@ ALL_RULES = (
     RawThreadingRule(),
     StorageFileAccessRule(),
     ScoreTableWriteRule(),
+    ReplicationStreamRule(),
 )
 
 __all__ = [
@@ -35,4 +37,5 @@ __all__ = [
     "RawThreadingRule",
     "StorageFileAccessRule",
     "ScoreTableWriteRule",
+    "ReplicationStreamRule",
 ]

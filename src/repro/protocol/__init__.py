@@ -40,6 +40,9 @@ from .messages import (
     VendorInfoResponse,
     StatsRequest,
     StatsResponse,
+    ReplicateUnits,
+    ReplicateAck,
+    ReplicateSnapshot,
     OkResponse,
     ErrorResponse,
     PuzzleRequest,
@@ -85,6 +88,9 @@ __all__ = [
     "VendorInfoResponse",
     "StatsRequest",
     "StatsResponse",
+    "ReplicateUnits",
+    "ReplicateAck",
+    "ReplicateSnapshot",
     "OkResponse",
     "ErrorResponse",
     "PuzzleRequest",

@@ -358,6 +358,63 @@ class StatsResponse(Message):
 
 
 # ---------------------------------------------------------------------------
+# Cluster replication (leader -> follower WAL shipping)
+# ---------------------------------------------------------------------------
+
+@message("replicate-units")
+@dataclass(frozen=True)
+class ReplicateUnits(Message):
+    """A batch of WAL commit units shipped leader → follower.
+
+    *payload* is the PR 6 binary record stream (MUTATION* + COMMIT per
+    unit, see :mod:`repro.storage.records`) for consecutive LSNs
+    starting at ``base_lsn + 1``; an empty payload is a probe/heartbeat
+    (the follower answers with its applied LSN).  *leader_lsn* is the
+    leader's newest LSN at send time — the follower's lag gauge.
+    *auth* is the cluster's shared replication secret.
+    """
+
+    shard_id: int
+    base_lsn: int
+    leader_lsn: int
+    payload: bytes = b""
+    auth: str = ""
+
+
+@message("replicate-ack")
+@dataclass(frozen=True)
+class ReplicateAck(Message):
+    """The follower's cumulative acknowledgement.
+
+    ``applied_lsn`` is the newest LSN durably applied to the follower's
+    own engine; ``ok=False`` signals a refusal (bad secret, LSN gap) —
+    the leader reconnects and re-probes.
+    """
+
+    shard_id: int
+    applied_lsn: int
+    ok: bool = True
+    detail: str = ""
+
+
+@message("replicate-snapshot")
+@dataclass(frozen=True)
+class ReplicateSnapshot(Message):
+    """A full state image for follower bootstrap.
+
+    Shipped when the follower's applied LSN predates the leader's
+    retained WAL history.  *payload* is a binary snapshot image
+    (:func:`repro.storage.records.dump_snapshot_bytes`) at *lsn*.
+    """
+
+    shard_id: int
+    lsn: int
+    leader_lsn: int
+    payload: bytes = b""
+    auth: str = ""
+
+
+# ---------------------------------------------------------------------------
 # Generic outcomes
 # ---------------------------------------------------------------------------
 

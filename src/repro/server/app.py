@@ -133,6 +133,8 @@ class ReputationServer:
         checkpoint_wal_bytes: Optional[int] = DEFAULT_CHECKPOINT_WAL_BYTES,
         checkpoint_commits: Optional[int] = None,
         scoring_mode: Optional[str] = None,
+        flood_burst: Optional[float] = None,
+        flood_refill_per_second: Optional[float] = None,
     ):
         rng = rng or random.Random(0)
         self._owns_database = False
@@ -192,9 +194,20 @@ class ReputationServer:
             )
         else:
             self.puzzles = PuzzleIssuer(difficulty=puzzle_difficulty, rng=rng)
-        self.gate = VoteGate(self.engine)
-        # Registrations per origin address: burst of 3, ~6/day sustained.
-        self.registration_limiter = RateLimiter(3.0, 6.0 / 86400.0)
+        # Flood-control overrides: deployments fronting trusted traffic
+        # (benchmark rigs, replicated shards behind an edge limiter)
+        # raise the per-account buckets; the paper defaults otherwise.
+        gate_overrides = {}
+        if flood_burst is not None:
+            gate_overrides["burst"] = flood_burst
+        if flood_refill_per_second is not None:
+            gate_overrides["refill_per_second"] = flood_refill_per_second
+        self.gate = VoteGate(self.engine, **gate_overrides)
+        # Registrations per origin address: burst of 3, ~6/day sustained
+        # (scaled up alongside an explicit flood_burst override — a rig
+        # that raises the feedback buckets needs sign-ups to match).
+        registration_burst = 3.0 if flood_burst is None else max(3.0, flood_burst)
+        self.registration_limiter = RateLimiter(registration_burst, 6.0 / 86400.0)
         #: Read-through cache of assembled software-info responses,
         #: keyed by the per-digest score version (size 0 disables it).
         self.score_cache = ScoreResponseCache(max_entries=score_cache_size)
@@ -383,6 +396,17 @@ class ReputationServer:
         return QuerySoftwareBatchResponse(
             results=tuple(results), epoch=self.engine.aggregator.epoch
         )
+
+    def lookup_software(self, software_id: str) -> SoftwareInfoResponse:
+        """Read-only software lookup (no implicit registration).
+
+        The stock query handler registers unknown digests as a side
+        effect — a *write*.  Cluster followers serve reads through this
+        instead: an unknown digest stays unknown until the leader's
+        registration replicates, so the follower's state never diverges
+        from the shipped WAL.
+        """
+        return self._software_info(software_id)
 
     def _software_info(self, software_id: str) -> SoftwareInfoResponse:
         """Read-through: serve from the score cache while this digest's

@@ -63,6 +63,7 @@ from .wal import (
     DURABILITY_FSYNC,
     CommitTicket,
     LegacyJsonWriteAheadLog,
+    RetentionHold,
     WriteAheadLog,
 )
 from .engine import WAL_FORMAT_BINARY, WAL_FORMAT_JSON, Database
@@ -78,6 +79,7 @@ __all__ = [
     "WriteAheadLog",
     "LegacyJsonWriteAheadLog",
     "CommitTicket",
+    "RetentionHold",
     "Checkpointer",
     "DURABILITY_FSYNC",
     "DURABILITY_BATCHED",

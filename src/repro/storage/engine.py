@@ -108,6 +108,11 @@ class Database:
         self._checkpoint_wal_bytes = checkpoint_wal_bytes
         self._checkpoint_commits = checkpoint_commits
         self._commits_since_checkpoint = 0
+        #: Replication taps: called as ``listener(lsn, records)`` right
+        #: after a commit unit reaches the WAL, still under the
+        #: exclusive side — listeners must only enqueue (no blocking,
+        #: no I/O); shipping happens on the replicator's own thread.
+        self._commit_listeners: list = []
         self._closed = False
         if wal_format not in (WAL_FORMAT_BINARY, WAL_FORMAT_JSON):
             raise ValueError(
@@ -199,6 +204,9 @@ class Database:
         if self._wal is not None and buffered:
             ticket = self._wal.append_commit_unit(buffered)
             self._note_commit_locked()
+            if ticket.lsn > 0:
+                for listener in self._commit_listeners:
+                    listener(ticket.lsn, buffered)
             return ticket
         return None
 
@@ -236,8 +244,12 @@ class Database:
             # mutations notify under it), and is the only possible
             # writer, so waiting for durability inline cannot starve a
             # peer — there isn't one until the lock is released.
-            ticket = self._wal.append_commit_unit([self._event_to_record(event)])
+            record = self._event_to_record(event)
+            ticket = self._wal.append_commit_unit([record])
             self._note_commit_locked()
+            if ticket.lsn > 0:
+                for listener in self._commit_listeners:
+                    listener(ticket.lsn, [record])
             self._await_durability(ticket)
 
     @staticmethod
@@ -383,6 +395,80 @@ class Database:
             table.delete(record["pk"])
         else:
             raise StorageError(f"unknown WAL operation {op!r}")
+
+    # -- replication hooks -------------------------------------------------------
+
+    def add_commit_listener(self, listener) -> None:
+        """Register ``listener(lsn, records)`` for every WAL commit unit.
+
+        Fires under the exclusive side, immediately after the unit hits
+        the log — the replication tap.  Listeners must only enqueue.
+        """
+        self._commit_listeners.append(listener)
+
+    def wal_last_lsn(self) -> int:
+        """Highest LSN the WAL has assigned (0 in-memory / empty)."""
+        if self._wal is None:
+            return 0
+        return self._wal.last_lsn
+
+    def replay_units(self, after_lsn: int = 0):
+        """Yield ``(lsn, records)`` for committed units past *after_lsn*.
+
+        The replication catch-up read.  LSNs are consecutive from
+        ``after_lsn + 1`` (the WAL's prefix rule stops at gaps), so an
+        empty result while :meth:`wal_last_lsn` is ahead means the
+        history was truncated — the consumer needs a snapshot.
+        """
+        if self._wal is None:
+            raise StorageError("replay_units() requires a durable database")
+        for offset, unit in enumerate(self._wal.replay(after_lsn=after_lsn)):
+            yield after_lsn + 1 + offset, unit
+
+    def retain_wal_from(self, after_lsn: int, name: str = ""):
+        """Pin WAL history past *after_lsn* against checkpoint truncation.
+
+        Returns a :class:`~repro.storage.wal.RetentionHold` (binary WAL
+        only — replication requires the segmented log).
+        """
+        if not isinstance(self._wal, WriteAheadLog):
+            raise StorageError(
+                "WAL retention requires a binary-format durable database"
+            )
+        return self._wal.retain_from(after_lsn, name=name)
+
+    def state_snapshot(self) -> tuple:
+        """A consistent ``(lsn, {table: [row copies]})`` image.
+
+        The replication bootstrap's source: taken under the exclusive
+        side so no unit straddles the cut, without sealing the active
+        segment (unlike :meth:`checkpoint`, this leaves the log alone).
+        """
+        with self._lock.write_locked():
+            if self._transaction is not None:
+                raise TransactionError(
+                    "cannot snapshot inside a transaction"
+                )
+            lsn = self.wal_last_lsn()
+            tables = {
+                name: table.all() for name, table in self._tables.items()
+            }
+            return lsn, tables
+
+    def apply_record(self, record: dict) -> None:
+        """Apply one replicated WAL record through the normal write path.
+
+        Unlike recovery's private replay, this runs with logging *on*:
+        the mutation lands in the caller's open transaction and is
+        re-logged into this database's own WAL (a follower's durability
+        is its own log, not the leader's).  Requires an open transaction
+        so a shipped unit applies atomically.
+        """
+        if self._transaction is None:
+            raise TransactionError(
+                "apply_record() requires an open transaction"
+            )
+        self._apply_record(record)
 
     def checkpoint(self) -> None:
         """Write a full snapshot durably, then drop the WAL it covers.

@@ -36,6 +36,7 @@ snapshot and replays only WAL units with a greater LSN.
 
 from __future__ import annotations
 
+import io
 import struct
 import zlib
 from typing import Any, Optional
@@ -253,14 +254,24 @@ def load_snapshot(path: str) -> tuple:
     """
     with open(path, "rb") as handle:
         blob = handle.read()
+    return parse_snapshot_bytes(blob, origin=path)
+
+
+def parse_snapshot_bytes(blob: bytes, origin: str = "<bytes>") -> tuple:
+    """Parse a snapshot image; returns ``(lsn, {table: [rows]})``.
+
+    The same validation as :func:`load_snapshot`, over an in-memory
+    blob — the replication bootstrap ships snapshot images over the
+    wire instead of through the filesystem.
+    """
     if not blob.startswith(MAGIC_SNAPSHOT):
-        raise WalCorruptionError(f"{path}: not a binary snapshot")
+        raise WalCorruptionError(f"{origin}: not a binary snapshot")
     if len(blob) < len(MAGIC_SNAPSHOT) + _CRC.size:
-        raise WalCorruptionError(f"{path}: snapshot too short")
+        raise WalCorruptionError(f"{origin}: snapshot too short")
     body = blob[len(MAGIC_SNAPSHOT):-_CRC.size]
     stored_crc = _CRC.unpack(blob[-_CRC.size:])[0]
     if crc32(body) != stored_crc:
-        raise WalCorruptionError(f"{path}: snapshot fails its CRC-32 check")
+        raise WalCorruptionError(f"{origin}: snapshot fails its CRC-32 check")
     cursor = Cursor(body, error=WalCorruptionError)
     lsn = cursor.varint()
     ntables = cursor.varint()
@@ -270,14 +281,28 @@ def load_snapshot(path: str) -> tuple:
         nrows = cursor.varint()
         if nrows > cursor.remaining:
             raise WalCorruptionError(
-                f"{path}: row count {nrows} exceeds snapshot body"
+                f"{origin}: row count {nrows} exceeds snapshot body"
             )
         tables[name] = [read_row(cursor) for _ in range(nrows)]
     if cursor.remaining:
         raise WalCorruptionError(
-            f"{path}: {cursor.remaining} trailing bytes in snapshot"
+            f"{origin}: {cursor.remaining} trailing bytes in snapshot"
         )
     return lsn, tables
+
+
+def dump_snapshot_bytes(lsn: int, tables: dict) -> bytes:
+    """Serialise ``{table: [rows]}`` at *lsn* to a snapshot image.
+
+    Byte-identical to what :class:`SnapshotWriter` streams to disk, so
+    :func:`parse_snapshot_bytes` round-trips it.
+    """
+    buffer = io.BytesIO()
+    writer = SnapshotWriter(buffer, lsn, len(tables))
+    for name, rows in tables.items():
+        writer.table(name, rows)
+    writer.finish()
+    return buffer.getvalue()
 
 
 class TornTail(Exception):

@@ -137,6 +137,41 @@ class CommitTicket:
         self.durable = durable
 
 
+class RetentionHold:
+    """A pin keeping WAL units with LSN > ``after_lsn`` replayable.
+
+    Held by replication followers (via their leader-side link): a
+    checkpoint may truncate sealed segments only up to the oldest hold,
+    so a follower that acknowledged ``after_lsn`` can always catch up
+    from the log instead of being forced through a snapshot.  Advance
+    the hold as the follower acknowledges; release it when the follower
+    goes away (a released hold never constrains truncation again).
+    """
+
+    __slots__ = ("_wal", "after_lsn", "name", "released")
+
+    def __init__(self, wal: "WriteAheadLog", after_lsn: int, name: str = ""):
+        self._wal = wal
+        self.after_lsn = after_lsn
+        self.name = name
+        self.released = False
+
+    def advance(self, after_lsn: int) -> None:
+        """Move the hold forward (never backward) to *after_lsn*."""
+        with self._wal._buffer_lock:
+            if after_lsn > self.after_lsn:
+                self.after_lsn = after_lsn
+
+    def release(self) -> None:
+        """Drop the pin; truncation stops considering this hold."""
+        with self._wal._buffer_lock:
+            self.released = True
+            try:
+                self._wal._holds.remove(self)
+            except ValueError:
+                pass  # already released concurrently
+
+
 class WriteAheadLog:
     """Segmented binary write-ahead log with group commit.
 
@@ -176,6 +211,8 @@ class WriteAheadLog:
         #: Sealed segment path -> last LSN it contains (0 when empty).
         self._segment_last_lsn: dict = {}
         self._legacy_units: Optional[int] = None
+        #: Active replication pins (see :class:`RetentionHold`).
+        self._holds: List[RetentionHold] = []
         self._seq = 0
         self._approx_bytes: Optional[int] = None
         #: Diagnostics: set when replay stopped at an LSN gap.
@@ -361,6 +398,27 @@ class WriteAheadLog:
         for ticket in pending:
             ticket.durable = True
 
+    # -- retention --------------------------------------------------------
+
+    def retain_from(self, after_lsn: int, name: str = "") -> RetentionHold:
+        """Pin units with LSN > *after_lsn* against truncation.
+
+        Returns the :class:`RetentionHold`; the caller advances it as
+        its consumer acknowledges and releases it when done.
+        """
+        hold = RetentionHold(self, after_lsn, name=name)
+        with self._buffer_lock:
+            self._holds.append(hold)
+        return hold
+
+    def min_retained_lsn(self) -> Optional[int]:
+        """The oldest active hold's ``after_lsn`` (``None`` when no
+        holds are registered)."""
+        with self._buffer_lock:
+            if not self._holds:
+                return None
+            return min(hold.after_lsn for hold in self._holds)
+
     # -- rotation / truncation -------------------------------------------
 
     def rotate(self) -> int:
@@ -390,10 +448,16 @@ class WriteAheadLog:
         durable — the active segment is never touched, so a crash at any
         point leaves either the old segments (replayed and re-covered by
         the next checkpoint) or nothing stale at all.
+
+        Active :class:`RetentionHold` pins clamp the cut: a follower
+        that acknowledged up to LSN ``h`` keeps every unit above ``h``
+        replayable, however far the checkpoint's snapshot reaches.
         """
         removed = False
         with self._buffer_lock:
             active = self._active_path
+            for hold in self._holds:
+                lsn = min(lsn, hold.after_lsn)
         for path in self._segment_files():
             if path == active:
                 continue

@@ -1,0 +1,137 @@
+"""Replication payload codec and source-side tailing."""
+
+import pytest
+
+from repro.cluster import (
+    ReplicationError,
+    ReplicationSource,
+    decode_units,
+    encode_units,
+)
+from repro.storage import Column, ColumnType, Database, Schema
+from repro.storage.wal import DURABILITY_BATCHED
+
+
+def _unit(lsn, pks):
+    return (
+        lsn,
+        [
+            {"op": "insert", "table": "t", "pk": pk, "row": {"k": pk}}
+            for pk in pks
+        ],
+    )
+
+
+class TestUnitCodec:
+    def test_roundtrip(self):
+        units = [_unit(1, [1, 2]), _unit(2, [3]), (3, [])]
+        assert decode_units(encode_units(units)) == units
+
+    def test_native_value_types_survive(self):
+        unit = (
+            7,
+            [
+                {
+                    "op": "update",
+                    "table": "t",
+                    "pk": b"key",
+                    "row": {"f": 1.5, "b": b"\x00\xff", "n": None, "t": True},
+                },
+                {"op": "delete", "table": "t", "pk": "gone", "row": None},
+            ],
+        )
+        assert decode_units(encode_units([unit])) == [unit]
+
+    def test_empty_payload(self):
+        assert decode_units(b"") == []
+
+    def test_truncated_payload_is_a_protocol_error(self):
+        payload = encode_units([_unit(1, [1, 2])])
+        with pytest.raises(ReplicationError):
+            decode_units(payload[:-3])
+
+    def test_mutations_without_commit_are_an_error(self):
+        whole = encode_units([_unit(1, [1])])
+        commit_only = encode_units([(2, [])])
+        # Strip the commit record off the back of the single-unit
+        # payload: the leftover mutation dangles.
+        dangling = whole[: len(whole) - len(commit_only)]
+        with pytest.raises(ReplicationError):
+            decode_units(dangling)
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = Database(
+        directory=str(tmp_path), durability=DURABILITY_BATCHED
+    )
+    database.create_table(
+        Schema(
+            name="t",
+            columns=[
+                Column("pk", ColumnType.INT),
+                Column("k", ColumnType.INT),
+            ],
+            primary_key="pk",
+        )
+    )
+    yield database
+    database.close()
+
+
+def _commit(db, pk):
+    with db.transaction():
+        db.table("t").insert({"pk": pk, "k": pk})
+
+
+class TestReplicationSource:
+    def test_live_commits_land_in_the_memory_tail(self, db):
+        source = ReplicationSource(db)
+        for pk in range(3):
+            _commit(db, pk)
+        units = source.units_after(0, limit=10)
+        assert [lsn for lsn, _ in units] == [1, 2, 3]
+        assert units[0][1][0]["pk"] == 0
+        assert source.last_lsn() == 3
+
+    def test_cursor_mid_tail(self, db):
+        source = ReplicationSource(db)
+        for pk in range(5):
+            _commit(db, pk)
+        units = source.units_after(3, limit=10)
+        assert [lsn for lsn, _ in units] == [4, 5]
+
+    def test_limit_caps_the_batch(self, db):
+        source = ReplicationSource(db)
+        for pk in range(6):
+            _commit(db, pk)
+        units = source.units_after(0, limit=2)
+        assert [lsn for lsn, _ in units] == [1, 2]
+
+    def test_history_before_the_tail_reads_from_disk(self, db):
+        # Commits from before the source attached are not in the memory
+        # tail; the source falls back to WAL segment replay.
+        for pk in range(4):
+            _commit(db, pk)
+        source = ReplicationSource(db)
+        units = source.units_after(0, limit=10)
+        assert [lsn for lsn, _ in units] == [1, 2, 3, 4]
+
+    def test_truncated_history_demands_a_snapshot(self, db):
+        for pk in range(4):
+            _commit(db, pk)
+        db.checkpoint()  # truncates the covered segments
+        source = ReplicationSource(db)
+        assert source.units_after(0, limit=10) is None  # snapshot needed
+        lsn, payload = source.snapshot()
+        assert lsn == 4 and payload
+        from repro.storage.records import parse_snapshot_bytes
+
+        snap_lsn, tables = parse_snapshot_bytes(payload, origin="test")
+        assert snap_lsn == 4
+        assert {row["pk"] for row in tables["t"]} == {0, 1, 2, 3}
+
+    def test_caught_up_source_returns_empty(self, db):
+        source = ReplicationSource(db)
+        _commit(db, 1)
+        assert source.units_after(1, limit=10) == []

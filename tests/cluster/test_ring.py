@@ -1,0 +1,52 @@
+"""Consistent-hash ring: determinism, balance, incremental movement."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+
+def _digests(count):
+    return [f"{n:040x}" for n in range(count)]
+
+
+class TestHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        first = HashRing([0, 1, 2, 3])
+        second = HashRing([3, 2, 1, 0])  # order must not matter
+        for digest in _digests(200):
+            assert first.node_for(digest) == second.node_for(digest)
+
+    def test_every_node_owns_a_reasonable_share(self):
+        ring = HashRing([0, 1, 2, 3], vnodes=64)
+        spread = ring.spread(_digests(4000))
+        for node, count in spread.items():
+            # With 64 vnodes the heaviest/lightest shard stays within
+            # a factor ~2 of the 1000-key mean; wildly unbalanced
+            # ownership would defeat the scaling exhibit.
+            assert 500 <= count <= 2000, spread
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing([7])
+        assert ring.spread(_digests(50)) == {7: 50}
+
+    def test_adding_a_node_moves_only_its_share(self):
+        before = HashRing([0, 1, 2])
+        after = HashRing([0, 1, 2, 3])
+        digests = _digests(3000)
+        moved = sum(
+            1
+            for digest in digests
+            if before.node_for(digest) != after.node_for(digest)
+        )
+        # Consistent hashing: ~1/4 of keys move to the new node; a
+        # modulo scheme would reshuffle ~3/4.
+        assert moved < len(digests) // 2
+        for digest in digests:
+            if before.node_for(digest) != after.node_for(digest):
+                assert after.node_for(digest) == 3
+
+    def test_empty_ring_is_an_error(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([1], vnodes=0)

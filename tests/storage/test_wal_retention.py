@@ -1,0 +1,166 @@
+"""WAL retention holds and cross-segment tailing — the replication floor.
+
+Replication tails the WAL with ``replay(after_lsn=...)`` while
+checkpoints truncate it with ``drop_segments_upto``: a hold pins the
+truncation horizon so a connected follower's catch-up window can never
+be deleted out from under it mid-ship.
+"""
+
+import os
+
+import pytest
+
+from repro.storage import Database, WriteAheadLog
+from repro.storage.wal import DURABILITY_BATCHED
+
+
+@pytest.fixture
+def wal(tmp_path):
+    return WriteAheadLog(str(tmp_path))
+
+
+def _mutation(n):
+    return {"op": "insert", "table": "t", "pk": n, "row": {"k": n}}
+
+
+def _segments(directory):
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.startswith("wal-") and name.endswith(".bin")
+    )
+
+
+def _pks(units):
+    return [unit[0]["pk"] for unit in units]
+
+
+class TestRetentionHolds:
+    def test_hold_pins_truncation_horizon(self, wal, tmp_path):
+        for n in range(3):
+            wal.append_commit_unit([_mutation(n)])
+        cut = wal.rotate()
+        wal.append_commit_unit([_mutation(3)])
+        hold = wal.retain_from(1, name="follower")
+        wal.drop_segments_upto(cut)
+        # The sealed segment holds LSNs 2..3, which the hold (units
+        # after LSN 1) still needs: it must survive.
+        assert len(_segments(str(tmp_path))) == 2
+        assert _pks(list(wal.replay(after_lsn=1))) == [1, 2, 3]
+        hold.release()
+        wal.drop_segments_upto(cut)
+        assert len(_segments(str(tmp_path))) == 1
+
+    def test_advancing_hold_releases_history(self, wal, tmp_path):
+        for n in range(4):
+            wal.append_commit_unit([_mutation(n)])
+        cut = wal.rotate()
+        wal.append_commit_unit([_mutation(4)])
+        hold = wal.retain_from(2)
+        wal.drop_segments_upto(cut)
+        assert len(_segments(str(tmp_path))) == 2
+        hold.advance(cut)
+        wal.drop_segments_upto(cut)
+        assert len(_segments(str(tmp_path))) == 1
+        hold.release()
+
+    def test_hold_never_moves_backwards(self, wal):
+        hold = wal.retain_from(5)
+        hold.advance(3)
+        assert hold.after_lsn == 5
+        hold.advance(9)
+        assert hold.after_lsn == 9
+        hold.release()
+
+    def test_min_retained_lsn_tracks_slowest_hold(self, wal):
+        assert wal.min_retained_lsn() is None
+        slow = wal.retain_from(2, name="slow")
+        fast = wal.retain_from(7, name="fast")
+        assert wal.min_retained_lsn() == 2
+        slow.release()
+        assert wal.min_retained_lsn() == 7
+        fast.release()
+        assert wal.min_retained_lsn() is None
+
+    def test_release_is_idempotent(self, wal):
+        hold = wal.retain_from(1)
+        hold.release()
+        hold.release()
+        assert wal.min_retained_lsn() is None
+
+    def test_checkpoint_vs_replication_race(self, tmp_path):
+        """A checkpoint may not truncate a connected follower's window.
+
+        The race the hold exists for: the replicator probes the
+        follower (applied LSN = 1), registers its hold, and is about to
+        read units 2..N from disk when a checkpoint completes and calls
+        ``drop_segments_upto`` with a cut far past LSN 1.  Without the
+        clamp, the sealed segments vanish and the follower can only be
+        snapshotted; with it, the catch-up window replays intact.
+        """
+        db = Database(
+            directory=str(tmp_path),
+            durability=DURABILITY_BATCHED,
+        )
+        from repro.storage import Column, ColumnType, Schema
+
+        table = db.create_table(
+            Schema(
+                name="t",
+                columns=[
+                    Column("pk", ColumnType.INT),
+                    Column("k", ColumnType.INT),
+                ],
+                primary_key="pk",
+            )
+        )
+        for n in range(8):
+            with db.transaction():
+                table.insert({"pk": n, "k": n})
+        # The replicator's probe step: the follower reported LSN 1.
+        hold = db.retain_wal_from(1, name="follower-test")
+        db.checkpoint()  # wants to truncate everything up to LSN 8
+        units = list(db.replay_units(after_lsn=1))
+        assert [lsn for lsn, _ in units] == list(range(2, 9))
+        hold.release()
+        db.checkpoint()
+        units_after_release = list(db.replay_units(after_lsn=1))
+        # With the hold gone the next checkpoint may truncate; history
+        # before the cut is no longer replayable from disk.
+        assert units_after_release == []
+        db.close()
+
+
+class TestReplayAfterLsnAcrossSegments:
+    def test_tail_spans_a_rotation(self, wal):
+        for n in range(3):
+            wal.append_commit_unit([_mutation(n)])
+        wal.rotate()
+        for n in range(3, 6):
+            wal.append_commit_unit([_mutation(n)])
+        assert _pks(list(wal.replay(after_lsn=2))) == [2, 3, 4, 5]
+        # A cursor exactly on the rotation cut reads only the new segment.
+        assert _pks(list(wal.replay(after_lsn=3))) == [3, 4, 5]
+
+    def test_tail_after_partial_truncation(self, wal):
+        for n in range(2):
+            wal.append_commit_unit([_mutation(n)])
+        cut = wal.rotate()
+        for n in range(2, 4):
+            wal.append_commit_unit([_mutation(n)])
+        wal.drop_segments_upto(cut)
+        assert _pks(list(wal.replay(after_lsn=cut))) == [2, 3]
+
+    def test_mid_segment_cursor(self, wal):
+        for n in range(6):
+            wal.append_commit_unit([_mutation(n)])
+        assert _pks(list(wal.replay(after_lsn=4))) == [4, 5]
+        assert list(wal.replay(after_lsn=6)) == []
+        assert list(wal.replay(after_lsn=100)) == []
+
+    def test_cursor_survives_reopen(self, wal, tmp_path):
+        for n in range(4):
+            wal.append_commit_unit([_mutation(n)])
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        reopened.append_commit_unit([_mutation(4)])
+        assert _pks(list(reopened.replay(after_lsn=3))) == [3, 4]
