@@ -206,7 +206,7 @@ class ReputationClient:
             )
         )
         if not isinstance(register_response, RegisterResponse):
-            raise ClientError(f"registration failed: {register_response}")
+            raise ClientError(f"registration failed: {register_response}")  # reprolint: disable=REP009 (server response object, not local credentials)
         activate_response = self._rpc(
             ActivateRequest(
                 username=self.config.username,
@@ -214,7 +214,7 @@ class ReputationClient:
             )
         )
         if isinstance(activate_response, ErrorResponse):
-            raise ClientError(f"activation failed: {activate_response}")
+            raise ClientError(f"activation failed: {activate_response}")  # reprolint: disable=REP009 (server response object, not local credentials)
         self.log_in()
 
     def log_in(self) -> None:
@@ -224,7 +224,7 @@ class ReputationClient:
             )
         )
         if not isinstance(response, LoginResponse):
-            raise ClientError(f"login failed: {response}")
+            raise ClientError(f"login failed: {response}")  # reprolint: disable=REP009 (server response object, not local credentials)
         self._session = response.session
 
     @property

@@ -91,7 +91,7 @@ class ScoreFeed:
         raw = self._client.request(encode_with(self._client.codec, request))
         response = decode_with(self._client.codec, raw)
         if not isinstance(response, SubscribeResponse):
-            raise ClientError(f"subscribe refused: {response}")
+            raise ClientError(f"subscribe refused: {response}")  # reprolint: disable=REP009 (server response object, not the session token)
         with self._lock:
             # Registered *after* the round trip: events cannot arrive for
             # a subscription id the server has not handed out yet.

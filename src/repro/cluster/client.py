@@ -158,7 +158,7 @@ class ClusterClient:
             )
             if not isinstance(register_response, RegisterResponse):
                 raise ClientError(
-                    f"shard {shard_id}: registration failed:"
+                    f"shard {shard_id}: registration failed:"  # reprolint: disable=REP009 (server response object, not local credentials)
                     f" {register_response}"
                 )
             activation = endpoint.transport.request_message(
@@ -169,7 +169,7 @@ class ClusterClient:
             )
             if isinstance(activation, ErrorResponse):
                 raise ClientError(
-                    f"shard {shard_id}: activation failed: {activation}"
+                    f"shard {shard_id}: activation failed: {activation}"  # reprolint: disable=REP009 (server response object, not local credentials)
                 )
 
     def login(self, username: str, password: str) -> None:

@@ -142,7 +142,8 @@ class FollowerApplier:
 
     def lag(self) -> int:
         """Units the leader has committed that we have not applied."""
-        return max(0, self._leader_lsn - self._applied)
+        with self._mutex:
+            return max(0, self._leader_lsn - self._applied)
 
     def fresh(self) -> bool:
         return self.lag() <= self._max_lag
@@ -289,11 +290,15 @@ class FollowerApplier:
         self._server.score_cache.clear()
 
     def stats(self) -> dict:
+        with self._mutex:
+            applied = self._applied
+            leader = self._leader_lsn
+        lag = max(0, leader - applied)
         return {
-            "applied_lsn": self._applied,
-            "leader_lsn": self._leader_lsn,
-            "lag_units": self.lag(),
-            "fresh": self.fresh(),
+            "applied_lsn": applied,
+            "leader_lsn": leader,
+            "lag_units": lag,
+            "fresh": lag <= self._max_lag,
             "units_applied": self.units_applied,
             "snapshots_installed": self.snapshots_installed,
         }

@@ -152,7 +152,7 @@ class CommentBoard:
             )
         except DuplicateKeyError:
             raise ServerError(
-                f"user {username!r} has already commented on {software_id!r}"
+                f"user has already commented on {software_id!r}"
             ) from None
         self._next_id += 1
         return self.get_comment(comment_id)
@@ -213,7 +213,7 @@ class CommentBoard:
             )
         except DuplicateKeyError:
             raise ServerError(
-                f"user {username!r} has already remarked comment {comment_id}"
+                f"user has already remarked comment {comment_id}"
             ) from None
         counter = "positive_remarks" if positive else "negative_remarks"
         current = self._comments.get(comment_id)[counter]

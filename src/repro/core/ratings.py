@@ -130,7 +130,7 @@ class RatingBook:
             )
         except DuplicateKeyError:
             raise DuplicateVoteError(
-                f"user {username!r} has already voted on {software_id!r}"
+                f"user has already voted on {software_id!r}"
             ) from None
         self._mark_dirty(software_id)
         return vote

@@ -181,7 +181,9 @@ class StreamingScorer:
     ) -> ScoreUpdate:
         if weight_sum <= 0:
             raise ValueError(
-                f"non-positive weight sum {weight_sum!r} for {software_id!r}"
+                # The sum is vote-derived (REP009): name the software, not
+                # the aggregate that tracks back to member weights.
+                f"non-positive weight sum for {software_id!r}"
             )
         return self._aggregator.publish(
             software_id,

@@ -2,24 +2,39 @@
 
 Usage::
 
-    python -m repro.lint src            # lint a tree (CI gate: exit 1 on
-                                        # any finding)
-    python -m repro.lint --list-rules   # the REP catalog
-    python -m repro.lint --select REP001,REP005 src
+    python -m repro.lint src benchmarks examples   # CI gate
+    python -m repro.lint --list-rules              # the REP catalog
+    python -m repro.lint --select REP001,REP009 src
+    python -m repro.lint --format json src         # machine-readable
+    python -m repro.lint --format github src       # ::error annotations
 
-Output is one finding per line in the classic ``path:line:col: ID
-message`` shape, sorted, plus a one-line summary on stderr so piping
-the findings stays clean.
+Exit codes draw the line the CI needs: **0** clean, **1** findings
+(the tree violates a rule), **2** broken scan (unreadable file, bad
+catalog, bad usage) — a crash must never be mistaken for "nothing to
+report".
+
+Default output is one finding per line in the classic ``path:line:col:
+ID message`` shape, sorted, plus a one-line summary on stderr so piping
+the findings stays clean.  Stale ``# reprolint: disable=`` comments are
+reported as warnings (``--strict-suppressions`` turns them into
+findings).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .engine import lint_paths
+from .dataflow.catalog import CATALOG_ENV, CatalogError, load_catalog
+from .engine import Finding, LintResult, lint_paths
 from .rules import ALL_RULES
+
+#: Exit statuses (also asserted by tests/lint/test_cli.py).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
 
 
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
@@ -28,7 +43,8 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
         description=(
             "Project-invariant static analysis: enforces the REP rules "
             "(injected time/RNG, no blocking under storage locks, no "
-            "silent excepts, codec exhaustiveness, tracked locks)."
+            "silent excepts, codec exhaustiveness, tracked locks, "
+            "whole-program privacy-taint and lock-order dataflow)."
         ),
     )
     parser.add_argument(
@@ -38,6 +54,20 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument(
         "--select", metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", dest="fmt", choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--strict-suppressions", action="store_true",
+        help="treat stale 'reprolint: disable' comments as findings",
+    )
+    parser.add_argument(
+        "--taint-catalog", metavar="PATH",
+        help="explicit taint.toml for REP009/REP012 (default: search "
+             "cwd upward, then built-in)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -55,11 +85,79 @@ def _list_rules() -> None:
             print(f"        {summary}")
 
 
+def _finding_dict(finding: Finding, kind: str) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "kind": kind,
+    }
+
+
+def _print_json(result: LintResult, stale_are_findings: bool) -> None:
+    payload = {
+        "findings": [_finding_dict(f, "finding") for f in result.findings],
+        "diagnostics": [
+            _finding_dict(f, "diagnostic") for f in result.diagnostics
+        ],
+        "stale_suppressions": [
+            _finding_dict(f, "stale-suppression")
+            for f in result.stale_suppressions
+        ],
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "strict_suppressions": stale_are_findings,
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _github_line(finding: Finding, level: str) -> str:
+    # GitHub workflow-command annotation; the message must stay one line.
+    message = finding.message.replace("%", "%25").replace(
+        "\r", "%0D").replace("\n", "%0A")
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.rule}::{message}"
+    )
+
+
+def _print_github(result: LintResult, stale_are_findings: bool) -> None:
+    for finding in result.diagnostics:
+        print(_github_line(finding, "error"))
+    for finding in result.findings:
+        print(_github_line(finding, "error"))
+    stale_level = "error" if stale_are_findings else "warning"
+    for finding in result.stale_suppressions:
+        print(_github_line(finding, stale_level))
+
+
+def _print_text(result: LintResult, stale_are_findings: bool) -> None:
+    for finding in result.diagnostics:
+        print(finding.format())
+    for finding in result.findings:
+        print(finding.format())
+    marker = "" if stale_are_findings else " (warning)"
+    for finding in result.stale_suppressions:
+        print(f"{finding.format()}{marker}")
+    summary = (
+        f"reprolint: {len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"({result.suppressed} suppressed, "
+        f"{len(result.stale_suppressions)} stale suppression"
+        f"{'' if len(result.stale_suppressions) == 1 else 's'}, "
+        f"{result.parse_errors} unparseable) "
+        f"in {result.files_checked} files"
+    )
+    print(summary, file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
     if args.list_rules:
         _list_rules()
-        return 0
+        return EXIT_CLEAN
     select = None
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
@@ -71,14 +169,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(known: {', '.join(sorted(known))})",
                 file=sys.stderr,
             )
-            return 2
-    result = lint_paths(args.paths, select=select)
-    for finding in result.findings:
-        print(finding.format())
-    summary = (
-        f"reprolint: {len(result.findings)} finding"
-        f"{'' if len(result.findings) == 1 else 's'} "
-        f"({result.suppressed} suppressed) in {result.files_checked} files"
-    )
-    print(summary, file=sys.stderr)
-    return 1 if result.findings else 0
+            return EXIT_ERROR
+    if args.taint_catalog:
+        try:
+            load_catalog(args.taint_catalog)  # fail fast on bad catalogs
+        except CatalogError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        # The REP009/REP012 rule instances load their catalog lazily;
+        # the env override is how a CLI choice reaches them.
+        import os
+        os.environ[CATALOG_ENV] = args.taint_catalog
+    try:
+        result = lint_paths(args.paths, select=select)
+    except CatalogError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.fmt == "json":
+        _print_json(result, args.strict_suppressions)
+    elif args.fmt == "github":
+        _print_github(result, args.strict_suppressions)
+    else:
+        _print_text(result, args.strict_suppressions)
+
+    if result.diagnostics:
+        return EXIT_ERROR
+    if result.findings:
+        return EXIT_FINDINGS
+    if args.strict_suppressions and result.stale_suppressions:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN

@@ -1,0 +1,51 @@
+"""Whole-program analysis under reprolint.
+
+Everything before this package was a single-module AST walk: each REP
+rule saw one file at a time and could not follow a value (or a lock)
+through a function call in another module.  The privacy invariant the
+paper stakes the whole system on — pseudonymous identities, vote keys,
+and client addresses never reach anything observable — is exactly the
+kind of property a per-file walk cannot check, because the leak is
+almost always split across a helper boundary.
+
+The package has four layers, each importable on its own:
+
+``callgraph``
+    A project-wide import/call-graph over every scanned module:
+    resolves ``repro.*`` cross-module calls, attributes methods to
+    their classes (including one level of annotation-driven typing for
+    ``self._x`` and parameters), and follows re-exports through
+    ``__init__`` modules.
+
+``catalog``
+    The source/sink/sanitizer declaration set (``taint.toml``): what
+    counts as PII, where it must never arrive, and which helpers
+    launder it (``digest_for_log``, the hash family).
+
+``taint``
+    Intra-procedural forward dataflow (assignments, f-strings, ``%``/
+    ``.format``, containers, returns) plus inter-procedural summary
+    propagation: which parameters flow to a function's return value,
+    and which parameters reach a sink *inside* the callee.  REP009 is
+    a thin shell over this.
+
+``lockgraph``
+    The static lock acquisition graph: ``create_lock()`` sites give
+    lock identities (the same names the runtime detector prints),
+    nested ``with`` scopes and cross-function calls give edges, cycles
+    give REP010 findings before the scheduler ever interleaves them.
+"""
+
+from .callgraph import ProjectGraph, module_name_for
+from .catalog import TaintCatalog, load_catalog
+from .lockgraph import LockGraph
+from .taint import TaintAnalysis
+
+__all__ = [
+    "ProjectGraph",
+    "module_name_for",
+    "TaintCatalog",
+    "load_catalog",
+    "LockGraph",
+    "TaintAnalysis",
+]

@@ -1,0 +1,285 @@
+"""The source/sink/sanitizer catalog (``taint.toml``).
+
+REP009 is only as good as its declaration of *what counts as PII* and
+*where PII must never arrive*.  Those declarations do not belong in
+rule code — they are project policy, reviewed like code but edited far
+more often — so they live in ``taint.toml`` at the repo root, and
+REP012 cross-checks every entry against the real symbol table so the
+catalog cannot silently rot.
+
+Format (a deliberately small TOML subset — tables, string arrays, and
+booleans — parsed by hand so the 3.9 CI leg needs no ``tomllib``)::
+
+    [sources]
+    parameters = ["username", "email", ...]   # taint by parameter name
+    attributes = ["username", ...]            # obj.username / row["username"]
+    calls = ["repro.core.ratings.vote_key"]   # tainted return values
+
+    [sinks]
+    logging = true                            # log.info(...) et al.
+    constructors = ["ErrorResponse"]          # message/detail arguments
+    metrics_methods = ["record", "incr"]      # on metrics-ish receivers
+    functions = ["record_exhibit"]            # exhibit/benchmark writers
+    exceptions = true                         # raise Err(f"... {pii} ...")
+
+    [sanitizers]
+    functions = ["digest_for_log", "hashlib.*", ...]
+
+Dotted sanitizer/call entries match resolved qualnames; bare names
+match the call's last path component; a trailing ``.*`` matches any
+function of that module (external modules like ``hashlib``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Environment override for the catalog location (the CLI sets this for
+#: ``--taint-catalog``; tests may too).
+CATALOG_ENV = "REPROLINT_TAINT_CATALOG"
+
+#: Default catalog filename, searched in the working directory and a few
+#: parents (reprolint runs from the repo root in CI).
+CATALOG_FILENAME = "taint.toml"
+
+
+class CatalogError(ValueError):
+    """The catalog file exists but does not parse."""
+
+
+@dataclass
+class TaintCatalog:
+    """Parsed source/sink/sanitizer declarations.
+
+    ``entry_lines`` remembers where each declared name sits in the file
+    so REP012 hygiene findings point at the exact line to fix.
+    """
+
+    source_parameters: Tuple[str, ...] = ()
+    source_attributes: Tuple[str, ...] = ()
+    source_calls: Tuple[str, ...] = ()
+    sink_logging: bool = True
+    sink_constructors: Tuple[str, ...] = ()
+    sink_metrics_methods: Tuple[str, ...] = ()
+    sink_functions: Tuple[str, ...] = ()
+    sink_exceptions: bool = True
+    sanitizers: Tuple[str, ...] = ()
+    #: Path the catalog was loaded from ("" for the built-in default).
+    path: str = ""
+    #: (section, name) -> 1-based line in the catalog file.
+    entry_lines: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def line_for(self, section: str, name: str) -> int:
+        return self.entry_lines.get((section, name), 1)
+
+    # -- matching helpers (shared by taint.py) -----------------------------
+
+    def is_sanitizer(self, qualname: Optional[str], bare_name: str) -> bool:
+        return _matches(self.sanitizers, qualname, bare_name)
+
+    def is_source_call(self, qualname: Optional[str], bare_name: str) -> bool:
+        return _matches(self.source_calls, qualname, bare_name)
+
+    def is_sink_function(self, qualname: Optional[str], bare_name: str) -> bool:
+        return _matches(self.sink_functions, qualname, bare_name)
+
+
+def _matches(entries: Tuple[str, ...], qualname: Optional[str], bare: str) -> bool:
+    for entry in entries:
+        if entry.endswith(".*"):
+            prefix = entry[:-1]  # keep the dot
+            if qualname and qualname.startswith(prefix):
+                return True
+            continue
+        if "." in entry:
+            if qualname == entry:
+                return True
+            continue
+        if bare == entry:
+            return True
+    return False
+
+
+#: The project's own policy, mirrored by /taint.toml.  Shipping the same
+#: content in code means ``lint_text`` and fixture scans behave like CI
+#: even when no catalog file is in reach.
+DEFAULT_CATALOG_TEXT = """\
+# reprolint taint catalog (REP009 sources/sinks/sanitizers; REP012 checks
+# every name below against the real symbol table).
+
+[sources]
+# Parameter names that carry PII wherever they appear.
+parameters = ["username", "email", "password", "peer_address", "session"]
+# Attribute / mapping-key names whose reads are PII no matter the object.
+attributes = ["username", "email", "vote_id", "peer_address", "serial"]
+# Functions whose return value is PII-derived.
+calls = ["repro.core.ratings.vote_key"]
+
+[sinks]
+logging = true
+constructors = ["ErrorResponse"]
+metrics_methods = ["record", "incr", "observe", "label"]
+functions = ["record_exhibit"]
+exceptions = true
+
+[sanitizers]
+functions = [
+    "repro.crypto.digests.digest_for_log",
+    "digest_for_log",
+    "repro.crypto.secrets.hash_email",
+    "repro.crypto.secrets.hash_password",
+    "repro.crypto.secrets.verify_password",
+    "hashlib.*",
+    "len", "bool", "int", "float", "isinstance", "hasattr", "type",
+]
+"""
+
+
+_SECTION_RE = re.compile(r"^\[([A-Za-z0-9_.-]+)\]\s*$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_.-]+)\s*=\s*(.*)$")
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def parse_catalog_text(text: str, path: str = "") -> TaintCatalog:
+    """Parse the TOML subset described in the module docstring."""
+    sections: Dict[str, Dict[str, object]] = {}
+    entry_lines: Dict[Tuple[str, str], int] = {}
+    current: Optional[str] = None
+    pending_key: Optional[str] = None
+    pending_values: List[str] = []
+
+    def close_array(line_no: int) -> None:
+        nonlocal pending_key
+        if pending_key is None:
+            return
+        assert current is not None
+        sections.setdefault(current, {})[pending_key] = list(pending_values)
+        pending_key = None
+        pending_values.clear()
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if pending_key is not None:
+            for match in _STRING_RE.finditer(line):
+                pending_values.append(match.group(1))
+                entry_lines[(f"{current}.{pending_key}", match.group(1))] = line_no
+            if line.rstrip().endswith("]"):
+                close_array(line_no)
+            continue
+        section_match = _SECTION_RE.match(line)
+        if section_match:
+            current = section_match.group(1)
+            sections.setdefault(current, {})
+            continue
+        key_match = _KEY_RE.match(line)
+        if key_match is None or current is None:
+            raise CatalogError(
+                f"{path or '<catalog>'}:{line_no}: cannot parse {raw!r}"
+            )
+        key, value = key_match.group(1), key_match.group(2).strip()
+        if value in ("true", "false"):
+            sections[current][key] = value == "true"
+        elif value.startswith("["):
+            values: List[str] = []
+            for match in _STRING_RE.finditer(value):
+                values.append(match.group(1))
+                entry_lines[(f"{current}.{key}", match.group(1))] = line_no
+            if value.rstrip().endswith("]"):
+                sections[current][key] = values
+            else:
+                pending_key = key
+                pending_values.extend(values)
+        else:
+            string = _STRING_RE.match(value)
+            if string is None:
+                raise CatalogError(
+                    f"{path or '<catalog>'}:{line_no}: unsupported value {value!r}"
+                )
+            sections[current][key] = string.group(1)
+            entry_lines[(f"{current}.{key}", string.group(1))] = line_no
+    if pending_key is not None:
+        raise CatalogError(f"{path or '<catalog>'}: unterminated array")
+
+    def strings(section: str, key: str) -> Tuple[str, ...]:
+        value = sections.get(section, {}).get(key, [])
+        if isinstance(value, list):
+            return tuple(str(item) for item in value)
+        return (str(value),)
+
+    def boolean(section: str, key: str, default: bool) -> bool:
+        value = sections.get(section, {}).get(key, default)
+        return bool(value)
+
+    return TaintCatalog(
+        source_parameters=strings("sources", "parameters"),
+        source_attributes=strings("sources", "attributes"),
+        source_calls=strings("sources", "calls"),
+        sink_logging=boolean("sinks", "logging", True),
+        sink_constructors=strings("sinks", "constructors"),
+        sink_metrics_methods=strings("sinks", "metrics_methods"),
+        sink_functions=strings("sinks", "functions"),
+        sink_exceptions=boolean("sinks", "exceptions", True),
+        sanitizers=strings("sanitizers", "functions"),
+        path=path,
+        entry_lines=entry_lines,
+    )
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment, honouring quoted strings."""
+    out = []
+    in_string = False
+    escaped = False
+    for char in line:
+        if escaped:
+            out.append(char)
+            escaped = False
+            continue
+        if char == "\\" and in_string:
+            out.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            break
+        out.append(char)
+    return "".join(out)
+
+
+def default_catalog() -> TaintCatalog:
+    return parse_catalog_text(DEFAULT_CATALOG_TEXT, path="")
+
+
+def load_catalog(explicit_path: Optional[str] = None) -> TaintCatalog:
+    """Resolve the catalog: explicit path → env → ./taint.toml → builtin.
+
+    The upward search is shallow (three parents) so a scan started in a
+    subdirectory of the repo still finds the root catalog, while scans
+    of throwaway fixture trees fall back to the built-in default.
+    """
+    candidates: List[str] = []
+    if explicit_path:
+        if not os.path.isfile(explicit_path):
+            raise CatalogError(f"taint catalog not found: {explicit_path}")
+        candidates.append(explicit_path)
+    env_path = os.environ.get(CATALOG_ENV)
+    if env_path:
+        candidates.append(env_path)
+    probe = os.getcwd()
+    for _ in range(4):
+        candidates.append(os.path.join(probe, CATALOG_FILENAME))
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    for candidate in candidates:
+        if os.path.isfile(candidate):
+            with open(candidate, "r", encoding="utf-8") as handle:
+                return parse_catalog_text(handle.read(), path=candidate)
+    return default_catalog()

@@ -66,6 +66,9 @@ class Module:
         self.tree = ast.parse(source, filename=path)
         #: line number -> set of suppressed rule ids (or {"all"}).
         self.suppressions = _parse_suppressions(source)
+        #: (line, rule id or "all") pairs that suppressed a finding this
+        #: run — the complement is the stale-suppression report.
+        self.suppression_hits: set = set()
 
     def matches(self, markers: Iterable[str]) -> bool:
         """Whether any path *marker* (substring of "/<rel_path>") hits."""
@@ -76,6 +79,8 @@ class Module:
         for line in (finding.line, *finding.related_lines):
             rules = self.suppressions.get(line)
             if rules and ("all" in rules or finding.rule in rules):
+                hit = finding.rule if finding.rule in rules else "all"
+                self.suppression_hits.add((line, hit))
                 return True
         return False
 
@@ -114,6 +119,9 @@ class Rule:
     only: tuple = ()
     #: True for rules that need the whole file set at once (REP004).
     project_wide = False
+    #: True for whole-program dataflow rules (REP009+): they receive the
+    #: shared :class:`AnalysisContext` so the call graph is built once.
+    project_context = False
 
     def applies_to(self, module: Module) -> bool:
         if module.matches(self.exempt):
@@ -128,6 +136,32 @@ class Rule:
     def check_project(self, modules: List[Module]) -> Iterator[Finding]:
         raise NotImplementedError
 
+    def check_context(self, context: "AnalysisContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class AnalysisContext:
+    """Everything whole-program rules share in one lint run.
+
+    The project call graph is expensive enough to build exactly once;
+    every ``project_context`` rule (REP009–REP012) reads it from here.
+    """
+
+    def __init__(self, modules: List[Module]):
+        self.modules = modules
+        self._graph = None
+
+    @property
+    def graph(self):
+        if self._graph is None:
+            from .dataflow.callgraph import ProjectGraph
+            self._graph = ProjectGraph(self.modules)
+        return self._graph
+
+
+#: Rule id used for stale-suppression reports.
+STALE_RULE_ID = "STALE"
+
 
 @dataclass
 class LintResult:
@@ -136,8 +170,15 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
-    #: Files that failed to parse, as findings with rule "REP000".
-    parse_errors: int = 0
+    #: Files that failed to parse/decode, recorded as REP000 diagnostics.
+    #: They are *not* findings: the CLI exits 2 (broken scan), not 1.
+    diagnostics: List[Finding] = field(default_factory=list)
+    #: ``# reprolint: disable=`` comments that suppressed nothing.
+    stale_suppressions: List[Finding] = field(default_factory=list)
+
+    @property
+    def parse_errors(self) -> int:
+        return len(self.diagnostics)
 
     @property
     def ok(self) -> bool:
@@ -198,8 +239,13 @@ def lint_modules(
         if wanted is None or rule.id in wanted
     ]
     result = LintResult(files_checked=len(modules))
+    context: Optional[AnalysisContext] = None
     for rule in active:
-        if rule.project_wide:
+        if rule.project_context:
+            if context is None:
+                context = AnalysisContext(list(modules))
+            candidates = list(rule.check_context(context))
+        elif rule.project_wide:
             produced = rule.check_project(
                 [m for m in modules if rule.applies_to(m)]
             )
@@ -214,7 +260,7 @@ def lint_modules(
             # Per-file rules pair findings with their module for
             # suppression lookup; normalise project findings below.
         for item in candidates:
-            if rule.project_wide:
+            if rule.project_wide or rule.project_context:
                 finding = item
                 module = _module_for(modules, finding.path)
             else:
@@ -223,8 +269,58 @@ def lint_modules(
                 result.suppressed += 1
                 continue
             result.findings.append(finding)
+    result.stale_suppressions = _stale_suppressions(
+        modules, {rule.id for rule in active}, select is not None
+    )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return result
+
+
+def _stale_suppressions(
+    modules: List[Module], active_ids: set, selected: bool
+) -> List[Finding]:
+    """Suppression comments that fired on nothing this run.
+
+    A disable comment that no longer matches any finding is debt: it
+    hides nothing today but will silently hide a real regression
+    tomorrow.  With ``--select`` only the selected rules' suppressions
+    are judged (and ``all`` never is), since the others had no chance
+    to fire.
+    """
+    stale: List[Finding] = []
+    for module in modules:
+        for line, declared in sorted(module.suppressions.items()):
+            for rule_id in sorted(declared):
+                if rule_id == "all":
+                    if selected:
+                        continue
+                    if any(hit_line == line for hit_line, _ in
+                           module.suppression_hits):
+                        continue
+                    stale.append(Finding(
+                        rule=STALE_RULE_ID,
+                        path=module.rel_path,
+                        line=line,
+                        col=0,
+                        message="suppression 'disable=all' matches no finding",
+                    ))
+                    continue
+                if rule_id not in active_ids:
+                    continue
+                if (line, rule_id) in module.suppression_hits:
+                    continue
+                stale.append(Finding(
+                    rule=STALE_RULE_ID,
+                    path=module.rel_path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"suppression of {rule_id} matches no finding — "
+                        "delete the stale disable comment"
+                    ),
+                ))
+    stale.sort(key=lambda f: (f.path, f.line, f.col))
+    return stale
 
 
 def _module_for(modules: List[Module], rel_path: str) -> Optional[Module]:
@@ -245,8 +341,10 @@ def lint_paths(
         rules = ALL_RULES
     modules, parse_errors = load_modules(paths)
     result = lint_modules(modules, rules, select)
-    result.findings.extend(parse_errors)
-    result.parse_errors = len(parse_errors)
+    # A file that does not parse (or decode) is skipped with a recorded
+    # diagnostic — the rest of the scan is still valid, but the run as a
+    # whole cannot claim the tree is clean.
+    result.diagnostics = parse_errors
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return result
 

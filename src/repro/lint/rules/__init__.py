@@ -16,6 +16,10 @@ from .rep005_raw_threading import RawThreadingRule
 from .rep006_storage_files import StorageFileAccessRule
 from .rep007_score_table_writes import ScoreTableWriteRule
 from .rep008_replication_streams import ReplicationStreamRule
+from .rep009_privacy_taint import PrivacyTaintRule
+from .rep010_lock_order import StaticLockOrderRule
+from .rep011_unguarded_shared_state import UnguardedSharedStateRule
+from .rep012_catalog_hygiene import CatalogHygieneRule
 
 ALL_RULES = (
     WallClockRule(),
@@ -26,6 +30,10 @@ ALL_RULES = (
     StorageFileAccessRule(),
     ScoreTableWriteRule(),
     ReplicationStreamRule(),
+    PrivacyTaintRule(),
+    StaticLockOrderRule(),
+    UnguardedSharedStateRule(),
+    CatalogHygieneRule(),
 )
 
 __all__ = [
@@ -38,4 +46,8 @@ __all__ = [
     "StorageFileAccessRule",
     "ScoreTableWriteRule",
     "ReplicationStreamRule",
+    "PrivacyTaintRule",
+    "StaticLockOrderRule",
+    "UnguardedSharedStateRule",
+    "CatalogHygieneRule",
 ]

@@ -50,7 +50,9 @@ _RANDOM_ATTRS = frozenset({
 class WallClockRule(Rule):
     id = "REP001"
     title = "wall clock / process-global randomness outside clock.py and crypto/"
-    exempt = ("/clock.py", "/crypto/")
+    #: Benchmarks measure real elapsed time by design — that is their
+    #: whole job — so the harness files are exempt wholesale.
+    exempt = ("/clock.py", "/crypto/", "/bench_", "/exhibits.py")
 
     def check(self, module: Module) -> Iterator[Finding]:
         banned_bare = _banned_bare_names(module.tree)

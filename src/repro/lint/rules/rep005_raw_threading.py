@@ -38,7 +38,9 @@ _HINTS = {
 class RawThreadingRule(Rule):
     id = "REP005"
     title = "raw threading primitives outside storage/locks.py and net/"
-    exempt = ("/storage/locks.py", "/net/")
+    #: Benchmarks drive real OS threads against the server on purpose
+    #: (the contention IS the measurement), so the harness is exempt.
+    exempt = ("/storage/locks.py", "/net/", "/bench_", "/exhibits.py")
 
     def check(self, module: Module) -> Iterator[Finding]:
         imported = _imported_primitives(module.tree)

@@ -1,0 +1,68 @@
+"""REP009 — PII never reaches an observable sink unsanitized.
+
+The paper's core promise (Sec. 3.2) is that the reputation system
+stores and exposes *nothing* that links a vote to a person: the server
+keeps a username, hashed password, and hashed e-mail, full stop.  The
+code honours that in the schema — but a schema audit says nothing
+about *flows*: a username interpolated into a log line, a client
+address in an exception message that becomes an ``ErrorResponse``
+detail, a vote key written into a benchmark exhibit — each is the same
+privacy breach through a side door, and each historically arrived via
+a helper function two modules away from the sink.
+
+This rule runs the whole-program taint analysis
+(:mod:`repro.lint.dataflow.taint`): values originating at catalog
+sources (``taint.toml``: ``username``/``email`` parameters, attribute
+reads like ``ctx.username``, ``vote_key()`` returns) are tracked
+through assignments, f-strings/``%``/``.format``, containers, returns,
+and cross-module calls, and flagged when they reach logging calls,
+``Metrics`` label arguments, ``ErrorResponse`` messages, exception
+text, or exhibit writers — unless a registered sanitizer
+(``digest_for_log``, the hash family) cleared them on the way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..dataflow.catalog import TaintCatalog, load_catalog
+from ..dataflow.taint import TaintAnalysis
+from ..engine import AnalysisContext, Finding, Rule
+
+
+class PrivacyTaintRule(Rule):
+    id = "REP009"
+    title = "PII reaches a log/metrics/error/exhibit sink unsanitized"
+    project_context = True
+    #: The analysis layer itself manipulates "source"/"username" etc. as
+    #: *data about code*, and tests stage deliberate leaks.
+    exempt = ("/lint/", "/tests/")
+
+    def __init__(self, catalog: Optional[TaintCatalog] = None):
+        #: Injected catalog (tests); None means resolve per run, so the
+        #: shared ALL_RULES instance honours env/cwd changes between runs.
+        self._catalog = catalog
+
+    def check_context(self, context: AnalysisContext) -> Iterator[Finding]:
+        catalog = self._catalog if self._catalog is not None else load_catalog()
+        analysis = TaintAnalysis(context.graph, catalog)
+        for raw in analysis.run():
+            if self._exempt_path(raw.path):
+                continue
+            detail = f" ({raw.detail})" if raw.detail else ""
+            yield Finding(
+                rule=self.id,
+                path=raw.path,
+                line=raw.line,
+                col=raw.col,
+                message=(
+                    f"PII-tainted value '{raw.label}' reaches "
+                    f"{raw.description}{detail} — pass it through "
+                    "digest_for_log() or a registered sanitizer, or keep "
+                    "it out of the message"
+                ),
+            )
+
+    def _exempt_path(self, rel_path: str) -> bool:
+        probe = "/" + rel_path
+        return any(marker in probe for marker in self.exempt)

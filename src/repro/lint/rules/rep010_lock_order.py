@@ -1,0 +1,66 @@
+"""REP010 — no cycles in the static lock acquisition graph.
+
+The runtime detector (DESIGN §9) catches an A→B / B→A inversion the
+first time the suite *executes* both orders; a cycle on a path no test
+walks ships anyway.  This rule rebuilds the same acquisition graph
+statically — ``create_lock()``/``create_rlock()``/``ReadWriteLock()``
+construction sites give the nodes (under the very names the runtime
+detector prints), nested ``with`` scopes give direct edges, and calls
+made while a lock is held pull in every lock the callee may
+transitively acquire — then flags any cycle.
+
+A flagged cycle means two code paths can hold the same two locks in
+opposite orders; whether the scheduler has ever interleaved them is
+luck.  Fix by ordering the acquisitions consistently, or suppress on
+the reported ``with`` line with a comment explaining why the orders
+can never actually overlap (e.g. one path is init-only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dataflow.lockgraph import LockGraph
+from ..engine import AnalysisContext, Finding, Rule
+
+
+class StaticLockOrderRule(Rule):
+    id = "REP010"
+    title = "static lock-order cycle (potential deadlock)"
+    #: locks.py implements the primitives (its internal mutex/condvar
+    #: choreography is the detector's own); tests stage inversions.
+    exempt = ("/storage/locks.py", "/tests/")
+
+    project_context = True
+
+    def check_context(self, context: AnalysisContext) -> Iterator[Finding]:
+        lock_graph = LockGraph(context.graph)
+        for cycle in lock_graph.cycles():
+            anchor = min(cycle, key=lambda e: (e.path, e.line))
+            if self._exempt_path(anchor.path):
+                continue
+            order = " -> ".join(
+                [edge.held for edge in cycle] + [cycle[0].held]
+            )
+            details = "; ".join(edge.describe() for edge in cycle)
+            related = tuple(
+                edge.line for edge in cycle
+                if edge.path == anchor.path and edge.line != anchor.line
+            )
+            yield Finding(
+                rule=self.id,
+                path=anchor.path,
+                line=anchor.line,
+                col=0,
+                message=(
+                    f"lock-order cycle {order}: {details} — two paths can "
+                    "hold these locks in opposite orders (the runtime "
+                    "detector uses the same lock names); make the "
+                    "acquisition order consistent"
+                ),
+                related_lines=related,
+            )
+
+    def _exempt_path(self, rel_path: str) -> bool:
+        probe = "/" + rel_path
+        return any(marker in probe for marker in self.exempt)

@@ -9,7 +9,7 @@ system owner."*
 The model keeps the property that matters — **unlinkability of origin** —
 without onion cryptography: a :class:`Circuit` is a chain of relay
 endpoints, each of which forwards the request while replacing the visible
-source address with its own, so the destination handler only ever sees
+peer_address address with its own, so the destination handler only ever sees
 the exit relay.  Each hop pays the network's latency, reproducing Tor's
 real trade-off (privacy versus response time), which the E8/E6 latency
 accounting can expose.
@@ -65,7 +65,7 @@ class AnonymityNetwork:
             raise CircuitError(f"relay {address!r} already exists")
         # Relays are pass-through hosts; they never originate traffic
         # themselves, so the handler only matters for direct probes.
-        self._network.register(address, lambda source, payload: b"")
+        self._network.register(address, lambda peer_address, payload: b"")
         self._relays.append(address)
 
     @property
@@ -87,19 +87,19 @@ class AnonymityNetwork:
     def request(
         self,
         circuit: Circuit,
-        source: str,
+        peer_address: str,
         destination: str,
         payload: bytes,
     ) -> bytes:
         """Send *payload* through *circuit*; the server sees the exit only.
 
         Each hop is a real network delivery (paying latency and exposed to
-        loss); the visible source of the final hop is the exit relay.
+        loss); the visible peer_address of the final hop is the exit relay.
         """
         for relay in circuit.relays:
             if not self._network.is_registered(relay):
                 raise CircuitError(f"relay {relay!r} has left the network")
-        previous = source
+        previous = peer_address
         # Walk the chain: each relay receives the payload from `previous`.
         for relay in circuit.relays:
             self._network.request(previous, relay, payload)

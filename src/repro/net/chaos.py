@@ -481,7 +481,7 @@ class ChaosNetwork:
         self._network = network
         self.schedule = schedule
 
-    def request(self, source: str, destination: str, payload: bytes) -> bytes:
+    def request(self, peer_address: str, destination: str, payload: bytes) -> bytes:
         fault = self.schedule.next_fault("connect")
         if fault.kind == "refuse":
             raise EndpointUnreachableError(
@@ -493,7 +493,7 @@ class ChaosNetwork:
             )
         if fault.kind == "delay" and fault.delay and self._network.clock is not None:
             self._network.clock.advance(int(fault.delay))
-        response = self._network.request(source, destination, payload)
+        response = self._network.request(peer_address, destination, payload)
         if fault.kind == "lost_reply":
             raise MessageDroppedError(
                 f"chaos: reply from {destination!r} lost after delivery"

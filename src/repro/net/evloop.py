@@ -220,7 +220,7 @@ class _Loop:
         try:
             sock.setblocking(False)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            source = sock.getpeername()[0]
+            peer_address = sock.getpeername()[0]
         except OSError:
             sock.close()
             return
@@ -236,7 +236,7 @@ class _Loop:
         connection = _Connection(
             sock,
             ConnectionProtocol(
-                source=source,
+                peer_address=peer_address,
                 handler=self.server.app_handler,
                 codec_aware=self.server.codec_aware,
                 push_sender=send_push if self.server.push_aware else None,
@@ -378,7 +378,7 @@ class _Loop:
 
 
 class EventLoopServer:
-    """Serve a ``(source, bytes) -> bytes`` handler on N event loops.
+    """Serve a ``(peer_address, bytes) -> bytes`` handler on N event loops.
 
     Drop-in interface-compatible with
     :class:`~repro.net.tcp.TcpTransportServer` (``start``/``stop``/

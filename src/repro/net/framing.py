@@ -43,6 +43,7 @@ import socket
 import struct
 from typing import Callable, Iterator, Optional
 
+from ..crypto.digests import digest_for_log
 from ..errors import FrameError
 
 log = logging.getLogger("repro.net")
@@ -229,7 +230,7 @@ def handler_accepts_codec(handler: Callable) -> bool:
 
     Transports probe once at construction: a codec-aware application
     (the server pipeline) gets the negotiated name per request, while a
-    plain ``(source, bytes) -> bytes`` callable keeps working and pins
+    plain ``(peer_address, bytes) -> bytes`` callable keeps working and pins
     its connections to XML.
     """
     try:
@@ -277,10 +278,10 @@ class PushChannel:
     that as delivery failure.
     """
 
-    __slots__ = ("source", "_protocol", "_send")
+    __slots__ = ("peer_address", "_protocol", "_send")
 
-    def __init__(self, source: str, protocol: "ConnectionProtocol", send: Callable):
-        self.source = source
+    def __init__(self, peer_address: str, protocol: "ConnectionProtocol", send: Callable):
+        self.peer_address = peer_address
         self._protocol = protocol
         self._send = send
 
@@ -322,12 +323,12 @@ class ConnectionProtocol:
     negotiated codec — the same guarantee on both transports.
     """
 
-    __slots__ = ("source", "codec", "extended", "push", "_handler",
+    __slots__ = ("peer_address", "codec", "extended", "push", "_handler",
                  "_codec_aware", "_push_aware", "_first")
 
     def __init__(
         self,
-        source: str,
+        peer_address: str,
         handler: Callable,
         codec_aware: bool,
         push_sender: Optional[Callable] = None,
@@ -337,14 +338,14 @@ class ConnectionProtocol:
         # here, not per request (respond() is the transports' hot path).
         from ..protocol import DEFAULT_CODEC
 
-        self.source = source
+        self.peer_address = peer_address
         self.codec = DEFAULT_CODEC
         self.extended = False
         self._handler = handler
         self._codec_aware = codec_aware
         self._push_aware = push_aware and push_sender is not None
         self.push: Optional[PushChannel] = (
-            PushChannel(source, self, push_sender)
+            PushChannel(peer_address, self, push_sender)
             if self._push_aware
             else None
         )
@@ -372,13 +373,13 @@ class ConnectionProtocol:
         try:
             if self._codec_aware and self._push_aware:
                 return self._handler(
-                    self.source, body, codec=self.codec, push=self.push
+                    self.peer_address, body, codec=self.codec, push=self.push
                 )
             if self._codec_aware:
-                return self._handler(self.source, body, codec=self.codec)
+                return self._handler(self.peer_address, body, codec=self.codec)
             if self._push_aware:
-                return self._handler(self.source, body, push=self.push)
-            return self._handler(self.source, body)
+                return self._handler(self.peer_address, body, push=self.push)
+            return self._handler(self.peer_address, body)
         except Exception:
             from ..protocol import ErrorResponse, encode_with
 
@@ -386,8 +387,8 @@ class ConnectionProtocol:
             # escapes is a bug in the application layer.  Answer instead
             # of silently killing the connection.
             log.exception(
-                "application handler failed for %s; connection survives",
-                self.source,
+                "application handler failed for peer %s; connection survives",
+                digest_for_log(self.peer_address),
             )
             return encode_with(
                 self.codec,

@@ -9,7 +9,7 @@ event-loop transport (:mod:`repro.net.evloop`) — this server stays the
 simple reference implementation, the event loop is the one that scales.
 
 The server sees the peer's host address (without the ephemeral port) as
-the request ``source``, matching the semantics of the simulated network:
+the request ``peer_address``, matching the semantics of the simulated network:
 per-origin flood control keys on the host, and anonymising proxies would
 hide it, exactly as Sec. 2.2 describes.
 """
@@ -83,7 +83,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
 
     def handle(self) -> None:
         protocol = ConnectionProtocol(
-            source=self.client_address[0],
+            peer_address=self.client_address[0],
             handler=self.server.app_handler,
             codec_aware=self.server.codec_aware,
             push_sender=self._send_push,
@@ -110,7 +110,7 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
 
 
 class TcpTransportServer(socketserver.ThreadingTCPServer):
-    """Serve a ``(source, bytes) -> bytes`` handler over real TCP.
+    """Serve a ``(peer_address, bytes) -> bytes`` handler over real TCP.
 
     >>> server = TcpTransportServer(reputation_server.handle_bytes)
     >>> server.start()

@@ -106,7 +106,7 @@ class Network:
 
     # -- delivery ----------------------------------------------------------------
 
-    def request(self, source: str, destination: str, payload: bytes) -> bytes:
+    def request(self, peer_address: str, destination: str, payload: bytes) -> bytes:
         """Deliver *payload* and return the endpoint's response.
 
         Raises :class:`EndpointUnreachableError` for unknown destinations
@@ -122,7 +122,9 @@ class Network:
         if self.loss_probability and self._rng.random() < self.loss_probability:
             self.stats.dropped += 1
             raise MessageDroppedError(
-                f"message from {source!r} to {destination!r} was lost"
+                # Simulated in-process network: addresses are synthetic
+                # node names, not real peers.
+                f"message from {peer_address!r} to {destination!r} was lost"  # reprolint: disable=REP009 (synthetic addresses)
             )
         latency_ms = self.latency.sample(self._rng)
         self.stats.total_latency_ms += latency_ms
@@ -130,6 +132,6 @@ class Network:
             # Round-trips shorter than a second truncate to no advance;
             # the clock models community time, not packet time.
             self.clock.advance(int(latency_ms / 1000.0))
-        response = endpoint.handler(source, payload)
+        response = endpoint.handler(peer_address, payload)
         self.stats.bytes_received += len(response)
         return response

@@ -125,7 +125,9 @@ class AccountManager:
         if not password or len(password) < 4:
             raise RegistrationError("password must be at least 4 characters")
         if "@" not in email or email.startswith("@") or email.endswith("@"):
-            raise RegistrationError(f"invalid e-mail address {email!r}")
+            # The address is the requester's own input: refuse without echoing
+            # it into the wire-visible error detail (REP009).
+            raise RegistrationError("invalid e-mail address")
         email_digest = hash_email(email, self._pepper)
         salt = self._rng.getrandbits(128).to_bytes(16, "big")
         token = self._rng.getrandbits(128).to_bytes(16, "big").hex()
@@ -148,7 +150,7 @@ class AccountManager:
                     "an account already exists for this e-mail address"
                 ) from None
             raise DuplicateAccountError(
-                f"username {username!r} is taken"
+                "username is taken"
             ) from None
         return token
 
@@ -201,7 +203,7 @@ class AccountManager:
             )
         except DuplicateKeyError:
             raise DuplicateAccountError(
-                f"username {username!r} is taken"
+                "username is taken"
             ) from None
         self._serials.insert(
             {"serial_hash": serial_hash, "username": username}
@@ -211,7 +213,7 @@ class AccountManager:
         """Confirm the e-mail address with the mailed token."""
         row = self._table.get_or_none(username)
         if row is None:
-            raise ActivationError(f"no account named {username!r}")
+            raise ActivationError("no such account")
         if row["active"]:
             raise ActivationError("account is already active")
         if row["activation_token_hash"] != _token_hash(token):

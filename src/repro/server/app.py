@@ -271,7 +271,7 @@ class ReputationServer:
 
     def handle_bytes(
         self,
-        source: str,
+        peer_address: str,
         payload: bytes,
         codec: str = DEFAULT_CODEC,
         push=None,
@@ -289,11 +289,11 @@ class ReputationServer:
         the same way (:func:`~repro.net.framing.handler_accepts_push`).
         Subscribe requests are refused when it is absent.
         """
-        return self.pipeline.run(source, payload, codec=codec, push=push)
+        return self.pipeline.run(peer_address, payload, codec=codec, push=push)
 
-    def handle(self, source: str, request: object):
+    def handle(self, peer_address: str, request: object):
         """Handle one decoded request; always returns a message."""
-        return self.pipeline.run_message(source, request)
+        return self.pipeline.run_message(peer_address, request)
 
     def pipeline_stats(self) -> dict:
         """Instrumentation snapshot: per-type counts, error codes,
@@ -306,7 +306,7 @@ class ReputationServer:
     # -- account lifecycle ----------------------------------------------------
 
     def _handle_puzzle(self, ctx: RequestContext):
-        puzzle = self.puzzles.issue(origin=ctx.source, now=self.clock.now())
+        puzzle = self.puzzles.issue(origin=ctx.peer_address, now=self.clock.now())
         return PuzzleResponse(nonce=puzzle.nonce, difficulty=puzzle.difficulty)
 
     def _handle_register(self, ctx: RequestContext):

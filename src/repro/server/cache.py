@@ -172,7 +172,9 @@ class ScoreResponseCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
+        # Monotonic counters read for diagnostics; a torn ratio is
+        # harmless and not worth a lock round-trip per stats call.
+        total = self.hits + self.misses  # reprolint: disable=REP011 (benign)
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:

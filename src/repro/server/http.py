@@ -51,8 +51,8 @@ class HttpGateway:
 
     # -- the endpoint handler ----------------------------------------------
 
-    def handle(self, source: str, payload: bytes) -> bytes:
-        """``(source, request bytes) -> response bytes`` for Network."""
+    def handle(self, peer_address: str, payload: bytes) -> bytes:
+        """``(peer_address, request bytes) -> response bytes`` for Network."""
         self.requests_served += 1
         try:
             request_line = payload.split(b"\r\n", 1)[0].decode("ascii")
@@ -92,10 +92,10 @@ class HttpGateway:
         return _response(404, "<h1>No such page</h1>")
 
 
-def http_get(network, source: str, gateway_address: str, target: str) -> tuple:
+def http_get(network, peer_address: str, gateway_address: str, target: str) -> tuple:
     """Client-side helper: fetch *target*; returns ``(status, body)``."""
     raw = network.request(
-        source, gateway_address, f"GET {target} HTTP/1.0\r\n\r\n".encode("ascii")
+        peer_address, gateway_address, f"GET {target} HTTP/1.0\r\n\r\n".encode("ascii")
     )
     head, __, body = raw.partition(b"\r\n\r\n")
     status_line = head.split(b"\r\n", 1)[0].decode("ascii")

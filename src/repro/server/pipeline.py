@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..clock import perf_now
+from ..crypto.digests import digest_for_log
 from ..storage.locks import create_lock
 from ..errors import (
     AccountNotActiveError,
@@ -77,7 +78,7 @@ ERROR_CODE_MAP: tuple = (
 class RequestContext:
     """Everything one request accumulates on its way through the chain."""
 
-    source: str
+    peer_address: str
     request_id: int = 0
     #: The connection's negotiated wire codec ("xml" unless the
     #: transport's HELLO negotiation picked another format).
@@ -200,9 +201,9 @@ class ErrorMiddleware(Middleware):
             # Unmapped means a bug, not hostile input: keep the stack
             # (REP003 — an over-broad except must not swallow silently).
             log.exception(
-                "unmapped exception handling %s from %s",
+                "unmapped exception handling %s from peer %s",
                 ctx.message_type,
-                ctx.source,
+                digest_for_log(ctx.peer_address),
             )
             ctx.response = ErrorResponse(
                 code=E_SERVER,
@@ -249,7 +250,7 @@ class RateLimitMiddleware(Middleware):
 
     def __call__(self, ctx: RequestContext, call_next: Callable[[], None]) -> None:
         if isinstance(ctx.request, self.message_types):
-            self._limiter.check(ctx.source, self._clock.now())
+            self._limiter.check(ctx.peer_address, self._clock.now())
         call_next()
 
 
@@ -348,14 +349,14 @@ class Pipeline:
 
     def run(
         self,
-        source: str,
+        peer_address: str,
         payload: bytes,
         codec: str = DEFAULT_CODEC,
         push: Optional[object] = None,
     ) -> bytes:
         """The wire entry point: encoded bytes in, encoded bytes out."""
         ctx = RequestContext(
-            source=source,
+            peer_address=peer_address,
             request_id=next(self._request_ids),
             codec=codec,
             raw_request=payload,
@@ -366,14 +367,14 @@ class Pipeline:
         assert ctx.raw_response is not None
         return ctx.raw_response
 
-    def run_message(self, source: str, request: object) -> object:
+    def run_message(self, peer_address: str, request: object) -> object:
         """In-process entry point: decoded message in, message out.
 
         Runs the same chain minus the wire-only stages (the codec).
         """
         chain = [m for m in self.middlewares if not m.wire_only]
         ctx = RequestContext(
-            source=source,
+            peer_address=peer_address,
             request_id=next(self._request_ids),
             request=request,
             started=perf_now(),

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..crypto.digests import digest_for_log
 from ..errors import RateLimitExceededError
 from ..storage.locks import create_lock
 
@@ -71,8 +72,11 @@ class RateLimiter:
                 self._buckets[key] = bucket
             if not bucket.try_consume(now, amount):
                 self.rejections += 1
+                # Keys are usernames or peer addresses: digest them so the
+                # error (wire-visible via ErrorResponse.detail) stays
+                # correlatable without naming the principal.
                 raise RateLimitExceededError(
-                    f"rate limit exceeded for {key!r}"
+                    f"rate limit exceeded for {digest_for_log(key)}"
                 )
 
     def allowed(self, key: Any, now: int, amount: float = 1.0) -> bool:

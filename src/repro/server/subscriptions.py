@@ -253,7 +253,8 @@ class SubscriptionRegistry:
         """Stop the dispatcher (flushing what it can) and drop everyone."""
         self._stopping.set()
         self._wake.set()
-        dispatcher = self._dispatcher
+        with self._lock:
+            dispatcher = self._dispatcher
         if dispatcher is not None:
             dispatcher.join(timeout=5.0)
         with self._lock:

@@ -300,7 +300,9 @@ class Database:
     @property
     def last_checkpoint_error(self) -> Optional[BaseException]:
         """The background checkpointer's last failure, if any."""
-        checkpointer = self._checkpointer
+        # Set once under the engine lock, never reset: a stale None here
+        # only delays the first error report by one call.
+        checkpointer = self._checkpointer  # reprolint: disable=REP011 (benign)
         return checkpointer.last_error if checkpointer is not None else None
 
     def wal_size_bytes(self) -> int:
@@ -326,7 +328,7 @@ class Database:
             raise StorageError("recover() requires a durable database")
         # Snapshot/WAL reads must happen under the exclusive section:
         # recovery rebuilds table state and nothing may observe it torn.
-        with self._lock.write_locked():  # reprolint: disable=REP002
+        with self._lock.write_locked():
             if self._transaction is not None:
                 raise TransactionError("cannot recover inside a transaction")
             applied = 0
@@ -491,7 +493,7 @@ class Database:
 
     def _checkpoint_binary(self) -> None:
         # Consistent cut: everyone's committed, nobody's mid-unit.
-        with self._lock.write_locked():  # reprolint: disable=REP002
+        with self._lock.write_locked():
             if self._transaction is not None:
                 raise TransactionError("cannot checkpoint inside a transaction")
             cut_lsn = self._wal.rotate()
@@ -525,7 +527,7 @@ class Database:
         # holes fixed: tmp + fsync + replace + dir fsync, and the WAL is
         # truncated (durably) only after the snapshot rename is on disk
         # — snapshot-durable-before-truncate.
-        with self._lock.write_locked():  # reprolint: disable=REP002
+        with self._lock.write_locked():  # reprolint: disable=REP002 (legacy stop-the-world checkpoint: I/O under the lock is the protocol)
             if self._transaction is not None:
                 raise TransactionError("cannot checkpoint inside a transaction")
             snapshot = {

@@ -232,7 +232,8 @@ class WriteAheadLog:
     def active_path(self) -> Optional[str]:
         """The segment currently being appended to (``None`` before the
         first append after open/rotate)."""
-        return self._active_path
+        with self._buffer_lock:
+            return self._active_path
 
     def _segment_files(self) -> List[str]:
         try:
@@ -527,7 +528,7 @@ class WriteAheadLog:
             self._legacy_units = synthetic
         for path in self._segment_files():
             units, torn = self._parse_segment(path)
-            if path != self._active_path:
+            if path != self._active_path:  # reprolint: disable=REP011 (recovery runs single-threaded, before appenders start)
                 self._segment_last_lsn[path] = (
                     units[-1][0] if units else 0
                 )

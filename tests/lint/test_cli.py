@@ -1,8 +1,14 @@
 """The reprolint CLI: exit codes, output shape, selection, and the
-self-check that the real tree stays clean (the CI gate's contract)."""
+self-check that the real tree stays clean (the CI gate's contract).
+
+Exit-code contract: 0 = clean, 1 = findings, 2 = broken scan (a file
+that does not parse, a bad catalog, bad usage) — a crash must never be
+mistaken for "nothing to report".
+"""
 
 from __future__ import annotations
 
+import json
 import pathlib
 import subprocess
 import sys
@@ -12,6 +18,8 @@ from repro.lint.cli import main
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src"
+BENCHMARKS = REPO_ROOT / "benchmarks"
+EXAMPLES = REPO_ROOT / "examples"
 
 
 def test_clean_file_exits_zero(tmp_path, capsys):
@@ -50,10 +58,129 @@ def test_unknown_select_rejected(capsys):
     assert "unknown rule ids" in capsys.readouterr().err
 
 
-def test_parse_error_is_a_finding(tmp_path, capsys):
-    (tmp_path / "broken.py").write_text("def oops(:\n")
-    assert main([str(tmp_path)]) == 1
-    assert "REP000" in capsys.readouterr().out
+class TestBrokenScanExitsTwo:
+    """Unparseable input is a diagnostic, not a finding."""
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        assert main([str(tmp_path)]) == 2
+        out = capsys.readouterr()
+        assert "REP000" in out.out
+        assert "1 unparseable" in out.err
+
+    def test_rest_of_scan_still_reported(self, tmp_path, capsys):
+        """One broken file does not hide the other files' findings."""
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        target = tmp_path / "server"
+        target.mkdir()
+        (target / "bad.py").write_text("import time\nx = time.time()\n")
+        assert main([str(tmp_path)]) == 2  # broken scan wins over findings
+        out = capsys.readouterr().out
+        assert "REP000" in out
+        assert "REP001" in out
+
+    def test_non_utf8_file_is_a_diagnostic(self, tmp_path, capsys):
+        (tmp_path / "binary.py").write_bytes(b"\xff\xfe\x00junk")
+        assert main([str(tmp_path)]) == 2
+        assert "REP000" in capsys.readouterr().out
+
+    def test_engine_records_diagnostics_not_findings(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        result = lint_paths([str(tmp_path)])
+        assert result.findings == []
+        assert result.parse_errors == 1
+        assert result.diagnostics[0].rule == "REP000"
+
+
+class TestOutputFormats:
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "server"
+        target.mkdir()
+        (target / "bad.py").write_text("import time\nx = time.time()\n")
+        assert main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["path"].endswith("server/bad.py")
+        assert finding["line"] == 2
+        assert payload["diagnostics"] == []
+        assert payload["stale_suppressions"] == []
+
+    def test_json_carries_diagnostics(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        assert main(["--format", "json", str(tmp_path)]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["diagnostics"][0]["rule"] == "REP000"
+
+    def test_github_format(self, tmp_path, capsys):
+        target = tmp_path / "server"
+        target.mkdir()
+        (target / "bad.py").write_text("import time\nx = time.time()\n")
+        assert main(["--format", "github", str(tmp_path)]) == 1
+        line = capsys.readouterr().out.splitlines()[0]
+        assert line.startswith("::error file=")
+        assert "title=REP001" in line
+        assert ",line=2," in line
+
+    def test_github_escapes_newlines(self, tmp_path, capsys):
+        """Workflow commands are line-oriented; messages must stay one."""
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        assert main(["--format", "github", str(tmp_path)]) == 2
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            assert line.startswith("::")
+
+
+class TestStaleSuppressions:
+    def test_stale_suppression_is_a_warning(self, tmp_path, capsys):
+        target = tmp_path / "server"
+        target.mkdir()
+        (target / "ok.py").write_text(
+            "VALUE = 1  # reprolint: disable=REP001\n"
+        )
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr()
+        assert "STALE" in out.out
+        assert "(warning)" in out.out
+        assert "1 stale suppression" in out.err
+
+    def test_strict_suppressions_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "server"
+        target.mkdir()
+        (target / "ok.py").write_text(
+            "VALUE = 1  # reprolint: disable=REP001\n"
+        )
+        assert main(["--strict-suppressions", str(tmp_path)]) == 1
+
+    def test_live_suppression_is_not_stale(self, tmp_path, capsys):
+        target = tmp_path / "server"
+        target.mkdir()
+        (target / "ok.py").write_text(
+            "import time\nx = time.time()  # reprolint: disable=REP001\n"
+        )
+        assert main(["--strict-suppressions", str(tmp_path)]) == 0
+        assert "STALE" not in capsys.readouterr().out
+
+    def test_select_skips_other_rules_suppressions(self, tmp_path, capsys):
+        """A REP005 disable is not judged by a REP001-only run."""
+        target = tmp_path / "server"
+        target.mkdir()
+        (target / "ok.py").write_text(
+            "VALUE = 1  # reprolint: disable=REP005\n"
+        )
+        assert main(
+            ["--select", "REP001", "--strict-suppressions", str(tmp_path)]
+        ) == 0
+
+
+def test_bad_taint_catalog_exits_two(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    assert main(
+        ["--taint-catalog", str(tmp_path / "missing.toml"), str(tmp_path)]
+    ) == 2
+    assert "taint catalog" in capsys.readouterr().err
 
 
 def test_list_rules_names_whole_catalog(capsys):
@@ -73,12 +200,19 @@ def test_module_entry_point_runs():
     )
     assert proc.returncode == 0
     assert "REP001" in proc.stdout
+    assert "REP012" in proc.stdout
 
 
 def test_real_tree_is_clean():
-    """Acceptance criterion: ``python -m repro.lint src`` exits 0."""
-    result = lint_paths([str(SRC)])
+    """Acceptance criterion: ``python -m repro.lint src benchmarks
+    examples`` exits 0 — REP009–REP012 included, zero unexplained
+    suppressions."""
+    result = lint_paths([str(SRC), str(BENCHMARKS), str(EXAMPLES)])
     assert result.findings == [], "\n".join(
         finding.format() for finding in result.findings
+    )
+    assert result.parse_errors == 0
+    assert result.stale_suppressions == [], "\n".join(
+        finding.format() for finding in result.stale_suppressions
     )
     assert result.files_checked > 80

@@ -144,13 +144,13 @@ class TestInstrumentation:
 class TestHandlerRegistry:
     def test_dispatch_unknown_type(self):
         registry = HandlerRegistry()
-        ctx = RequestContext(source="host", request=PuzzleRequest())
+        ctx = RequestContext(peer_address="host", request=PuzzleRequest())
         registry.dispatch(ctx)
         assert isinstance(ctx.response, ErrorResponse)
         assert ctx.response.code == E_BAD_REQUEST
 
     def test_message_type_of_undecoded_context(self):
-        ctx = RequestContext(source="host")
+        ctx = RequestContext(peer_address="host")
         assert ctx.message_type == "<undecodable>"
 
 
