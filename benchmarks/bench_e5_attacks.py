@@ -23,3 +23,32 @@ def test_e5_attacks(benchmark):
     )
     assert abs(full["defamation_displacement"]) < 0.5
     assert outcomes["vote_flood"]["votes_accepted"] == 1
+
+
+def test_e5v2_detection_lift(benchmark):
+    """E5v2 — the PR 10 detection-lift matrix.
+
+    Three scripted adversaries (vote ring, slow-burn Sybil, review
+    burst) against the linear baseline, the Bayesian ledger, and the
+    Bayesian ledger with the collusion pass.  Shape: bayesian+collusion
+    neutralizes every scenario strictly faster and ends with strictly
+    lower final-score error than the paper's linear trust factor.
+    """
+    from repro.analysis.experiments import run_e5v2_detection_lift
+
+    result = run_once(benchmark, run_e5v2_detection_lift, seed=23)
+    record_exhibit(
+        "E5v2: detection lift — attacks vs trust models",
+        result["rendered"],
+        stem="E5v2",
+    )
+    for attack, cells in result["outcomes"].items():
+        linear = cells["linear"]
+        combo = cells["bayesian+collusion"]
+        assert combo["flags"] > 0, f"{attack}: collusion pass raised no flags"
+        assert combo["final_error"] < linear["final_error"], attack
+        assert combo["neutralize_day"] is not None, attack
+        assert (
+            linear["neutralize_day"] is None
+            or combo["neutralize_day"] < linear["neutralize_day"]
+        ), attack

@@ -22,3 +22,26 @@ def test_e6_countermeasures(benchmark):
     assert outcomes["reputation system"].get(grey, 0.0) > 0.25
     assert outcomes["antivirus"].get("malware", 0.0) > 0.5
     assert outcomes["reputation system"].get("legitimate", 1.0) < 0.15
+
+
+def test_e6v2_trust_countermeasures(benchmark):
+    """E6v2 — the slow-burn Sybil traced day-by-day per trust model.
+
+    The linear model's blind spot: age is free, so the patient squad
+    strikes at near-full weight and the score never recovers; the
+    collusion pass crushes the squad within a few daily passes.
+    """
+    from repro.analysis.experiments import run_e6v2_trust_countermeasures
+
+    result = run_once(benchmark, run_e6v2_trust_countermeasures, seed=23)
+    record_exhibit(
+        "E6v2: slow-burn recovery by trust countermeasure",
+        result["rendered"],
+        stem="E6v2",
+    )
+    cells = result["outcomes"]
+    truth = cells["linear"]["truth"]
+    assert abs(cells["bayesian+collusion"]["trajectory"][-1] - truth) < 0.5
+    assert abs(cells["linear"]["trajectory"][-1] - truth) > 2.0
+    assert cells["bayesian"]["flags"] == 0  # no pass, no flags
+    assert cells["bayesian+collusion"]["flags"] > 0

@@ -44,10 +44,20 @@ _REGISTRY: dict = {
         lambda: experiments.run_e5_attacks(),
         lambda: experiments.run_e5_attacks(),
     ),
+    "e5v2": (
+        "Detection lift: ring/slow-burn/burst vs trust models (DESIGN §15)",
+        lambda: experiments.run_e5v2_detection_lift(),
+        lambda: experiments.run_e5v2_detection_lift(),
+    ),
     "e6": (
         "Comparison with AV/anti-spyware (Sec. 4.3)",
         lambda: experiments.run_e6_countermeasures(users=20, simulated_days=40),
         lambda: experiments.run_e6_countermeasures(users=10, simulated_days=20),
+    ),
+    "e6v2": (
+        "Slow-burn Sybil recovery trajectory by trust countermeasure",
+        lambda: experiments.run_e6v2_trust_countermeasures(),
+        lambda: experiments.run_e6v2_trust_countermeasures(),
     ),
     "e7": (
         "Coverage growth and bootstrapping",

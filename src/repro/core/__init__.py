@@ -28,6 +28,7 @@ from .taxonomy import (
     TABLE2_CELLS,
 )
 from .trust import TrustPolicy, TrustLedger
+from .trust2 import BayesianTrustPolicy, BayesianTrustLedger
 from .ratings import RatingBook, Vote, MIN_SCORE, MAX_SCORE
 from .comments import CommentBoard, Comment, Remark
 from .aggregation import Aggregator, ScoreUpdate, SoftwareScore
@@ -61,6 +62,8 @@ __all__ = [
     "TABLE2_CELLS",
     "TrustPolicy",
     "TrustLedger",
+    "BayesianTrustPolicy",
+    "BayesianTrustLedger",
     "RatingBook",
     "Vote",
     "MIN_SCORE",

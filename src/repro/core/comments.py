@@ -220,6 +220,17 @@ class CommentBoard:
         self._comments.update(comment_id, {counter: current + 1})
         return remark
 
+    def all_comments(self) -> list:
+        """Every comment, any status (the collusion pass needs authorship)."""
+        return [self._row_to_comment(row) for row in self._comments.all()]
+
+    def all_remarks(self) -> list:
+        """Every recorded remark (the collusion pass scans the full graph)."""
+        return [
+            Remark(row["username"], row["comment_id"], row["positive"], row["timestamp"])
+            for row in self._remarks.all()
+        ]
+
     def remarks_for(self, comment_id: int) -> list:
         rows = self._remarks.select(comment_id=comment_id)
         return [

@@ -154,6 +154,13 @@ class RatingBook:
             for row in rows
         ]
 
+    def all_votes(self) -> list:
+        """Every recorded vote (the collusion pass scans the full graph)."""
+        return [
+            Vote(row["username"], row["software_id"], row["score"], row["timestamp"])
+            for row in self._table.all()
+        ]
+
     def vote_count(self, software_id: str) -> int:
         return self._table.count(software_id=software_id)
 
@@ -177,6 +184,15 @@ class RatingBook:
         return votes
 
     # -- dirty tracking for incremental aggregation ------------------------
+
+    def mark_dirty(self, software_id: str) -> None:
+        """Queue *software_id* for the next incremental aggregation run.
+
+        Votes mark themselves on :meth:`cast`; the engine also marks a
+        user's voted digests when their *trust* moves, so incremental
+        batch runs republish scores whose only change is a re-weight.
+        """
+        self._mark_dirty(software_id)
 
     def _mark_dirty(self, software_id: str) -> None:
         if software_id in self._dirty_table:

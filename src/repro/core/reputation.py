@@ -27,10 +27,14 @@ from .moderation import ModerationQueue
 from .ratings import RatingBook, Vote
 from .scoring import ReconciliationReport, StreamingScorer
 from .trust import TrustLedger, TrustPolicy
+from .trust2 import BayesianTrustLedger, BayesianTrustPolicy
 from .vendor import SoftwareRecord, VendorBook, VendorScore
 
 SCORING_BATCH = "batch"
 SCORING_STREAMING = "streaming"
+
+TRUST_LINEAR = "linear"
+TRUST_BAYESIAN = "bayesian"
 
 
 class ReputationEngine:
@@ -43,13 +47,28 @@ class ReputationEngine:
         trust_policy: Optional[TrustPolicy] = None,
         moderated_comments: bool = False,
         scoring_mode: str = SCORING_BATCH,
+        trust_model: str = TRUST_LINEAR,
+        bayesian_policy: Optional[BayesianTrustPolicy] = None,
+        collusion: bool = False,
+        collusion_config=None,
     ):
         if scoring_mode not in (SCORING_BATCH, SCORING_STREAMING):
             raise ServerError(f"unknown scoring mode {scoring_mode!r}")
+        if trust_model not in (TRUST_LINEAR, TRUST_BAYESIAN):
+            raise ServerError(f"unknown trust model {trust_model!r}")
         self.db = database or Database()
         self.clock = clock or SimClock()
         self.scoring_mode = scoring_mode
-        self.trust = TrustLedger(self.db, trust_policy)
+        self.trust_model = trust_model
+        if trust_model == TRUST_BAYESIAN:
+            self.trust = BayesianTrustLedger(self.db, bayesian_policy)
+        else:
+            self.trust = TrustLedger(self.db, trust_policy)
+        #: Collusion-pass state (None report until the first pass runs).
+        self.collusion_enabled = collusion
+        self.collusion_config = collusion_config
+        self.collusion_passes = 0
+        self.last_collusion_report = None
         self.ratings = RatingBook(self.db)
         self.comments = CommentBoard(self.db, moderated=moderated_comments)
         self.aggregator = Aggregator(self.db, self.ratings, self.trust)
@@ -70,6 +89,15 @@ class ReputationEngine:
             )
             self.trust.add_listener(self._on_trust_changed)
             self.bootstrap_scores()
+        else:
+            # Batch mode republishes through the dirty set, which votes
+            # populate but trust mutations historically did not: an
+            # incremental run after a pure re-weight would skip every
+            # affected digest and serve stale weighted means.  Mark the
+            # user's voted digests on every trust change so incremental
+            # runs republish them (the streaming branch re-weights
+            # through the scorer listener above instead).
+            self.trust.add_listener(self._on_trust_changed_batch)
 
     # -- score publication fan-out ------------------------------------------
 
@@ -100,6 +128,10 @@ class ReputationEngine:
     def _on_trust_changed(self, username: str, old: float, new: float) -> None:
         assert self.scorer is not None
         self.scorer.apply_trust_change(username, old, new, self.clock.now())
+
+    def _on_trust_changed_batch(self, username: str, old: float, new: float) -> None:
+        for vote in self.ratings.votes_by(username):
+            self.ratings.mark_dirty(vote.software_id)
 
     # -- membership ---------------------------------------------------------
 
@@ -138,13 +170,41 @@ class ReputationEngine:
         in-memory derived state (see :mod:`.scoring` for the durability
         model).
         """
+        consensus = self._settled_consensus(software_id)
         vote = self.ratings.cast(username, software_id, score, self.clock.now())
         if self.scorer is not None:
             # Memory-only: the vote insert above was the one durable
             # write; the delta lands in the scorer's in-memory sums and
             # the new score version in the aggregator's row cache.
             self.scorer.apply_vote(vote)
+        if consensus is not None and self.trust.is_enrolled(username):
+            # Bayesian evidence: judge the vote against the consensus
+            # that was settled *before* it landed.  Agreement earns
+            # alpha, contradiction earns beta; either may move the
+            # user's weight, re-publishing their other digests through
+            # the trust listeners wired above.
+            agreed = (
+                abs(score - consensus) <= self.trust.policy.agreement_band
+            )
+            self.trust.observe_vote(username, agreed, self.clock.now())
         return vote
+
+    def _settled_consensus(self, software_id: str) -> Optional[float]:
+        """The published score, if settled enough to judge votes against.
+
+        Only meaningful under the Bayesian trust model; the linear
+        ledger has no per-vote evidence channel, so this returns
+        ``None`` there.
+        """
+        if self.trust_model != TRUST_BAYESIAN:
+            return None
+        published = self.aggregator.score_of(software_id)
+        if (
+            published is None
+            or published.vote_count < self.trust.policy.consensus_min_votes
+        ):
+            return None
+        return published.score
 
     def add_comment(self, username: str, software_id: str, text: str) -> Comment:
         """Post a comment (pending if moderation is on)."""
@@ -259,10 +319,39 @@ class ReputationEngine:
         """
         if not self.aggregator.is_due(self.clock.now()):
             return None
+        # Trust maintenance runs first so the score pass below uses the
+        # post-decay, post-penalty weights.
+        if self.trust_model == TRUST_BAYESIAN:
+            self.trust.refresh(self.clock.now())
+        if self.collusion_enabled:
+            self.run_collusion_pass()
         if self.scorer is not None:
             self.reconcile_scores()
             return None
         return self.run_daily_aggregation()
+
+    def run_collusion_pass(self):
+        """Scan the interaction graph; penalize flagged users.
+
+        Returns the :class:`~repro.protocol.messages.CollusionReport`
+        (also kept on ``last_collusion_report`` for the server's admin
+        endpoint).  Works against either trust model — penalties land
+        as decaying beta evidence on the Bayesian ledger and as a plain
+        debit on the linear baseline.
+        """
+        # Imported lazily: analysis sits above core in the layer order.
+        from ..analysis.collusion import CollusionDetector, apply_penalties
+
+        detector = CollusionDetector(
+            self.ratings, self.comments, self.trust, self.collusion_config
+        )
+        self.collusion_passes += 1
+        report = detector.run(self.clock.now(), passes=self.collusion_passes)
+        apply_penalties(
+            self.trust, report, self.clock.now(), detector.config
+        )
+        self.last_collusion_report = report
+        return report
 
     def reconcile_scores(self) -> ReconciliationReport:
         """Audit streaming running sums against a full recompute; repair drift."""

@@ -1,0 +1,366 @@
+"""Bayesian trust: Beta-Binomial evidence with exponential decay.
+
+The paper's linear trust factor (:mod:`.trust`) grows +5/week and never
+forgets — a Sybil that idles for 20 weeks votes with full weight forever.
+This module replaces it (behind ``trust_model="bayesian"``) with a
+*posterior over vote reliability*:
+
+    weight(u) = (prior_alpha + alpha_u) / (prior_alpha + alpha_u
+                                           + prior_beta + beta_u)
+
+where ``alpha_u`` counts evidence that *u*'s past votes agreed with the
+settled consensus and ``beta_u`` counts disagreement (plus remark
+feedback and collusion penalties).  The prior is deliberately weak-mean
+(default ``Beta(1, 4)``, mean 0.2): a fresh account — however old — has
+earned nothing, so it weighs little until its votes start agreeing with
+everyone else's.  That single change removes the idle-Sybil exploit:
+account *age* is worthless, only *corroborated participation* counts.
+
+**Decay.**  Evidence halves every ``half_life`` seconds, so reputations
+must be re-earned on the time scale of the half-life and a burned
+identity recovers slowly.  Decay is applied *lazily in whole half-life
+steps* on a per-user grid anchored at enrollment::
+
+    steps      = (now - anchor_ts) // half_life
+    alpha_new  = ldexp(alpha, -steps)        # exact: power-of-two scale
+    anchor_new = anchor_ts + steps * half_life
+
+Because the anchor only ever advances along the fixed grid and scaling
+by ``2**-steps`` is exact in IEEE-754 (no rounding while values stay in
+the normal range), decay **commutes with itself**: advancing the clock
+to ``t1`` then ``t2`` leaves bit-identical state to advancing straight
+to ``t2``.  The Hypothesis property suite pins exactly this, and the
+streaming scorer depends on it — weights must not drift silently
+between listener events, so :meth:`BayesianTrustLedger.weight_of` reads
+the *stored* posterior and decay materializes only inside mutations or
+an explicit :meth:`BayesianTrustLedger.refresh` maintenance pass (run
+in the daily slot), both of which fire the usual trust listeners.
+
+**Durability.**  Every posterior lives in the ``trust_evidence`` table;
+each mutation is one WAL-logged upsert, so crash recovery reproduces
+the posteriors bit-for-bit (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..storage import Column, ColumnType, Database, Schema
+
+BETA_TRUST_SCHEMA_NAME = "trust_evidence"
+
+#: ``force_set`` accepts legacy linear-scale trust (1..100) from shared
+#: fixtures/bootstrap corpora; values above 1 are divided by this.
+LINEAR_FULL_SCALE = 100.0
+
+
+@dataclass(frozen=True)
+class BayesianTrustPolicy:
+    """Tunable parameters of the Beta-Binomial trust model."""
+
+    #: Prior pseudo-counts.  Mean ``1/(1+4) = 0.2``: new accounts are
+    #: deliberately weak until their votes corroborate the consensus.
+    prior_alpha: float = 1.0
+    prior_beta: float = 4.0
+    #: Evidence half-life in seconds (the decay knob).  Default 8 weeks:
+    #: long enough that steady contributors keep their standing, short
+    #: enough that a parked reputation fades within a season.
+    half_life: int = 8 * 7 * 86_400
+    #: Alpha evidence for one vote that agrees with settled consensus.
+    agreement_alpha: float = 1.0
+    #: Beta evidence for one vote that contradicts settled consensus.
+    #: Asymmetric on purpose: disagreeing with a settled score is a
+    #: stronger signal than one more confirmation.
+    disagreement_beta: float = 2.0
+    #: A vote agrees when ``|vote - consensus| <= agreement_band``.
+    agreement_band: float = 2.0
+    #: Consensus is "settled" once this many votes back the published
+    #: score; before that, votes are not judged at all.
+    consensus_min_votes: int = 5
+    #: Alpha evidence credited per positive remark on the user's comment
+    #: (name kept attribute-compatible with :class:`~.trust.TrustPolicy`
+    #: so the engine's remark loop works against either ledger).
+    credit_per_positive_remark: float = 0.5
+    #: Beta evidence debited per negative remark.
+    debit_per_negative_remark: float = 0.5
+    #: Beta evidence added per collusion flag (:mod:`repro.analysis.collusion`).
+    #: Heavy — one flag drops a mid-reputation voter near the floor, and
+    #: a large flagged wave must collapse below a single honest voter's
+    #: weight within a couple of daily passes — but it decays, so a
+    #: falsely flagged user recovers within a half-life or two.
+    flag_penalty_beta: float = 60.0
+    #: Total posterior evidence assumed when :meth:`~BayesianTrustLedger.force_set`
+    #: fabricates a posterior for a target mean (bootstrap/fixtures).
+    force_evidence: float = 40.0
+
+    def __post_init__(self):
+        if self.prior_alpha <= 0 or self.prior_beta <= 0:
+            raise ValueError("prior pseudo-counts must be positive")
+        if self.half_life <= 0:
+            raise ValueError("half_life must be positive")
+        for name in (
+            "agreement_alpha",
+            "disagreement_beta",
+            "credit_per_positive_remark",
+            "debit_per_negative_remark",
+            "flag_penalty_beta",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+        if self.force_evidence <= 0:
+            raise ValueError("force_evidence must be positive")
+
+    @property
+    def prior_mean(self) -> float:
+        """The weight of an account with no evidence at all."""
+        return self.prior_alpha / (self.prior_alpha + self.prior_beta)
+
+    def weight(self, alpha: float, beta: float) -> float:
+        """Posterior mean for accumulated evidence ``(alpha, beta)``.
+
+        Always strictly inside ``(0, 1)`` because the prior
+        pseudo-counts are positive — so trust-weighted score sums can
+        never hit the zero-weight guard in the streaming publisher.
+        """
+        return (self.prior_alpha + alpha) / (
+            self.prior_alpha + alpha + self.prior_beta + beta
+        )
+
+
+def beta_trust_schema() -> Schema:
+    """Schema of the Bayesian evidence table (one posterior per user)."""
+    return Schema(
+        name=BETA_TRUST_SCHEMA_NAME,
+        columns=[
+            Column("username", ColumnType.TEXT),
+            Column("alpha", ColumnType.FLOAT, check=lambda value: value >= 0),
+            Column("beta", ColumnType.FLOAT, check=lambda value: value >= 0),
+            Column("signup_ts", ColumnType.INT, check=lambda value: value >= 0),
+            Column("anchor_ts", ColumnType.INT, check=lambda value: value >= 0),
+        ],
+        primary_key="username",
+    )
+
+
+def _decay(alpha: float, beta: float, anchor_ts: int, now: int, half_life: int):
+    """Decay evidence to *now*'s grid point; returns ``(alpha, beta, anchor)``.
+
+    Whole half-life steps only — the fractional remainder stays pending
+    until the anchor's next grid point passes, which is what makes the
+    operation idempotent and order-independent (see module docstring).
+    """
+    if now <= anchor_ts:
+        return alpha, beta, anchor_ts
+    steps = (now - anchor_ts) // half_life
+    if steps == 0:
+        return alpha, beta, anchor_ts
+    return (
+        math.ldexp(alpha, -steps),
+        math.ldexp(beta, -steps),
+        anchor_ts + steps * half_life,
+    )
+
+
+class BayesianTrustLedger:
+    """Beta-Binomial trust bookkeeping over the database.
+
+    Drop-in for :class:`~.trust.TrustLedger` where the engine is
+    concerned — same listener contract, same membership surface, and
+    :meth:`weight_of` returns the aggregation weight (here a posterior
+    mean in ``(0, 1)`` instead of a 1–100 factor).  Evidence arrives
+    through :meth:`observe_vote` (consensus agreement, fed by the
+    engine's per-vote judge), :meth:`credit`/:meth:`debit` (remark
+    feedback), and :meth:`penalize` (collusion flags).
+    """
+
+    def __init__(self, database: Database, policy: BayesianTrustPolicy | None = None):
+        self.policy = policy or BayesianTrustPolicy()
+        #: ``(username, old_weight, new_weight)`` callbacks, fired
+        #: whenever a posterior mean actually moves — identical contract
+        #: to the linear ledger so the streaming scorer can't tell the
+        #: models apart.
+        self.listeners: list = []
+        if database.has_table(BETA_TRUST_SCHEMA_NAME):
+            self._table = database.table(BETA_TRUST_SCHEMA_NAME)
+        else:
+            self._table = database.create_table(beta_trust_schema())
+
+    def add_listener(self, listener) -> None:
+        """Register a ``(username, old_weight, new_weight)`` callback."""
+        self.listeners.append(listener)
+
+    # -- membership ----------------------------------------------------------
+
+    def enroll(self, username: str, signup_ts: int) -> float:
+        """Open a posterior at the prior; returns the starting weight."""
+        self._table.insert(
+            {
+                "username": username,
+                "alpha": 0.0,
+                "beta": 0.0,
+                "signup_ts": signup_ts,
+                "anchor_ts": signup_ts,
+            }
+        )
+        return self.policy.prior_mean
+
+    def is_enrolled(self, username: str) -> bool:
+        return username in self._table
+
+    def signup_timestamp(self, username: str) -> int:
+        return self._table.get(username)["signup_ts"]
+
+    def all_members(self) -> list:
+        """Usernames with a posterior."""
+        return [row["username"] for row in self._table.all()]
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, username: str) -> float:
+        """Current weight of *username* (errors if not enrolled)."""
+        row = self._table.get(username)
+        return self.policy.weight(row["alpha"], row["beta"])
+
+    def weight_of(self, username: str) -> float:
+        """Aggregation weight of a voter (posterior mean, in ``(0, 1)``).
+
+        Unknown voters (bootstrap pseudo-users removed later) weigh the
+        prior mean rather than erroring, so aggregation stays total.
+        Reads the stored posterior — decay materializes only through
+        mutations and :meth:`refresh`, never silently, so the streaming
+        sums stay exact between listener events.
+        """
+        row = self._table.get_or_none(username)
+        if row is None:
+            return self.policy.prior_mean
+        return self.policy.weight(row["alpha"], row["beta"])
+
+    def evidence_of(self, username: str) -> tuple:
+        """Stored ``(alpha, beta, anchor_ts)`` — exhibits and tests."""
+        row = self._table.get(username)
+        return (row["alpha"], row["beta"], row["anchor_ts"])
+
+    # -- evidence ------------------------------------------------------------
+
+    def observe_vote(self, username: str, agreed: bool, now: int) -> float:
+        """Fold one judged vote into the posterior; returns the new weight.
+
+        The engine calls this at cast time whenever the digest already
+        has a settled consensus: agreement earns ``agreement_alpha``,
+        contradiction costs ``disagreement_beta``.
+        """
+        if agreed:
+            return self._bump(username, self.policy.agreement_alpha, 0.0, now)
+        return self._bump(username, 0.0, self.policy.disagreement_beta, now)
+
+    def credit(self, username: str, amount: float, now: int) -> float:
+        """Add *amount* of alpha evidence (remark feedback); new weight."""
+        if amount < 0:
+            raise ValueError("credit amount must be non-negative")
+        return self._bump(username, amount, 0.0, now)
+
+    def debit(self, username: str, amount: float, now: int | None = None) -> float:
+        """Add *amount* of beta evidence; returns the new weight.
+
+        ``now`` is optional for signature compatibility with the linear
+        ledger's ``debit(username, amount)``; without it the evidence
+        lands at the stored anchor (decaying marginally early — a
+        conservative, deterministic approximation).
+        """
+        if amount < 0:
+            raise ValueError("debit amount must be non-negative")
+        return self._bump(username, 0.0, amount, now)
+
+    def penalize(self, username: str, now: int, flags: int = 1) -> float:
+        """Apply collusion-flag penalties; returns the new weight.
+
+        Heavy beta evidence per flag — but evidence decays, so a
+        falsely accused user recovers within a half-life or two while a
+        ring that keeps colluding keeps getting re-flagged.
+        """
+        if flags < 1:
+            raise ValueError("flags must be at least 1")
+        return self._bump(
+            username, 0.0, self.policy.flag_penalty_beta * flags, now
+        )
+
+    def force_set(self, username: str, trust: float) -> None:
+        """Fabricate a posterior whose mean approximates *trust*.
+
+        Bootstrap corpora and shared fixtures speak the linear 1–100
+        scale; values above 1 are mapped through ``value / 100``.
+        Values in ``(0, 1]`` are taken as the target mean directly.
+        The posterior gets ``force_evidence`` total pseudo-counts, so a
+        forced reputation is firm but not immovable.
+        """
+        mean = trust / LINEAR_FULL_SCALE if trust > 1.0 else trust
+        mean = min(max(mean, 0.01), 0.99)
+        total = max(
+            self.policy.force_evidence,
+            self.policy.prior_alpha + self.policy.prior_beta,
+        )
+        alpha = max(0.0, mean * total - self.policy.prior_alpha)
+        beta = max(0.0, (1.0 - mean) * total - self.policy.prior_beta)
+        row = self._table.get(username)
+        old = self.policy.weight(row["alpha"], row["beta"])
+        self._table.update(username, {"alpha": alpha, "beta": beta})
+        self._fire(username, old, self.policy.weight(alpha, beta))
+
+    # -- decay ---------------------------------------------------------------
+
+    def refresh(self, now: int) -> int:
+        """Materialize decay for every posterior; fire moved listeners.
+
+        The daily maintenance pass: pulls every weight toward the prior
+        mean at the half-life rate.  Returns the number of users whose
+        weight actually moved.  Safe to call at any cadence — whole-step
+        grid decay makes interleaved calls equivalent to one call at
+        the final time (property-tested).
+        """
+        moved = 0
+        for username in sorted(self._table.primary_keys()):
+            row = self._table.get(username)
+            alpha, beta, anchor = _decay(
+                row["alpha"], row["beta"], row["anchor_ts"],
+                now, self.policy.half_life,
+            )
+            if anchor == row["anchor_ts"]:
+                continue
+            old = self.policy.weight(row["alpha"], row["beta"])
+            new = self.policy.weight(alpha, beta)
+            self._table.update(
+                username, {"alpha": alpha, "beta": beta, "anchor_ts": anchor}
+            )
+            if new != old:
+                moved += 1
+                self._fire(username, old, new)
+        return moved
+
+    # -- internals -----------------------------------------------------------
+
+    def _bump(
+        self, username: str, d_alpha: float, d_beta: float, now: int | None
+    ) -> float:
+        row = self._table.get(username)
+        old = self.policy.weight(row["alpha"], row["beta"])
+        alpha, beta, anchor = row["alpha"], row["beta"], row["anchor_ts"]
+        if now is not None:
+            alpha, beta, anchor = _decay(
+                alpha, beta, anchor, now, self.policy.half_life
+            )
+        alpha += d_alpha
+        beta += d_beta
+        self._table.update(
+            username, {"alpha": alpha, "beta": beta, "anchor_ts": anchor}
+        )
+        new = self.policy.weight(alpha, beta)
+        if new != old:
+            self._fire(username, old, new)
+        return new
+
+    def _fire(self, username: str, old: float, new: float) -> None:
+        if new == old:
+            return
+        for listener in self.listeners:
+            listener(username, old, new)

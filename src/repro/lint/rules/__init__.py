@@ -20,6 +20,7 @@ from .rep009_privacy_taint import PrivacyTaintRule
 from .rep010_lock_order import StaticLockOrderRule
 from .rep011_unguarded_shared_state import UnguardedSharedStateRule
 from .rep012_catalog_hygiene import CatalogHygieneRule
+from .rep013_trust_table_writes import TrustTableWriteRule
 
 ALL_RULES = (
     WallClockRule(),
@@ -34,6 +35,7 @@ ALL_RULES = (
     StaticLockOrderRule(),
     UnguardedSharedStateRule(),
     CatalogHygieneRule(),
+    TrustTableWriteRule(),
 )
 
 __all__ = [
@@ -50,4 +52,5 @@ __all__ = [
     "StaticLockOrderRule",
     "UnguardedSharedStateRule",
     "CatalogHygieneRule",
+    "TrustTableWriteRule",
 ]

@@ -40,6 +40,9 @@ from .messages import (
     VendorInfoResponse,
     StatsRequest,
     StatsResponse,
+    CollusionFlag,
+    CollusionReportRequest,
+    CollusionReport,
     ReplicateUnits,
     ReplicateAck,
     ReplicateSnapshot,
@@ -88,6 +91,9 @@ __all__ = [
     "VendorInfoResponse",
     "StatsRequest",
     "StatsResponse",
+    "CollusionFlag",
+    "CollusionReportRequest",
+    "CollusionReport",
     "ReplicateUnits",
     "ReplicateAck",
     "ReplicateSnapshot",

@@ -358,6 +358,53 @@ class StatsResponse(Message):
 
 
 # ---------------------------------------------------------------------------
+# Abuse analysis (collusion pass results)
+# ---------------------------------------------------------------------------
+
+@message("collusion-flag")
+@dataclass(frozen=True)
+class CollusionFlag(Message):
+    """One flagged (user, kind) pair from the collusion pass.
+
+    ``kind`` is one of the ``FLAG_*`` constants in
+    :mod:`repro.analysis.collusion`; ``software_id`` is the digest the
+    evidence centres on (empty for graph-wide findings such as remark
+    rings); ``detail`` is a short machine-readable qualifier (ring
+    size, window vote count — never another user's name).
+    """
+
+    kind: str
+    username: str
+    software_id: str = ""
+    detail: str = ""
+
+
+@message("collusion-report-request")
+@dataclass(frozen=True)
+class CollusionReportRequest(Message):
+    """Ask the server for the newest collusion-pass report (admin/ops)."""
+
+    session: str
+
+
+@message("collusion-report")
+@dataclass(frozen=True)
+class CollusionReport(Message):
+    """Outcome of one periodic collusion pass.
+
+    ``passes`` counts runs since server start (0 = never ran, e.g. the
+    feature is disabled); ``ran_at`` is the simulated time of the
+    newest pass; ``votes_considered`` sizes the scanned bipartite
+    graph; ``flags`` are :class:`CollusionFlag` entries.
+    """
+
+    ran_at: int = 0
+    passes: int = 0
+    votes_considered: int = 0
+    flags: tuple = ()
+
+
+# ---------------------------------------------------------------------------
 # Cluster replication (leader -> follower WAL shipping)
 # ---------------------------------------------------------------------------
 

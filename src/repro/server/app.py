@@ -22,7 +22,12 @@ import random
 from typing import Optional
 
 from ..clock import SimClock
-from ..core.reputation import SCORING_BATCH, SCORING_STREAMING, ReputationEngine
+from ..core.reputation import (
+    SCORING_BATCH,
+    SCORING_STREAMING,
+    TRUST_LINEAR,
+    ReputationEngine,
+)
 from ..crypto.puzzles import PuzzleIssuer
 from ..crypto.secrets import SecretPepper
 from ..errors import MalformedMessageError, PuzzleError
@@ -48,6 +53,8 @@ from ..protocol import (
     SoftwareSummary,
     StatsRequest,
     StatsResponse,
+    CollusionReport,
+    CollusionReportRequest,
     SubscribeRequest,
     SubscribeResponse,
     UnsubscribeRequest,
@@ -135,14 +142,26 @@ class ReputationServer:
         scoring_mode: Optional[str] = None,
         flood_burst: Optional[float] = None,
         flood_refill_per_second: Optional[float] = None,
+        trust_model: Optional[str] = None,
+        collusion: Optional[bool] = None,
     ):
         rng = rng or random.Random(0)
         self._owns_database = False
-        if engine is not None and scoring_mode is not None:
+        if engine is not None and (
+            scoring_mode is not None
+            or trust_model is not None
+            or collusion is not None
+        ):
             raise ValueError(
-                "scoring_mode configures the server-built engine; a"
-                " prebuilt engine already fixed its own mode"
+                "scoring_mode/trust_model/collusion configure the"
+                " server-built engine; a prebuilt engine already fixed"
+                " its own configuration"
             )
+        engine_knobs = {
+            "scoring_mode": scoring_mode or SCORING_BATCH,
+            "trust_model": trust_model or TRUST_LINEAR,
+            "collusion": bool(collusion),
+        }
         if engine is None and data_directory is not None:
             # The server's own durable stack: group-commit WAL (batched
             # durability by default — a vote lost in a crash costs one
@@ -158,7 +177,7 @@ class ReputationServer:
             engine = ReputationEngine(
                 database=database,
                 clock=clock,
-                scoring_mode=scoring_mode or SCORING_BATCH,
+                **engine_knobs,
             )
             self._owns_database = True
         elif engine is not None and data_directory is not None:
@@ -168,7 +187,7 @@ class ReputationServer:
         if engine is None:
             engine = ReputationEngine(
                 clock=clock,
-                scoring_mode=scoring_mode or SCORING_BATCH,
+                **engine_knobs,
             )
         self.engine = engine
         self.clock = self.engine.clock
@@ -233,6 +252,7 @@ class ReputationServer:
             (SearchRequest, self._handle_search),
             (VendorQueryRequest, self._handle_vendor_query),
             (StatsRequest, self._handle_stats),
+            (CollusionReportRequest, self._handle_collusion_report),
         ):
             registry.register(message_type, handler)
         self.metrics = PipelineMetrics()
@@ -571,6 +591,17 @@ class ReputationServer:
             total_comments=stats["total_comments"],
             members=stats["members"],
         )
+
+    def _handle_collusion_report(self, ctx: RequestContext):
+        """The newest collusion-pass report (empty if none ran yet).
+
+        The pass itself runs in the daily maintenance slot — this
+        endpoint only reads, so it cannot be used to burn server CPU.
+        """
+        report = self.engine.last_collusion_report
+        if report is None:
+            return CollusionReport()
+        return report
 
     # -- maintenance ----------------------------------------------------------------
 

@@ -16,17 +16,21 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..clock import days
+from ..clock import days, weeks
 from ..crypto.puzzles import Puzzle, solve_puzzle
 from ..protocol import (
     ActivateRequest,
+    CommentRequest,
     ErrorResponse,
     LoginRequest,
     LoginResponse,
     PuzzleRequest,
     PuzzleResponse,
+    QuerySoftwareRequest,
     RegisterRequest,
     RegisterResponse,
+    RemarkRequest,
+    SoftwareInfoResponse,
     VoteRequest,
     decode,
     encode,
@@ -47,6 +51,9 @@ class AttackReport:
     rejections: dict = field(default_factory=dict)
     target_score_before: Optional[float] = None
     target_score_after: Optional[float] = None
+    #: Trust-farming side channel (vote rings / slow-burn Sybils).
+    comments_posted: int = 0
+    remarks_exchanged: int = 0
 
     @property
     def score_displacement(self) -> Optional[float]:
@@ -262,6 +269,293 @@ def run_defamation(
         username_prefix="defamer",
     )
     report.name = "defamation"
+    return report
+
+
+def _register_software(
+    server: ReputationServer,
+    origin: str,
+    session: str,
+    software_id: str,
+    file_name: str,
+) -> None:
+    """First-seen registration through the ordinary lookup path."""
+    _rpc(
+        server,
+        origin,
+        QuerySoftwareRequest(
+            session=session,
+            software_id=software_id,
+            file_name=file_name,
+            file_size=4096,
+        ),
+    )
+
+
+def _post_comment(
+    server: ReputationServer,
+    origin: str,
+    session: str,
+    software_id: str,
+    text: str,
+    report: AttackReport,
+) -> bool:
+    response = _rpc(
+        server,
+        origin,
+        CommentRequest(session=session, software_id=software_id, text=text),
+    )
+    if isinstance(response, ErrorResponse):
+        report.count_rejection(response.code)
+        return False
+    report.comments_posted += 1
+    return True
+
+
+def _visible_comments(
+    server: ReputationServer,
+    origin: str,
+    session: str,
+    software_id: str,
+) -> list:
+    """``(comment_id, author)`` pairs the attacker can see on a digest."""
+    response = _rpc(
+        server,
+        origin,
+        QuerySoftwareRequest(
+            session=session,
+            software_id=software_id,
+            file_name="lookup.exe",
+            file_size=4096,
+        ),
+    )
+    if not isinstance(response, SoftwareInfoResponse):
+        return []
+    return [
+        (comment.comment_id, comment.username)
+        for comment in response.comments
+    ]
+
+
+def _exchange_ring_remarks(
+    server: ReputationServer,
+    members: list,
+    software_ids: list,
+    remarked: set,
+    report: AttackReport,
+) -> None:
+    """Every member grades every *other* member's comments positively.
+
+    ``members`` is ``[(origin, username, session), ...]``; ``remarked``
+    tracks (username, comment_id) pairs already spent (remarks are
+    unique per user per comment).
+    """
+    for software_id in software_ids:
+        seen = None
+        for origin, username, session in members:
+            if seen is None:
+                seen = _visible_comments(server, origin, session, software_id)
+            for comment_id, author in seen:
+                if author == username or (username, comment_id) in remarked:
+                    continue
+                response = _rpc(
+                    server,
+                    origin,
+                    RemarkRequest(
+                        session=session, comment_id=comment_id, positive=True
+                    ),
+                )
+                remarked.add((username, comment_id))
+                if isinstance(response, ErrorResponse):
+                    report.count_rejection(response.code)
+                else:
+                    report.remarks_exchanged += 1
+
+
+def run_vote_ring(
+    server: ReputationServer,
+    target_software_ids: list,
+    members: int = 6,
+    score: int = 10,
+    farm_weeks: int = 0,
+    aggregate_after: bool = True,
+) -> AttackReport:
+    """A closed clique shills its own catalogue and farms trust off itself.
+
+    Each member registers from its own origin, every member comments on
+    every target, the ring exchanges reciprocal positive remarks (the
+    remark loop is the trust-growth channel, so the ring converts
+    mutual flattery into vote weight), and finally every member votes
+    *score* on every target.  ``farm_weeks`` stretches the remark
+    farming over simulated weeks so the linear model's weekly growth
+    cap stops biting.
+
+    The fingerprint this leaves — identical small voter sets across the
+    catalogue, mutual remark edges — is what the collusion pass's
+    low-source-diversity and reciprocal-ring detectors key on.
+    """
+    report = AttackReport(name="vote-ring")
+    primary = target_software_ids[0]
+    report.target_score_before = _published_score(server, primary)
+    ring = []
+    for index in range(members):
+        origin = f"ring-{index}.evil.example"
+        username = f"ring_{index}"
+        session = _register_account(
+            server, origin, username, f"{username}@evil.example", report
+        )
+        if session is not None:
+            ring.append((origin, username, session))
+    if ring:
+        first_origin, _, first_session = ring[0]
+        for index, software_id in enumerate(target_software_ids):
+            _register_software(
+                server, first_origin, first_session, software_id,
+                f"ring-tool-{index}.exe",
+            )
+        for origin, username, session in ring:
+            for software_id in target_software_ids:
+                _post_comment(
+                    server, origin, session, software_id,
+                    "best tool ever, no ads at all", report,
+                )
+        remarked: set = set()
+        canvases = list(target_software_ids)
+        rounds = max(1, farm_weeks)
+        for week in range(rounds):
+            if farm_weeks:
+                # A fresh canvas product each week: remarks are unique
+                # per (user, comment), so sustained farming needs new
+                # comments to grade — exactly the weekly-growth channel
+                # the linear cap is supposed to meter.
+                decoy = f"{0xA0 + week:02x}" * 20
+                _register_software(
+                    server, first_origin, first_session, decoy,
+                    f"ring-canvas-{week}.exe",
+                )
+                for origin, username, session in ring:
+                    _post_comment(
+                        server, origin, session, decoy,
+                        "another great release from this vendor", report,
+                    )
+                canvases.append(decoy)
+            _exchange_ring_remarks(server, ring, canvases, remarked, report)
+            if farm_weeks:
+                server.clock.advance(weeks(1))
+        for origin, username, session in ring:
+            for software_id in target_software_ids:
+                _cast_vote(server, origin, session, software_id, score, report)
+    if aggregate_after:
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+    report.target_score_after = _published_score(server, primary)
+    return report
+
+
+def run_slow_burn_sybil(
+    server: ReputationServer,
+    target_software_id: str,
+    accounts: int = 10,
+    idle_weeks: int = 12,
+    farm: bool = True,
+    score: int = 1,
+    origins: Optional[int] = None,
+    aggregate_after: bool = True,
+) -> AttackReport:
+    """Sybils that age (and optionally farm) before striking.
+
+    The linear model's exact blind spot: trust may only *grow* 5/week,
+    so an attacker who registers a squad, lets it idle ``idle_weeks``
+    and meanwhile farms remark credit off decoy software walks into the
+    strike with near-maximal weight — account age is the whole defence
+    and age is free.  Under the Bayesian model the same patience buys
+    almost nothing (evidence decays; the prior stays weak), and the
+    coordinated strike against a settled consensus is precisely the
+    deviation-burst fingerprint.
+    """
+    report = AttackReport(name="slow-burn-sybil")
+    report.target_score_before = _published_score(server, target_software_id)
+    squad = []
+    for index in range(accounts):
+        origin = f"patient-{index % (origins or accounts)}.evil.example"
+        username = f"patient_{index}"
+        session = _register_account(
+            server, origin, username, f"{username}@evil.example", report
+        )
+        if session is not None:
+            squad.append((origin, username, session))
+    remarked: set = set()
+    for week in range(idle_weeks):
+        if farm and squad:
+            # A fresh decoy each week: comments are unique per
+            # (user, software), so farming needs new canvases.
+            decoy = f"{0xD0 + week:02x}" * 20
+            first_origin, _, first_session = squad[0]
+            _register_software(
+                server, first_origin, first_session, decoy,
+                f"decoy-{week}.exe",
+            )
+            for origin, username, session in squad:
+                _post_comment(
+                    server, origin, session, decoy,
+                    "very useful utility, works great", report,
+                )
+            _exchange_ring_remarks(server, squad, [decoy], remarked, report)
+        server.clock.advance(weeks(1))
+    for origin, username, session in squad:
+        _cast_vote(
+            server, origin, session, target_software_id, score, report
+        )
+    if aggregate_after:
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+    report.target_score_after = _published_score(server, target_software_id)
+    return report
+
+
+def run_review_burst(
+    server: ReputationServer,
+    target_software_id: str,
+    accounts: int = 12,
+    score: int = 10,
+    origins: int = 6,
+    with_comments: bool = True,
+    aggregate_after: bool = True,
+) -> AttackReport:
+    """Crowdturfing: a day-one wave of gushing votes from day-one accounts.
+
+    The launch-day astroturf pattern — register, vote 10/10, praise,
+    vanish.  Every vote comes from an account younger than the vote
+    window, which is the new-account-cluster detector's fingerprint.
+    """
+    report = AttackReport(name="review-burst")
+    report.target_score_before = _published_score(server, target_software_id)
+    wave = []
+    for index in range(accounts):
+        origin = f"burst-{index % max(1, origins)}.evil.example"
+        username = f"burst_{index}"
+        session = _register_account(
+            server, origin, username, f"{username}@evil.example", report
+        )
+        if session is not None:
+            wave.append((origin, username, session))
+    if wave:
+        first_origin, _, first_session = wave[0]
+        _register_software(
+            server, first_origin, first_session, target_software_id,
+            "shiny-new-tool.exe",
+        )
+    for origin, username, session in wave:
+        _cast_vote(server, origin, session, target_software_id, score, report)
+        if with_comments:
+            _post_comment(
+                server, origin, session, target_software_id,
+                "exactly what I needed, five stars", report,
+            )
+    if aggregate_after:
+        server.clock.advance(days(1))
+        server.run_daily_batch()
+    report.target_score_after = _published_score(server, target_software_id)
     return report
 
 

@@ -369,3 +369,74 @@ class TestRep007:
             "  # reprolint: disable=REP007\n"
         )
         assert findings(src, "repro/server/app.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP013 — trust tables are written only by core/
+# ---------------------------------------------------------------------------
+
+class TestRep013:
+    def test_inline_table_upsert_flagged(self):
+        src = """\
+        def rig(db, row):
+            db.table("trust_factors").upsert(row)
+        """
+        assert findings(src, "repro/server/app.py") == [("REP013", 2)]
+
+    def test_evidence_delete_through_variable_flagged(self):
+        src = """\
+        def wipe(db, username):
+            posteriors = db.table("trust_evidence")
+            posteriors.delete(username)
+        """
+        assert findings(src, "repro/analysis/collusion.py") == [("REP013", 3)]
+
+    def test_schema_factory_handle_flagged(self):
+        src = """\
+        from repro.core.trust2 import beta_trust_schema
+
+        def install(db, row):
+            table = db.create_table(beta_trust_schema())
+            table.insert(row)
+        """
+        assert findings(src, "repro/sim/community.py") == [("REP013", 5)]
+
+    def test_attribute_handle_flagged(self):
+        src = """\
+        class Backdoor:
+            def __init__(self, db):
+                self._trust = db.table("trust_factors")
+
+            def boost(self, row):
+                self._trust.upsert(row)
+        """
+        assert findings(src, "repro/server/cache.py") == [("REP013", 6)]
+
+    def test_reads_clean(self):
+        src = """\
+        def peek(db, username):
+            return db.table("trust_evidence").get_or_none(username)
+        """
+        assert findings(src, "repro/cluster/shard.py") == []
+
+    def test_unrelated_table_write_clean(self):
+        src = """\
+        def note(db, row):
+            db.table("comments").insert(row)
+        """
+        assert findings(src, "repro/server/app.py") == []
+
+    def test_core_exempt(self):
+        src = """\
+        def _bump(self, row):
+            self._table.upsert(row)
+            self._table = db.table("trust_evidence")
+        """
+        assert findings(src, "repro/core/trust2.py") == []
+
+    def test_suppression_honored(self):
+        src = (
+            'db.table("trust_factors").delete("x")'
+            "  # reprolint: disable=REP013\n"
+        )
+        assert findings(src, "repro/server/app.py") == []

@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import MalformedMessageError, ProtocolError, UnknownMessageError
 from repro.protocol import (
+    CollusionFlag,
     CommentInfo,
     CommentRequest,
     ErrorResponse,
@@ -161,6 +162,19 @@ _TUPLE_FACTORIES = {
         ),
     ),
     "reported_behaviors": lambda: ("logs keys", "dials home"),
+    "flags": lambda: (
+        CollusionFlag(
+            kind="reciprocal-ring",
+            username="üser <&> ring",
+            software_id="ab" * 20,
+            detail="ring-size-5",
+        ),
+        CollusionFlag(
+            kind="deviation-burst",
+            username="plain",
+            detail="swing-9-prior-12",
+        ),
+    ),
 }
 
 

@@ -1,0 +1,103 @@
+"""Codec battery for the collusion-report messages (PR 10, satellite 3).
+
+The registry-enumerated parity suite in ``test_binary_codec.py`` already
+round-trips one sample of every registered message; this file drills
+into the new :class:`CollusionReport` specifically — deep nesting,
+unicode usernames, empty reports — and runs the PR 3 adversarial-decode
+battery over its wire bytes (truncation at every offset, trailing
+garbage, forged tags) so the message inherits the frame guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol import (
+    CollusionFlag,
+    CollusionReport,
+    CollusionReportRequest,
+    decode,
+    encode,
+)
+from repro.protocol import binary_codec
+
+
+def _full_report() -> CollusionReport:
+    return CollusionReport(
+        ran_at=86_400 * 45,
+        passes=7,
+        votes_considered=12_345,
+        flags=(
+            CollusionFlag(
+                kind="reciprocal-ring",
+                username="üser <&> one",
+                software_id="ab" * 20,
+                detail="ring-size-4",
+            ),
+            CollusionFlag(
+                kind="new-account-cluster",
+                username="sÿbil:07",
+                software_id="cd" * 20,
+                detail="young-9-of-11",
+            ),
+            CollusionFlag(
+                kind="deviation-burst",
+                username="plain",
+                detail="swing-8-prior-20",
+            ),
+        ),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            _full_report(),
+            CollusionReport(),  # never-ran sentinel from the endpoint
+            CollusionReport(ran_at=1, passes=1, votes_considered=0, flags=()),
+            CollusionReportRequest(session="s" * 32),
+        ],
+        ids=["full", "never-ran", "empty-pass", "request"],
+    )
+    def test_both_codecs_round_trip(self, message):
+        assert decode(encode(message)) == message
+        assert binary_codec.decode(binary_codec.encode(message)) == message
+
+    def test_codecs_agree_on_nested_flags(self):
+        report = _full_report()
+        via_xml = decode(encode(report))
+        via_binary = binary_codec.decode(binary_codec.encode(report))
+        assert via_xml == via_binary
+        assert via_xml.flags[0].username == "üser <&> one"
+        assert isinstance(via_binary.flags[1], CollusionFlag)
+
+
+class TestAdversarialDecode:
+    def test_binary_truncated_everywhere(self):
+        wire = binary_codec.encode(_full_report())
+        for cut in range(len(wire)):
+            with pytest.raises(ProtocolError):
+                binary_codec.decode(wire[:cut])
+
+    def test_binary_trailing_garbage(self):
+        wire = binary_codec.encode(_full_report())
+        with pytest.raises(ProtocolError):
+            binary_codec.decode(wire + b"\x00")
+
+    def test_binary_garbage_payload(self):
+        with pytest.raises(ProtocolError):
+            binary_codec.decode(b"\xff\xfe\xfd collusion? \x00\x01")
+
+    def test_xml_truncated_payload(self):
+        wire = encode(_full_report())
+        # Cut inside the nested flag elements (the tail half), where a
+        # lazy parser might still yield a partial but "valid" document.
+        for cut in range(len(wire) // 2, len(wire), 7):
+            with pytest.raises(ProtocolError):
+                decode(wire[:cut])
+
+    def test_xml_garbage_payload(self):
+        with pytest.raises(ProtocolError):
+            decode(b"<collusion-report><unterminated")

@@ -37,7 +37,7 @@ class TestLayerStructure:
         registered = set(server.pipeline.registry.registered_types)
         assert PuzzleRequest in registered
         assert VoteRequest in registered
-        assert len(registered) == 15
+        assert len(registered) == 16
 
     def test_run_and_run_message_agree(self, server):
         over_wire = decode(server.handle_bytes("host", encode(PuzzleRequest())))
